@@ -1,0 +1,198 @@
+// Benchmarks regenerating the paper's tables and figures (Section 4).
+// Each paper artifact has a corresponding benchmark family here; the
+// cmd/benchtab command prints the full tables, while these targets
+// keep the measurements runnable through `go test -bench`.
+//
+// The benchmarks use the small and medium Fig. 8 tests so that the
+// whole suite stays laptop-scale; EXPERIMENTS.md records the measured
+// numbers next to the paper's.
+package checkfence_test
+
+import (
+	"testing"
+
+	"checkfence"
+	"checkfence/internal/commit"
+	"checkfence/internal/harness"
+	"checkfence/internal/litmus"
+	"checkfence/internal/memmodel"
+	"checkfence/internal/refimpl"
+)
+
+// benchCheck runs one full check per iteration and reports the
+// domain metrics of the paper's Fig. 10a row.
+func benchCheck(b *testing.B, impl, test string, opts checkfence.Options) {
+	b.Helper()
+	var last *checkfence.Result
+	for i := 0; i < b.N; i++ {
+		res, err := checkfence.Check(impl, test, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Stats.Instrs), "instrs")
+	b.ReportMetric(float64(last.Stats.Loads+last.Stats.Stores), "accesses")
+	b.ReportMetric(float64(last.Stats.CNFVars), "cnf-vars")
+	b.ReportMetric(float64(last.Stats.CNFClauses), "cnf-clauses")
+	b.ReportMetric(float64(last.Stats.ObsSetSize), "obs-set")
+}
+
+// BenchmarkFig10Inclusion reproduces rows of the Fig. 10a statistics
+// table: full inclusion checks on the Relaxed model.
+func BenchmarkFig10Inclusion(b *testing.B) {
+	cases := []struct{ impl, test string }{
+		{"ms2", "T0"},
+		{"ms2", "Tpc2"},
+		{"msn", "T0"},
+		{"msn", "Ti2"},
+		{"msn", "Tpc2"},
+		{"lazylist", "Sac"},
+		{"lazylist", "Sar"},
+		{"harris", "Sac"},
+		{"snark", "Da"},
+	}
+	for _, c := range cases {
+		b.Run(c.impl+"/"+c.test, func(b *testing.B) {
+			benchCheck(b, c.impl, c.test, checkfence.Options{Model: checkfence.Relaxed})
+		})
+	}
+}
+
+// BenchmarkFig10bScaling measures the growth trend of Fig. 10b: the
+// same producer/consumer test at increasing size.
+func BenchmarkFig10bScaling(b *testing.B) {
+	for _, test := range []string{"Tpc2", "Tpc3"} {
+		b.Run("msn/"+test, func(b *testing.B) {
+			benchCheck(b, "msn", test, checkfence.Options{Model: checkfence.Relaxed})
+		})
+	}
+}
+
+// BenchmarkFig11aMiningSAT measures specification mining on the
+// Serial model (Fig. 11a, SAT enumeration path).
+func BenchmarkFig11aMiningSAT(b *testing.B) {
+	cases := []struct{ impl, test string }{
+		{"msn", "T1"},
+		{"lazylist", "Sacr"},
+	}
+	for _, c := range cases {
+		b.Run(c.impl+"/"+c.test, func(b *testing.B) {
+			benchCheck(b, c.impl, c.test, checkfence.Options{Model: checkfence.Serial})
+		})
+	}
+}
+
+// BenchmarkFig11aMiningRefset measures the reference-implementation
+// enumeration path of Fig. 11a.
+func BenchmarkFig11aMiningRefset(b *testing.B) {
+	cases := []struct{ impl, test string }{
+		{"msn", "Tpc3"},
+		{"lazylist", "Sacr2"},
+		{"snark", "Dq"},
+	}
+	for _, c := range cases {
+		b.Run(c.impl+"/"+c.test, func(b *testing.B) {
+			impl, err := harness.Get(c.impl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			test, err := harness.GetTest(impl, c.test)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var size int
+			for i := 0; i < b.N; i++ {
+				set, err := refimpl.Enumerate(impl, test)
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = set.Len()
+			}
+			b.ReportMetric(float64(size), "obs-set")
+		})
+	}
+}
+
+// BenchmarkFig11cRangeAnalysis measures the same check with the range
+// analysis on and off (Fig. 11c).
+func BenchmarkFig11cRangeAnalysis(b *testing.B) {
+	for _, disabled := range []bool{false, true} {
+		name := "with"
+		if disabled {
+			name = "without"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchCheck(b, "msn", "T0", checkfence.Options{
+				Model:                checkfence.Relaxed,
+				DisableRangeAnalysis: disabled,
+			})
+		})
+	}
+}
+
+// BenchmarkFig12Methods compares the observation-set method with the
+// commit-point baseline (Fig. 12).
+func BenchmarkFig12Methods(b *testing.B) {
+	b.Run("observation-set/T0", func(b *testing.B) {
+		benchCheck(b, "msn-commit", "T0", checkfence.Options{Model: checkfence.Relaxed})
+	})
+	b.Run("commit-point/T0", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := commit.Check("msn-commit", "T0", memmodel.Relaxed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Pass {
+				b.Fatalf("unexpected failure: %s", res.Desc)
+			}
+		}
+	})
+}
+
+// BenchmarkModelChoice measures the §4.4 observation that the model
+// choice has little impact on runtime.
+func BenchmarkModelChoice(b *testing.B) {
+	for _, m := range []checkfence.Model{checkfence.SequentialConsistency, checkfence.Relaxed} {
+		b.Run(m.String(), func(b *testing.B) {
+			benchCheck(b, "msn", "Ti2", checkfence.Options{Model: m})
+		})
+	}
+}
+
+// BenchmarkFig2IRIW solves the paper's Fig. 2 litmus execution
+// (forbidden on Relaxed because it orders all stores globally).
+func BenchmarkFig2IRIW(b *testing.B) {
+	var iriw litmus.Test
+	for _, t := range litmus.Tests() {
+		if t.Name == "iriw" {
+			iriw = t
+		}
+	}
+	if iriw.Name == "" {
+		b.Fatal("iriw litmus test not found")
+	}
+	for i := 0; i < b.N; i++ {
+		observable, err := iriw.Observable(memmodel.Relaxed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if observable {
+			b.Fatal("IRIW must be forbidden on Relaxed")
+		}
+	}
+}
+
+// BenchmarkSpecMiningIterations tracks the mining loop's SAT
+// iteration count (one model solve per observation).
+func BenchmarkSpecMiningIterations(b *testing.B) {
+	var iters int
+	for i := 0; i < b.N; i++ {
+		res, err := checkfence.Check("msn", "T1", checkfence.Options{Model: checkfence.Serial})
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters = res.Stats.MineIterations
+	}
+	b.ReportMetric(float64(iters), "iterations")
+}

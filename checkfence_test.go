@@ -1,0 +1,137 @@
+package checkfence_test
+
+import (
+	"strings"
+	"testing"
+
+	"checkfence"
+)
+
+func TestPublicCheck(t *testing.T) {
+	res, err := checkfence.Check("msn", "T0", checkfence.Options{
+		Model: checkfence.Relaxed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("msn/T0 must pass; cex:\n%v", res.Cex)
+	}
+	if res.Spec == nil || res.Spec.Len() == 0 {
+		t.Error("result must carry the mined specification")
+	}
+}
+
+func TestPublicCheckFailure(t *testing.T) {
+	res, err := checkfence.Check("msn-nofence", "T0", checkfence.Options{
+		Model: checkfence.Relaxed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass || res.Cex == nil {
+		t.Fatal("unfenced queue must fail with a trace")
+	}
+	if !strings.Contains(res.Cex.String(), "memory order") {
+		t.Error("trace must render the memory order")
+	}
+}
+
+func TestImplementationsAndTests(t *testing.T) {
+	impls := checkfence.Implementations()
+	if len(impls) < 10 {
+		t.Errorf("implementations = %v", impls)
+	}
+	tests, err := checkfence.Tests("msn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, n := range tests {
+		found[n] = true
+	}
+	for _, want := range []string{"T0", "T1", "Tpc6", "Ti2"} {
+		if !found[want] {
+			t.Errorf("missing test %s in %v", want, tests)
+		}
+	}
+	if _, err := checkfence.Tests("nosuch"); err == nil {
+		t.Error("unknown implementation must fail")
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	for _, name := range []string{"sc", "relaxed", "serial", "tso", "pso"} {
+		if _, err := checkfence.ParseModel(name); err != nil {
+			t.Errorf("ParseModel(%q): %v", name, err)
+		}
+	}
+}
+
+func TestSyncSourceExported(t *testing.T) {
+	src := checkfence.SyncSource()
+	for _, fn := range []string{"bool cas(", "bool dcas(", "void lock(", "void unlock("} {
+		if !strings.Contains(src, fn) {
+			t.Errorf("SyncSource missing %q", fn)
+		}
+	}
+}
+
+func TestCheckDataTypeCounter(t *testing.T) {
+	// A trivially racy counter: increments can be lost even under
+	// sequential consistency, and CheckFence must say so.
+	const counter = `
+typedef struct counter { int n; } counter_t;
+counter_t c;
+extern void fence(char *type);
+void init_counter(counter_t *ct) { ct->n = 0; }
+int inc(counter_t *ct) {
+    int v = ct->n;
+    ct->n = v + 1;
+    return v;
+}
+`
+	dt := checkfence.DataType{
+		Name:     "counter",
+		Source:   counter,
+		InitFunc: "init_counter",
+		Object:   "c",
+		Ops: []checkfence.Operation{
+			{Mnemonic: "i", Func: "inc", HasRet: true},
+		},
+	}
+	res, err := checkfence.CheckDataType(dt, "( i | i )", checkfence.Options{
+		Model: checkfence.SequentialConsistency,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass {
+		t.Error("racy counter must fail: both increments can read 0")
+	}
+
+	// The same counter with an atomic block is fine.
+	const atomicCounter = `
+typedef struct counter { int n; } counter_t;
+counter_t c;
+void init_counter(counter_t *ct) { ct->n = 0; }
+int inc(counter_t *ct) {
+    int v;
+    atomic {
+        v = ct->n;
+        ct->n = v + 1;
+    }
+    return v;
+}
+`
+	dt.Source = atomicCounter
+	res, err = checkfence.CheckDataType(dt, "( i | i )", checkfence.Options{
+		Model: checkfence.SequentialConsistency,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Errorf("atomic counter must pass; cex:\n%v", res.Cex)
+	}
+}

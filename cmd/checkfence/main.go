@@ -1,0 +1,135 @@
+// Command checkfence checks the consistency of a concurrent data type
+// implementation on a bounded symbolic test and a memory model,
+// reproducing the black-box interface of the paper's Fig. 1:
+//
+//	checkfence -impl msn -test Tpc2 -model relaxed
+//
+// Implementations are the paper's Table 1 study set (ms2, msn,
+// lazylist, harris, snark) plus derived variants (-nofence, -bug,
+// -dropfence<k>); tests are the Fig. 8 names or raw notation such as
+// "e ( ed | de )".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"checkfence/internal/core"
+	"checkfence/internal/harness"
+	"checkfence/internal/memmodel"
+)
+
+func main() {
+	var (
+		implName  = flag.String("impl", "", "implementation to check (see -list)")
+		testName  = flag.String("test", "", "symbolic test name or Fig. 8 notation")
+		modelName = flag.String("model", "relaxed", "memory model: sc, tso, pso, relaxed, serial")
+		specSrc   = flag.String("spec", "sat", "specification source: sat (mine from implementation) or refset")
+		noRanges  = flag.Bool("no-range-analysis", false, "disable the range analysis of paper §3.4")
+		list      = flag.Bool("list", false, "list implementations and tests")
+		showSpec  = flag.Bool("show-spec", false, "print the mined observation set")
+		stats     = flag.Bool("stats", false, "print Fig. 10-style statistics")
+	)
+	flag.Parse()
+
+	if *list {
+		printList()
+		return
+	}
+	if *implName == "" || *testName == "" {
+		fmt.Fprintln(os.Stderr, "usage: checkfence -impl <name> -test <name> [-model sc|tso|pso|relaxed]")
+		fmt.Fprintln(os.Stderr, "       checkfence -list")
+		os.Exit(2)
+	}
+
+	model, err := memmodel.Parse(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{
+		Model:                model,
+		DisableRangeAnalysis: *noRanges,
+	}
+	if *specSrc == "refset" {
+		opts.SpecSource = core.SpecRef
+	}
+
+	res, err := core.Check(*implName, *testName, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *showSpec && res.Spec != nil {
+		fmt.Printf("observation set (%d):\n", res.Spec.Len())
+		for _, o := range res.Spec.All() {
+			fmt.Printf("  %s\n", o.Key())
+		}
+	}
+	if *stats {
+		s := res.Stats
+		fmt.Printf("unrolled: %d instrs, %d loads, %d stores\n", s.Instrs, s.Loads, s.Stores)
+		fmt.Printf("cnf: %d vars, %d clauses\n", s.CNFVars, s.CNFClauses)
+		fmt.Printf("observation set: %d (mined in %d iterations)\n", s.ObsSetSize, s.MineIterations)
+		fmt.Printf("times: probe=%v mine=%v encode=%v refute=%v total=%v\n",
+			s.ProbeTime, s.MineTime, s.EncodeTime, s.RefuteTime, s.TotalTime)
+		fmt.Printf("bound rounds: %d\n", s.BoundRounds)
+	}
+
+	if res.Pass {
+		fmt.Printf("PASS: %s / %s on %s\n", res.Impl, res.Test, res.Model)
+		return
+	}
+	if res.SeqBug {
+		fmt.Printf("FAIL: %s / %s has a sequential bug (independent of the memory model)\n",
+			res.Impl, res.Test)
+	} else {
+		fmt.Printf("FAIL: %s / %s on %s\n", res.Impl, res.Test, res.Model)
+	}
+	if res.Cex != nil {
+		fmt.Println(res.Cex)
+	}
+	os.Exit(1)
+}
+
+func printList() {
+	impls := harness.Implementations()
+	names := make([]string, 0, len(impls))
+	for n := range impls {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Println("implementations:")
+	for _, n := range names {
+		im := impls[n]
+		var ops []string
+		for _, op := range im.Ops {
+			ops = append(ops, op.Mnemonic+"="+op.Func)
+		}
+		fmt.Printf("  %-18s %-6s ops: %s\n", n, im.Kind, strings.Join(ops, " "))
+	}
+	fmt.Println("\ntests (per kind):")
+	for _, im := range []string{"msn", "lazylist", "snark"} {
+		impl := impls[im]
+		tests, err := harness.TestsFor(impl)
+		if err != nil {
+			continue
+		}
+		names := make([]string, 0, len(tests))
+		for n := range tests {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("  %s:\n", impl.Kind)
+		for _, n := range names {
+			fmt.Printf("    %-8s\n", n)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "checkfence:", err)
+	os.Exit(1)
+}

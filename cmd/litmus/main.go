@@ -1,0 +1,48 @@
+// Command litmus runs classic memory-model litmus tests against the
+// axiomatic models, including the IRIW execution of the paper's
+// Fig. 2 (possible on PowerPC/IA-32/IA-64, but not on Relaxed, which
+// globally orders stores).
+//
+//	litmus            # run all litmus tests on all models
+//	litmus iriw sb    # run selected tests
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"checkfence/internal/litmus"
+	"checkfence/internal/memmodel"
+)
+
+func main() {
+	selected := map[string]bool{}
+	for _, a := range os.Args[1:] {
+		selected[a] = true
+	}
+	models := []memmodel.Model{memmodel.SequentialConsistency, memmodel.TSO, memmodel.PSO, memmodel.Relaxed}
+	failures := 0
+	for _, t := range litmus.Tests() {
+		if len(selected) > 0 && !selected[t.Name] {
+			continue
+		}
+		fmt.Printf("%-12s %s\n", t.Name, t.Desc)
+		for _, m := range models {
+			observable, err := t.Observable(m)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "litmus:", err)
+				os.Exit(1)
+			}
+			expect := t.AllowedOn[m]
+			status := "ok"
+			if observable != expect {
+				status = "UNEXPECTED"
+				failures++
+			}
+			fmt.Printf("    %-8s observable=%-5v expected=%-5v %s\n", m, observable, expect, status)
+		}
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// Bug hunt: reproduce the two §4.1 findings of the paper —
+//
+//  1. the snark DCAS deque is incorrect as published: test D0 exposes
+//     a violation quickly, even under sequential consistency, and
+//
+//  2. the published lazy-list pseudocode forgets to initialize the
+//     'marked' field of new nodes; CheckFence flags the use of the
+//     undefined value (a bug a prior PVS proof missed because it
+//     verified hand-translated code, not the pseudocode).
+//
+//     go run ./examples/bughunt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"checkfence"
+)
+
+func main() {
+	fmt.Println("=== snark deque, test D0, sequential consistency ===")
+	res, err := checkfence.Check("snark", "D0", checkfence.Options{
+		Model: checkfence.SequentialConsistency,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Pass {
+		fmt.Println("unexpected: no violation found")
+	} else {
+		fmt.Println("violation found (the algorithm is buggy as published):")
+		fmt.Println(res.Cex)
+	}
+
+	fmt.Println("=== lazylist with the published missing initialization, test Sac ===")
+	res, err = checkfence.Check("lazylist-bug", "Sac", checkfence.Options{
+		Model: checkfence.SequentialConsistency,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Pass {
+		fmt.Println("unexpected: no violation found")
+	} else {
+		fmt.Println("violation found (uninitialized 'marked' field read):")
+		fmt.Println(res.Cex)
+	}
+
+	fmt.Println("=== the corrected lazylist passes the same test ===")
+	res, err = checkfence.Check("lazylist", "Sac", checkfence.Options{
+		Model: checkfence.SequentialConsistency,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lazylist / Sac: pass=%v\n", res.Pass)
+}

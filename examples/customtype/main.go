@@ -1,0 +1,126 @@
+// Custom data type: verify a user-written concurrent data structure —
+// a Treiber stack — through the public CheckDataType API, the
+// workflow a library author would follow to place fences in their own
+// code.
+//
+//	go run ./examples/customtype
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"checkfence"
+)
+
+// The Treiber stack: push and pop synchronize with a CAS on the top
+// pointer. Like the study-set algorithms, it needs a store-store
+// fence between initializing a node and publishing it, and a
+// load-load fence before dereferencing the top pointer.
+const treiberStack = `
+typedef int value_t;
+
+typedef struct node {
+    struct node *next;
+    value_t value;
+} node_t;
+
+typedef struct stack {
+    node_t *top;
+} stack_t;
+
+extern void fence(char *type);
+extern node_t *new_node();
+extern void delete_node(node_t *n);
+
+stack_t stk;
+
+void init_stack(stack_t *s)
+{
+    s->top = 0;
+}
+
+void push(stack_t *s, value_t v)
+{
+    node_t *n = new_node();
+    n->value = v;
+    while (true) {
+        node_t *top = s->top;
+        n->next = top;
+        fence("store-store");
+        if (cas(&s->top, (unsigned) top, (unsigned) n))
+            break;
+    }
+}
+
+bool pop(stack_t *s, value_t *pvalue)
+{
+    while (true) {
+        node_t *top = s->top;
+        fence("load-load");
+        if (top == 0)
+            return false;
+        node_t *next = top->next;
+        if (cas(&s->top, (unsigned) top, (unsigned) next)) {
+            *pvalue = top->value;
+            delete_node(top);
+            return true;
+        }
+    }
+}
+`
+
+func main() {
+	dt := checkfence.DataType{
+		Name:     "treiber",
+		Source:   checkfence.SyncSource() + treiberStack,
+		InitFunc: "init_stack",
+		Object:   "stk",
+		Ops: []checkfence.Operation{
+			{Mnemonic: "u", Func: "push", NumArgs: 1},
+			{Mnemonic: "o", Func: "pop", HasRet: true, HasOut: true},
+		},
+	}
+
+	for _, test := range []string{"( u | o )", "( uu | oo )", "u ( uo | ou )"} {
+		res, err := checkfence.CheckDataType(dt, test, checkfence.Options{
+			Model: checkfence.Relaxed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("treiber stack %-14s on relaxed: pass=%v (obs set %d, %d clauses)\n",
+			test, res.Pass, res.Stats.ObsSetSize, res.Stats.CNFClauses)
+		if !res.Pass {
+			fmt.Println(res.Cex)
+		}
+	}
+
+	// Without the publication fence the stack breaks on the relaxed
+	// model: a popper can read the node's value before the pusher's
+	// initialization reaches memory.
+	broken := dt
+	broken.Name = "treiber-nofence"
+	broken.Source = checkfence.SyncSource() + removeFences(treiberStack)
+	res, err := checkfence.CheckDataType(broken, "( u | o )", checkfence.Options{
+		Model: checkfence.Relaxed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntreiber stack without fences on relaxed: pass=%v\n", res.Pass)
+	if res.Cex != nil {
+		fmt.Println(res.Cex)
+	}
+}
+
+func removeFences(src string) string {
+	var out []string
+	for _, line := range strings.Split(src, "\n") {
+		if !strings.Contains(line, `fence("`) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

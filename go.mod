@@ -1,0 +1,3 @@
+module checkfence
+
+go 1.22

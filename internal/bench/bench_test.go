@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTable1(t *testing.T) {
+	var sb strings.Builder
+	r := Runner{Quick: true, Out: &sb}
+	if err := r.Table1(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range Impls {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table 1 missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestTestsForModes(t *testing.T) {
+	q := Runner{Quick: true}
+	f := Runner{Quick: false}
+	for _, impl := range Impls {
+		quick := q.TestsFor(impl)
+		full := f.TestsFor(impl)
+		if len(quick) == 0 || len(full) == 0 {
+			t.Errorf("%s: empty test lists", impl)
+		}
+		if len(quick) > len(full) {
+			t.Errorf("%s: quick list larger than full", impl)
+		}
+	}
+}
+
+func TestRunFig10Smallest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full checks")
+	}
+	var sb strings.Builder
+	r := Runner{Quick: true, Budget: time.Minute, Out: &sb}
+	// Smoke one row through the shared runner via Fig10a on a
+	// restricted set.
+	saved := quickTests
+	defer func() { quickTests = saved }()
+	quickTests = map[string][]string{
+		"ms2": {"T0"}, "msn": {"T0"}, "lazylist": nil, "harris": nil, "snark": nil,
+	}
+	if err := r.Fig10a(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ms2") || !strings.Contains(out, "pass") {
+		t.Errorf("Fig10a output:\n%s", out)
+	}
+}

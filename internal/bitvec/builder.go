@@ -1,0 +1,290 @@
+// Package bitvec provides a hash-consed boolean circuit builder with a
+// Tseitin transformation to CNF, plus bitvector operations built on
+// top of it.
+//
+// The CheckFence encoder compiles the thread-local program semantics
+// (the Δ formulas of the paper) into such circuits: every SSA register
+// becomes a vector of circuit nodes, and guarded assignments become
+// multiplexers. The Tseitin transform then materializes exactly the
+// nodes that the final formula references as SAT variables and
+// clauses, which keeps the CNF polynomial in the unrolled program
+// size as the paper requires.
+package bitvec
+
+import (
+	"checkfence/internal/sat"
+)
+
+// Node is a reference to a circuit node, with the low bit carrying
+// negation (an and-inverter graph). The constant true node is the
+// node with index 0; False is its negation.
+type Node int32
+
+// True and False are the constant nodes.
+const (
+	True  Node = 0
+	False Node = 1
+)
+
+// Not negates a node.
+func (n Node) Not() Node { return n ^ 1 }
+
+func (n Node) index() int32  { return int32(n >> 1) }
+func (n Node) negated() bool { return n&1 == 1 }
+
+// gate is an internal AND gate (or a free variable when isVar).
+type gate struct {
+	a, b  Node
+	isVar bool
+}
+
+// Builder constructs circuits and lowers them to CNF in a sat.Solver.
+type Builder struct {
+	gates   []gate
+	hash    map[[2]Node]Node
+	solver  *sat.Solver
+	satVars []int // gate index -> sat variable (-1 if not materialized)
+}
+
+// NewBuilder returns a Builder that materializes CNF into the given
+// solver.
+func NewBuilder(s *sat.Solver) *Builder {
+	b := &Builder{
+		hash:   make(map[[2]Node]Node),
+		solver: s,
+	}
+	// Gate 0 is the constant true.
+	b.gates = append(b.gates, gate{})
+	b.satVars = append(b.satVars, -1)
+	return b
+}
+
+// NumGates returns the number of structural nodes created (constant
+// and variables included).
+func (b *Builder) NumGates() int { return len(b.gates) }
+
+// Var introduces a fresh free boolean variable node.
+func (b *Builder) Var() Node {
+	idx := int32(len(b.gates))
+	b.gates = append(b.gates, gate{isVar: true})
+	b.satVars = append(b.satVars, -1)
+	return Node(idx << 1)
+}
+
+// Const returns the node for a boolean constant.
+func Const(v bool) Node {
+	if v {
+		return True
+	}
+	return False
+}
+
+// And returns the conjunction of two nodes, with structural hashing
+// and constant folding.
+func (b *Builder) And(x, y Node) Node {
+	// Constant and trivial cases.
+	switch {
+	case x == False || y == False || x == y.Not():
+		return False
+	case x == True:
+		return y
+	case y == True:
+		return x
+	case x == y:
+		return x
+	}
+	if x > y {
+		x, y = y, x
+	}
+	key := [2]Node{x, y}
+	if n, ok := b.hash[key]; ok {
+		return n
+	}
+	idx := int32(len(b.gates))
+	b.gates = append(b.gates, gate{a: x, b: y})
+	b.satVars = append(b.satVars, -1)
+	n := Node(idx << 1)
+	b.hash[key] = n
+	return n
+}
+
+// Or returns the disjunction of two nodes.
+func (b *Builder) Or(x, y Node) Node { return b.And(x.Not(), y.Not()).Not() }
+
+// Xor returns the exclusive or of two nodes.
+func (b *Builder) Xor(x, y Node) Node {
+	// x^y = (x|y) & !(x&y)
+	return b.And(b.Or(x, y), b.And(x, y).Not())
+}
+
+// Iff returns the equivalence of two nodes.
+func (b *Builder) Iff(x, y Node) Node { return b.Xor(x, y).Not() }
+
+// Ite returns if-then-else: c ? t : e.
+func (b *Builder) Ite(c, t, e Node) Node {
+	if c == True {
+		return t
+	}
+	if c == False {
+		return e
+	}
+	if t == e {
+		return t
+	}
+	return b.Or(b.And(c, t), b.And(c.Not(), e))
+}
+
+// Implies returns x -> y.
+func (b *Builder) Implies(x, y Node) Node { return b.Or(x.Not(), y) }
+
+// AndAll folds And over a list (True for the empty list).
+func (b *Builder) AndAll(ns ...Node) Node {
+	acc := True
+	for _, n := range ns {
+		acc = b.And(acc, n)
+	}
+	return acc
+}
+
+// OrAll folds Or over a list (False for the empty list).
+func (b *Builder) OrAll(ns ...Node) Node {
+	acc := False
+	for _, n := range ns {
+		acc = b.Or(acc, n)
+	}
+	return acc
+}
+
+// Lit materializes the node in the solver and returns the SAT literal
+// representing it. Gates are lowered with the Tseitin transformation;
+// shared subcircuits are materialized once.
+func (b *Builder) Lit(n Node) sat.Lit {
+	idx := n.index()
+	if idx == 0 {
+		// Constant: use a dedicated always-true variable.
+		v := b.constVar()
+		return sat.MkLit(v, n.negated())
+	}
+	v := b.materialize(idx)
+	return sat.MkLit(v, n.negated())
+}
+
+func (b *Builder) constVar() int {
+	if b.satVars[0] >= 0 {
+		return b.satVars[0]
+	}
+	v := b.solver.NewVar()
+	b.solver.AddClause(sat.Pos(v))
+	b.satVars[0] = v
+	return v
+}
+
+// materialize returns the SAT variable for gate idx, creating
+// variables and Tseitin clauses for the whole cone as needed. It uses
+// an explicit stack to avoid deep recursion on long mux chains.
+func (b *Builder) materialize(root int32) int {
+	if b.satVars[root] >= 0 {
+		return b.satVars[root]
+	}
+	stack := []int32{root}
+	for len(stack) > 0 {
+		idx := stack[len(stack)-1]
+		g := b.gates[idx]
+		if b.satVars[idx] >= 0 {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		if g.isVar {
+			b.satVars[idx] = b.solver.NewVar()
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		ai, bi := g.a.index(), g.b.index()
+		ready := true
+		if ai != 0 && b.satVars[ai] < 0 {
+			stack = append(stack, ai)
+			ready = false
+		}
+		if bi != 0 && b.satVars[bi] < 0 {
+			stack = append(stack, bi)
+			ready = false
+		}
+		if !ready {
+			continue
+		}
+		stack = stack[:len(stack)-1]
+		la := b.litOfOperand(g.a)
+		lb := b.litOfOperand(g.b)
+		v := b.solver.NewVar()
+		b.satVars[idx] = v
+		// v <-> la & lb
+		b.solver.AddClause(sat.Neg(v), la)
+		b.solver.AddClause(sat.Neg(v), lb)
+		b.solver.AddClause(sat.Pos(v), la.Not(), lb.Not())
+	}
+	return b.satVars[root]
+}
+
+func (b *Builder) litOfOperand(n Node) sat.Lit {
+	idx := n.index()
+	if idx == 0 {
+		return sat.MkLit(b.constVar(), n.negated())
+	}
+	return sat.MkLit(b.satVars[idx], n.negated())
+}
+
+// Assert adds the clause requiring the node to be true.
+func (b *Builder) Assert(n Node) {
+	if n == True {
+		return
+	}
+	b.solver.AddClause(b.Lit(n))
+}
+
+// AssertOr adds a single clause requiring at least one node to hold.
+// This is how blocking clauses and the per-observation exclusion
+// clauses of the inclusion check are emitted without auxiliary gates.
+func (b *Builder) AssertOr(ns ...Node) {
+	lits := make([]sat.Lit, 0, len(ns))
+	for _, n := range ns {
+		if n == True {
+			return // clause trivially satisfied
+		}
+		if n == False {
+			continue
+		}
+		lits = append(lits, b.Lit(n))
+	}
+	b.solver.AddClause(lits...)
+}
+
+// Eval evaluates the node under the solver's current model
+// (valid after a Sat result). Nodes that were never materialized are
+// evaluated structurally.
+func (b *Builder) Eval(n Node) bool {
+	idx := n.index()
+	val := b.evalGate(idx)
+	if n.negated() {
+		return !val
+	}
+	return val
+}
+
+func (b *Builder) evalGate(idx int32) bool {
+	if idx == 0 {
+		return true
+	}
+	if v := b.satVars[idx]; v >= 0 {
+		return b.solver.Value(v)
+	}
+	g := b.gates[idx]
+	if g.isVar {
+		// Unmaterialized free variable: unconstrained, treat as false.
+		return false
+	}
+	av := b.evalGate(g.a.index()) != g.a.negated()
+	if !av {
+		return false
+	}
+	return b.evalGate(g.b.index()) != g.b.negated()
+}

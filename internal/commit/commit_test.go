@@ -1,0 +1,54 @@
+package commit
+
+import (
+	"testing"
+
+	"checkfence/internal/memmodel"
+)
+
+func TestCommitMethodPassesFencedMSN(t *testing.T) {
+	for _, test := range []string{"T0", "Ti2"} {
+		res, err := Check("msn-commit", test, memmodel.Relaxed)
+		if err != nil {
+			t.Fatalf("%s: %v", test, err)
+		}
+		if !res.Pass {
+			t.Errorf("msn-commit/%s on Relaxed must pass the commit-point check (%s)",
+				test, res.Desc)
+		}
+	}
+}
+
+func TestCommitMethodPassesSC(t *testing.T) {
+	res, err := Check("msn-commit", "Tpc2", memmodel.SequentialConsistency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Errorf("msn-commit/Tpc2 on SC must pass: %s", res.Desc)
+	}
+}
+
+func TestCommitMethodCatchesUnfenced(t *testing.T) {
+	// Strip the fences from the annotated source: the commit-point
+	// method must also detect relaxed-memory failures.
+	res, err := Check("msn-commit-nofence", "T0", memmodel.Relaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass {
+		t.Error("unfenced msn-commit/T0 on Relaxed must fail the commit-point check")
+	}
+}
+
+func TestCommitMethodRejectsUnannotated(t *testing.T) {
+	if _, err := Check("msn", "T0", memmodel.Relaxed); err == nil {
+		t.Error("checking an implementation without commit annotations must error")
+	}
+}
+
+func TestCommitMethodRejectsNonQueue(t *testing.T) {
+	if _, err := Check("lazylist", "Sac", memmodel.Relaxed); err == nil {
+		t.Error("non-queue kinds must be rejected")
+	}
+}

@@ -1,0 +1,32 @@
+package commit
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"checkfence/internal/memmodel"
+)
+
+func TestTiming(t *testing.T) {
+	name := os.Getenv("COMMIT_TIMING")
+	if name == "" {
+		t.Skip("set COMMIT_TIMING=test/model")
+	}
+	var test, model string
+	fmt.Sscanf(name, "%s %s", &test, &model)
+	m, err := memmodel.Parse(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := Check("msn-commit", test, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("%s on %v: pass=%v rounds=%d instrs=%d vars=%d clauses=%d enc=%v solve=%v total=%v\n",
+		test, m, res.Pass, res.Stats.BoundRound, res.Stats.Instrs,
+		res.Stats.CNFVars, res.Stats.CNFClauses,
+		res.Stats.EncodeTime, res.Stats.RefuteTime, time.Since(start))
+}

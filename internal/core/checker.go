@@ -1,0 +1,338 @@
+// Package core is the CheckFence driver: it orchestrates the pipeline
+// of Fig. 3 of the paper — build the harness, lazily unroll loops
+// (§3.3), run the range analysis (§3.4), mine the specification
+// (§3.2), and perform the inclusion check, producing either PASS or a
+// counterexample trace.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"checkfence/internal/encode"
+	"checkfence/internal/harness"
+	"checkfence/internal/memmodel"
+	"checkfence/internal/ranges"
+	"checkfence/internal/refimpl"
+	"checkfence/internal/sat"
+	"checkfence/internal/spec"
+	"checkfence/internal/trace"
+)
+
+// SpecSource selects how the observation set is obtained.
+type SpecSource int
+
+const (
+	// SpecSAT mines the set from the implementation itself with the
+	// iterative SAT procedure (the default of §3.2).
+	SpecSAT SpecSource = iota
+	// SpecRef enumerates the set from a small sequential reference
+	// implementation (the paper's fast "refset" path).
+	SpecRef
+)
+
+func (s SpecSource) String() string {
+	if s == SpecRef {
+		return "refset"
+	}
+	return "sat"
+}
+
+// Options configures a check.
+type Options struct {
+	// Model is the memory model of the inclusion check.
+	Model memmodel.Model
+	// DisableRangeAnalysis turns §3.4 off (Fig. 11c comparison).
+	DisableRangeAnalysis bool
+	// SpecSource selects the mining method.
+	SpecSource SpecSource
+	// Spec, when non-nil, supplies a precomputed observation set and
+	// skips mining entirely (the paper notes sets need not be
+	// recomputed after implementation changes).
+	Spec *spec.Set
+	// MaxBoundRounds bounds the lazy loop unrolling iterations.
+	MaxBoundRounds int
+	// InitialBounds seeds the per-loop-instance unrolling bounds.
+	InitialBounds map[string]int
+}
+
+// Stats quantifies one check, mirroring the columns of the paper's
+// Fig. 10 table plus the phase breakdown of Fig. 11b.
+type Stats struct {
+	Instrs int // unrolled instructions
+	Loads  int
+	Stores int
+
+	CNFVars    int // final inclusion-check formula size
+	CNFClauses int
+
+	ObsSetSize     int
+	MineIterations int
+	BoundRounds    int
+
+	ProbeTime   time.Duration // lazy loop bound probes
+	MineTime    time.Duration // specification mining
+	EncodeTime  time.Duration // building the inclusion CNF
+	RefuteTime  time.Duration // SAT solving of the inclusion check
+	TotalTime   time.Duration
+	SolverStats sat.Stats
+
+	// AllocBytes is the total heap allocation of the check, the
+	// memory proxy for the Fig. 10b chart.
+	AllocBytes uint64
+}
+
+// Result is the outcome of a check.
+type Result struct {
+	Impl  string
+	Test  string
+	Model memmodel.Model
+
+	Pass   bool
+	SeqBug bool // a serial execution reaches a runtime error
+	Cex    *trace.Trace
+
+	Spec  *spec.Set
+	Stats Stats
+}
+
+// Check runs CheckFence on an implementation (by registry name) and a
+// test (by Fig. 8 name or notation).
+func Check(implName, testName string, opts Options) (*Result, error) {
+	impl, err := harness.Get(implName)
+	if err != nil {
+		return nil, err
+	}
+	test, err := harness.GetTest(impl, testName)
+	if err != nil {
+		return nil, err
+	}
+	return CheckImpl(impl, test, opts)
+}
+
+// CheckImpl runs CheckFence on explicit implementation and test
+// structures.
+func CheckImpl(impl *harness.Impl, test *harness.Test, opts Options) (*Result, error) {
+	start := time.Now()
+	if opts.MaxBoundRounds <= 0 {
+		opts.MaxBoundRounds = 12
+	}
+	res := &Result{Impl: impl.Name, Test: test.Name, Model: opts.Model}
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	defer func() {
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		res.Stats.AllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
+	}()
+
+	built, err := harness.Build(impl, test)
+	if err != nil {
+		return nil, err
+	}
+
+	// Lazy loop unrolling, in the paper's §3.3 order: run the regular
+	// check restricted to the current bounds first. If it finds a
+	// counterexample, report it — the loop bounds are irrelevant in
+	// that case. Only if the check passes, probe for executions that
+	// exceed the bounds; bounds grow until the probe is refuted, and
+	// the full check then runs once more at the converged bounds
+	// (intermediate bound levels need no full check: they only add
+	// executions, which the final check covers).
+	bounds := map[string]int{}
+	for k, v := range opts.InitialBounds {
+		bounds[k] = v
+	}
+	unrolled, err := built.Unroll(bounds)
+	if err != nil {
+		return nil, err
+	}
+	info := analysisFor(unrolled, opts)
+	res.Stats.BoundRounds = 1
+	done, err := runCheck(res, impl, test, built, unrolled, info, opts, start)
+	if err != nil {
+		return nil, err
+	}
+	if done {
+		return res, nil
+	}
+
+	grewAny := false
+	for round := 0; ; round++ {
+		if round >= opts.MaxBoundRounds {
+			return nil, fmt.Errorf("core: loop bounds did not converge after %d rounds", round)
+		}
+		probeStart := time.Now()
+		grew, err := probeBounds(unrolled, info, probeModel(opts.Model), bounds)
+		res.Stats.ProbeTime += time.Since(probeStart)
+		if err != nil {
+			return nil, err
+		}
+		if !grew {
+			break
+		}
+		grewAny = true
+		res.Stats.BoundRounds = round + 2
+		unrolled, err = built.Unroll(bounds)
+		if err != nil {
+			return nil, err
+		}
+		info = analysisFor(unrolled, opts)
+	}
+	if !grewAny {
+		res.Stats.TotalTime = time.Since(start)
+		return res, nil // initial bounds were already sufficient
+	}
+	if _, err := runCheck(res, impl, test, built, unrolled, info, opts, start); err != nil {
+		return nil, err
+	}
+	res.Stats.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// runCheck performs mining and the inclusion check at the current
+// bounds, filling res. It reports done=true when a counterexample (or
+// sequential bug) was found, in which case bounds need not grow.
+func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
+	built *harness.Built, unrolled *harness.Unrolled, info *ranges.Info,
+	opts Options, start time.Time) (bool, error) {
+
+	res.Stats.Instrs = unrolled.Instrs
+	res.Stats.Loads = unrolled.Loads
+	res.Stats.Stores = unrolled.Stores
+
+	// Specification.
+	mineStart := time.Now()
+	theSpec := opts.Spec
+	if theSpec == nil {
+		var err error
+		switch opts.SpecSource {
+		case SpecRef:
+			theSpec, err = refimpl.Enumerate(impl, test)
+			if err != nil {
+				return false, err
+			}
+		default:
+			serialEnc := encode.New(memmodel.Serial, info)
+			if err := serialEnc.Encode(unrolled.Threads); err != nil {
+				return false, err
+			}
+			serialEnc.AssertNoOverflow()
+			mined, stats, err := spec.Mine(serialEnc, built.Entries)
+			if err != nil {
+				if seqBug, ok := err.(*spec.SeqBugError); ok {
+					res.SeqBug = true
+					res.Pass = false
+					cex := &spec.Counterexample{Obs: seqBug.Obs, IsErr: true,
+						Err: "runtime error in serial execution"}
+					res.Cex = trace.Build(serialEnc, built, unrolled, cex)
+					res.Stats.MineTime += time.Since(mineStart)
+					res.Stats.TotalTime = time.Since(start)
+					return true, nil
+				}
+				return false, err
+			}
+			theSpec = mined
+			res.Stats.MineIterations = stats.Iterations
+		}
+	}
+	res.Spec = theSpec
+	res.Stats.ObsSetSize = theSpec.Len()
+	res.Stats.MineTime += time.Since(mineStart)
+
+	// Inclusion check.
+	encodeStart := time.Now()
+	enc := encode.New(opts.Model, info)
+	if err := enc.Encode(unrolled.Threads); err != nil {
+		return false, err
+	}
+	enc.AssertNoOverflow()
+	res.Stats.EncodeTime += time.Since(encodeStart)
+
+	refuteStart := time.Now()
+	cex, err := spec.CheckInclusion(enc, built.Entries, theSpec)
+	res.Stats.RefuteTime += time.Since(refuteStart)
+	if err != nil {
+		return false, err
+	}
+	st := enc.S.Stats()
+	res.Stats.CNFVars = st.Vars
+	res.Stats.CNFClauses = st.Clauses
+	res.Stats.SolverStats = st
+
+	if cex == nil {
+		res.Pass = true
+		res.Stats.TotalTime = time.Since(start)
+		return false, nil // passed at these bounds; caller probes
+	}
+	res.Pass = false
+	res.Cex = trace.Build(enc, built, unrolled, cex)
+	res.Stats.TotalTime = time.Since(start)
+	return true, nil
+}
+
+func analysisFor(unrolled *harness.Unrolled, opts Options) *ranges.Info {
+	if opts.DisableRangeAnalysis {
+		return ranges.Disabled()
+	}
+	return ranges.Analyze(unrolled.Bodies)
+}
+
+// probeModel selects the model loop-bound probes run under. Probing
+// under Relaxed does not generally terminate: its same-address
+// load-load reordering lets a retry loop re-read a stale value in
+// every iteration, so executions exceeding any finite bound exist
+// (e.g. the fenced msn enqueue on test Ti2). The paper reports all
+// studied loops as statically bounded, which holds under sequential
+// consistency; we therefore determine bounds from the SC executions
+// (which cover all serial executions needed for mining) and perform
+// the relaxed inclusion check within those unrollings. Counterexample
+// search is unaffected in practice — reordering bugs appear within
+// the SC-derived bounds — and any residual incompleteness is inherent
+// to bounded unrolling.
+func probeModel(m memmodel.Model) memmodel.Model {
+	if memmodel.SequentialConsistency.StrongerThan(m) && m != memmodel.SequentialConsistency {
+		return memmodel.SequentialConsistency
+	}
+	return m
+}
+
+// probeBounds checks whether any loop can exceed its current bound
+// under the given model; if so it increments those bounds and reports
+// growth.
+func probeBounds(unrolled *harness.Unrolled,
+	info *ranges.Info, model memmodel.Model, bounds map[string]int) (bool, error) {
+
+	hasMarkers := false
+	for _, li := range unrolled.Loops {
+		if !li.Spin {
+			hasMarkers = true
+			break
+		}
+	}
+	if !hasMarkers {
+		return false, nil
+	}
+	probe := encode.New(model, info)
+	if err := probe.Encode(unrolled.Threads); err != nil {
+		return false, err
+	}
+	probe.AssertSomeOverflow()
+	if probe.S.Solve() != sat.Sat {
+		return false, nil
+	}
+	grew := false
+	for _, id := range probe.OverflowingLoops() {
+		key, ok := unrolled.LoopKey(id)
+		if !ok {
+			return false, fmt.Errorf("core: unknown loop id %d", id)
+		}
+		bounds[key] = unrolled.BoundFor(id) + 1
+		grew = true
+	}
+	if !grew {
+		return false, fmt.Errorf("core: overflow probe satisfiable but no loop flagged")
+	}
+	return true, nil
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"checkfence/internal/memmodel"
+)
+
+func check(t *testing.T, impl, test string, opts Options) *Result {
+	t.Helper()
+	res, err := Check(impl, test, opts)
+	if err != nil {
+		t.Fatalf("Check(%s, %s): %v", impl, test, err)
+	}
+	return res
+}
+
+func TestMSNT0SCPasses(t *testing.T) {
+	res := check(t, "msn", "T0", Options{Model: memmodel.SequentialConsistency})
+	if !res.Pass {
+		t.Fatalf("msn/T0 on SC must pass; cex:\n%v", res.Cex)
+	}
+	if res.Stats.ObsSetSize == 0 {
+		t.Error("observation set must be non-empty")
+	}
+	t.Logf("obs set size=%d instrs=%d loads=%d stores=%d vars=%d clauses=%d",
+		res.Stats.ObsSetSize, res.Stats.Instrs, res.Stats.Loads, res.Stats.Stores,
+		res.Stats.CNFVars, res.Stats.CNFClauses)
+}
+
+func TestMSNT0RelaxedFencedPasses(t *testing.T) {
+	res := check(t, "msn", "T0", Options{Model: memmodel.Relaxed})
+	if !res.Pass {
+		t.Fatalf("fenced msn/T0 on Relaxed must pass; cex:\n%v", res.Cex)
+	}
+}
+
+func TestMSNT0RelaxedUnfencedFails(t *testing.T) {
+	res := check(t, "msn-nofence", "T0", Options{Model: memmodel.Relaxed})
+	if res.Pass {
+		t.Fatal("unfenced msn/T0 on Relaxed must fail")
+	}
+	if res.Cex == nil {
+		t.Fatal("failing check must produce a counterexample trace")
+	}
+	t.Logf("counterexample:\n%s", res.Cex)
+}
+
+func TestMSNRefsetMatchesSATSpec(t *testing.T) {
+	satRes := check(t, "msn", "T0", Options{Model: memmodel.SequentialConsistency, SpecSource: SpecSAT})
+	refRes := check(t, "msn", "T0", Options{Model: memmodel.SequentialConsistency, SpecSource: SpecRef})
+	if !satRes.Spec.Equal(refRes.Spec) {
+		t.Errorf("SAT-mined spec (%d obs) != refset spec (%d obs)\nSAT: %v\nref: %v",
+			satRes.Spec.Len(), refRes.Spec.Len(), satRes.Spec.All(), refRes.Spec.All())
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"checkfence/internal/harness"
+	"checkfence/internal/memmodel"
+)
+
+// TestSerialSelfInclusion: every implementation trivially satisfies
+// its own specification under the Serial model (the inclusion check
+// compares the same execution set the spec was mined from).
+func TestSerialSelfInclusion(t *testing.T) {
+	cases := []struct{ impl, test string }{
+		{"ms2", "T0"},
+		{"msn", "T0"},
+		{"lazylist", "Sac"},
+		{"harris", "Sac"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.impl+"/"+c.test, func(t *testing.T) {
+			t.Parallel()
+			res := check(t, c.impl, c.test, Options{Model: memmodel.Serial})
+			if !res.Pass {
+				t.Errorf("%s/%s under Serial must pass; cex:\n%v", c.impl, c.test, res.Cex)
+			}
+		})
+	}
+}
+
+// TestSCPasses: the fenced implementations are correct under
+// sequential consistency on small tests (paper step 1: "verify whether
+// the algorithm functions correctly on a sequentially consistent
+// memory model").
+func TestSCPasses(t *testing.T) {
+	cases := []struct{ impl, test string }{
+		{"ms2", "T0"},
+		{"ms2", "Ti2"},
+		{"msn", "Ti2"},
+		{"lazylist", "Sac"},
+		{"lazylist", "Sar"},
+		{"harris", "Sac"},
+		{"harris", "Sar"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.impl+"/"+c.test, func(t *testing.T) {
+			t.Parallel()
+			res := check(t, c.impl, c.test, Options{Model: memmodel.SequentialConsistency})
+			if !res.Pass {
+				t.Errorf("%s/%s on SC must pass; cex:\n%v", c.impl, c.test, res.Cex)
+			}
+		})
+	}
+}
+
+// TestRelaxedFencedPasses: with the fences of §4.2 in place, the
+// implementations pass on Relaxed.
+func TestRelaxedFencedPasses(t *testing.T) {
+	cases := []struct{ impl, test string }{
+		{"ms2", "T0"},
+		{"msn", "T0"},
+		{"lazylist", "Sac"},
+		{"harris", "Sac"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.impl+"/"+c.test, func(t *testing.T) {
+			t.Parallel()
+			res := check(t, c.impl, c.test, Options{Model: memmodel.Relaxed})
+			if !res.Pass {
+				t.Errorf("%s/%s on Relaxed must pass; cex:\n%v", c.impl, c.test, res.Cex)
+			}
+		})
+	}
+}
+
+// TestRelaxedUnfencedFails: without fences every implementation
+// fails on the relaxed model (paper §4.2: "all five implementations
+// require extra memory fences").
+func TestRelaxedUnfencedFails(t *testing.T) {
+	cases := []struct{ impl, test string }{
+		{"ms2-nofence", "T0"},
+		{"msn-nofence", "T0"},
+		{"lazylist-nofence", "Sac"},
+		{"harris-nofence", "Sac"},
+		{"snark-nofence", "D0"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.impl+"/"+c.test, func(t *testing.T) {
+			t.Parallel()
+			res := check(t, c.impl, c.test, Options{Model: memmodel.Relaxed})
+			if res.Pass {
+				t.Errorf("%s/%s on Relaxed must fail", c.impl, c.test)
+			}
+		})
+	}
+}
+
+// TestTSOMakesFencesAutomatic verifies the paper's §4.2 observation:
+// "the implementations we studied required only load-load and
+// store-store fences. On some architectures (such as Sun TSO ...)
+// these fences are automatic and the algorithm therefore works
+// without inserting any fences on these architectures."
+func TestTSOMakesFencesAutomatic(t *testing.T) {
+	cases := []struct{ impl, test string }{
+		{"msn-nofence", "T0"},
+		{"msn-nofence", "Ti2"},
+		{"ms2-nofence", "T0"},
+		{"lazylist-nofence", "Sac"},
+		{"harris-nofence", "Sac"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.impl+"/"+c.test, func(t *testing.T) {
+			t.Parallel()
+			res := check(t, c.impl, c.test, Options{Model: memmodel.TSO})
+			if !res.Pass {
+				t.Errorf("%s/%s must pass on TSO (load-load and store-store order is automatic); cex:\n%v",
+					c.impl, c.test, res.Cex)
+			}
+		})
+	}
+}
+
+// TestPSOStillNeedsStoreStoreFences: PSO reorders stores, so the
+// unfenced implementations that need a store-store fence between node
+// initialization and linking fail there — and the fenced versions
+// pass.
+func TestPSOStillNeedsStoreStoreFences(t *testing.T) {
+	res := check(t, "msn-nofence", "T0", Options{Model: memmodel.PSO})
+	if res.Pass {
+		t.Error("unfenced msn must fail on PSO (store-store reordering)")
+	}
+	res = check(t, "msn", "T0", Options{Model: memmodel.PSO})
+	if !res.Pass {
+		t.Errorf("fenced msn must pass on PSO; cex:\n%v", res.Cex)
+	}
+}
+
+// TestSnarkBugOnD0: the snark deque is buggy as published; the first
+// known bug shows up quickly on test D0 even under sequential
+// consistency (paper §4.1).
+func TestSnarkBugOnD0(t *testing.T) {
+	res := check(t, "snark", "D0", Options{Model: memmodel.SequentialConsistency})
+	if res.Pass {
+		t.Fatal("snark/D0 on SC must fail (published algorithm is buggy)")
+	}
+	t.Logf("snark counterexample:\n%v", res.Cex)
+}
+
+// TestUninitializedLockDetected: a lazylist variant whose add() does
+// not initialize the new node's lock must be reported as a sequential
+// bug — the spin-loop assumption reads an undefined value, which must
+// surface as an error rather than silently excluding the execution
+// (regression test for the encoder's assume semantics; the
+// interpreter-based enumeration caught this divergence).
+func TestUninitializedLockDetected(t *testing.T) {
+	base, err := harness.Get("lazylist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := *base
+	v.Name = "lazylist-nolockinit"
+	// Drop the new node's lock initialization inside add() (the
+	// sentinel initializations in init_set must stay).
+	v.Source = strings.Replace(base.Source,
+		"n->next = curr;\n                n->lock = free;",
+		"n->next = curr;", 1)
+	if v.Source == base.Source {
+		t.Fatal("source surgery failed")
+	}
+	test, err := harness.GetTest(&v, "Sar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckImpl(&v, test, Options{Model: memmodel.SequentialConsistency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass {
+		t.Fatal("uninitialized lock must be detected")
+	}
+	if !res.SeqBug {
+		t.Errorf("expected a sequential bug verdict, got %+v", res)
+	}
+}
+
+// TestLazyListInitBug: the published lazylist pseudocode fails to
+// initialize the 'marked' field of new nodes; CheckFence detects the
+// use of the undefined value (paper §4.1, the not-previously-known
+// bug).
+func TestLazyListInitBug(t *testing.T) {
+	res := check(t, "lazylist-bug", "Sac", Options{Model: memmodel.SequentialConsistency})
+	if res.Pass {
+		t.Fatal("lazylist-bug/Sac must fail")
+	}
+	if res.Cex == nil || !res.Cex.IsErr {
+		t.Fatalf("expected an undefined-value runtime error, got:\n%v", res.Cex)
+	}
+	t.Logf("lazylist-bug counterexample:\n%v", res.Cex)
+}

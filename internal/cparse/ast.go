@@ -1,0 +1,311 @@
+package cparse
+
+import "fmt"
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Type is a C type expression.
+type Type interface{ isType() }
+
+// BaseKind enumerates the builtin scalar types the subset supports.
+// All integer flavors share one untyped LSL integer representation.
+type BaseKind int
+
+// Builtin scalar types.
+const (
+	Void BaseKind = iota
+	Int
+	Bool
+	Char
+)
+
+// BaseType is a builtin scalar type.
+type BaseType struct{ Kind BaseKind }
+
+// PtrType is a pointer type.
+type PtrType struct{ Elem Type }
+
+// NamedType refers to a typedef name.
+type NamedType struct{ Name string }
+
+// StructRef refers to a struct by tag (`struct node`).
+type StructRef struct{ Tag string }
+
+// EnumRef refers to an enum by tag.
+type EnumRef struct{ Tag string }
+
+// ArrayType is a fixed-length array.
+type ArrayType struct {
+	Elem Type
+	Len  int64
+}
+
+func (*BaseType) isType()  {}
+func (*PtrType) isType()   {}
+func (*NamedType) isType() {}
+func (*StructRef) isType() {}
+func (*EnumRef) isType()   {}
+func (*ArrayType) isType() {}
+
+// Field is a struct field.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// Decl is a top-level declaration.
+type Decl interface{ isDecl() }
+
+// TypedefDecl introduces a type alias; the aliased type may be an
+// inline struct or enum definition.
+type TypedefDecl struct {
+	Pos  Pos
+	Name string
+	Type Type
+}
+
+// StructDecl defines a struct by tag.
+type StructDecl struct {
+	Pos    Pos
+	Tag    string
+	Fields []Field
+}
+
+// EnumDecl defines an enum; constants get ascending values from 0.
+type EnumDecl struct {
+	Pos   Pos
+	Tag   string
+	Names []string
+}
+
+// VarDecl declares a global variable.
+type VarDecl struct {
+	Pos  Pos
+	Name string
+	Type Type
+}
+
+// FuncDecl declares or defines a function. Body is nil for extern
+// declarations.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Ret    Type
+	Params []Param
+	Body   *BlockStmt
+	Extern bool
+}
+
+func (*TypedefDecl) isDecl() {}
+func (*StructDecl) isDecl()  {}
+func (*EnumDecl) isDecl()    {}
+func (*VarDecl) isDecl()     {}
+func (*FuncDecl) isDecl()    {}
+
+// File is a parsed translation unit.
+type File struct {
+	Decls []Decl
+}
+
+// Stmt is a statement.
+type Stmt interface{ StmtPos() Pos }
+
+// ExprStmt is an expression used as a statement.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// DeclStmt declares local variables (one statement per declarator).
+type DeclStmt struct {
+	Pos  Pos
+	Name string
+	Type Type
+	Init Expr // may be nil
+}
+
+// DeclGroup bundles the declarators of one declaration statement
+// (`int *a, *b;`). Unlike BlockStmt it does not open a scope.
+type DeclGroup struct {
+	Pos  Pos
+	List []*DeclStmt
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt covers while and do-while loops.
+type WhileStmt struct {
+	Pos     Pos
+	Cond    Expr
+	Body    Stmt
+	DoWhile bool
+}
+
+// ForStmt is a for loop; Init/Cond/Post may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// ReturnStmt returns from a function; X may be nil.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt repeats the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// BlockStmt is a braced statement list.
+type BlockStmt struct {
+	Pos  Pos
+	List []Stmt
+}
+
+// AtomicStmt is the paper's atomic block extension: its body executes
+// in program order without interleaving from other threads.
+type AtomicStmt struct {
+	Pos  Pos
+	Body *BlockStmt
+}
+
+// EmptyStmt is a stray semicolon.
+type EmptyStmt struct{ Pos Pos }
+
+func (s *ExprStmt) StmtPos() Pos     { return s.Pos }
+func (s *DeclStmt) StmtPos() Pos     { return s.Pos }
+func (s *DeclGroup) StmtPos() Pos    { return s.Pos }
+func (s *IfStmt) StmtPos() Pos       { return s.Pos }
+func (s *WhileStmt) StmtPos() Pos    { return s.Pos }
+func (s *ForStmt) StmtPos() Pos      { return s.Pos }
+func (s *ReturnStmt) StmtPos() Pos   { return s.Pos }
+func (s *BreakStmt) StmtPos() Pos    { return s.Pos }
+func (s *ContinueStmt) StmtPos() Pos { return s.Pos }
+func (s *BlockStmt) StmtPos() Pos    { return s.Pos }
+func (s *AtomicStmt) StmtPos() Pos   { return s.Pos }
+func (s *EmptyStmt) StmtPos() Pos    { return s.Pos }
+
+// Expr is an expression.
+type Expr interface{ ExprPos() Pos }
+
+// Ident is a name reference (variable, enum constant, or function).
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	Val int64
+}
+
+// StringLit is a string literal (only used as fence() argument).
+type StringLit struct {
+	Pos Pos
+	Val string
+}
+
+// BinaryExpr is a binary operation; Op is the source operator text.
+// Logical && and || have short-circuit semantics.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   string
+	X, Y Expr
+}
+
+// UnaryExpr is a prefix operation: one of ! - * & ~.
+type UnaryExpr struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// AssignExpr assigns Rhs to the lvalue Lhs. Op is "=", "+=", or "-=".
+type AssignExpr struct {
+	Pos Pos
+	Op  string
+	Lhs Expr
+	Rhs Expr
+}
+
+// IncDecExpr is a postfix or prefix ++/--.
+type IncDecExpr struct {
+	Pos Pos
+	Op  string // "++" or "--"
+	X   Expr
+}
+
+// CallExpr calls a named function.
+type CallExpr struct {
+	Pos  Pos
+	Fun  string
+	Args []Expr
+}
+
+// MemberExpr accesses a struct field: X.Name or X->Name.
+type MemberExpr struct {
+	Pos   Pos
+	X     Expr
+	Name  string
+	Arrow bool
+}
+
+// IndexExpr is array indexing X[Index].
+type IndexExpr struct {
+	Pos   Pos
+	X     Expr
+	Index Expr
+}
+
+// CastExpr is a C cast. Since LSL is untyped, the translator treats
+// casts as the identity, but keeps them in the AST for fidelity.
+type CastExpr struct {
+	Pos  Pos
+	Type Type
+	X    Expr
+}
+
+// CondExpr is the ternary conditional.
+type CondExpr struct {
+	Pos        Pos
+	Cond       Expr
+	Then, Else Expr
+}
+
+func (e *Ident) ExprPos() Pos      { return e.Pos }
+func (e *IntLit) ExprPos() Pos     { return e.Pos }
+func (e *StringLit) ExprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) ExprPos() Pos { return e.Pos }
+func (e *UnaryExpr) ExprPos() Pos  { return e.Pos }
+func (e *AssignExpr) ExprPos() Pos { return e.Pos }
+func (e *IncDecExpr) ExprPos() Pos { return e.Pos }
+func (e *CallExpr) ExprPos() Pos   { return e.Pos }
+func (e *MemberExpr) ExprPos() Pos { return e.Pos }
+func (e *IndexExpr) ExprPos() Pos  { return e.Pos }
+func (e *CastExpr) ExprPos() Pos   { return e.Pos }
+func (e *CondExpr) ExprPos() Pos   { return e.Pos }

@@ -1,0 +1,869 @@
+package cparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser for the C subset.
+type Parser struct {
+	toks     []Token
+	pos      int
+	typedefs map[string]bool
+}
+
+// Parse parses a translation unit.
+func Parse(src string) (*File, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, typedefs: map[string]bool{}}
+	file := &File{}
+	for !p.at(TokEOF, "") {
+		d, err := p.parseTopDecl()
+		if err != nil {
+			return nil, err
+		}
+		if d != nil {
+			file.Decls = append(file.Decls, d)
+		}
+	}
+	return file, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *Parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind TokKind, text string) (Token, error) {
+	if !p.at(kind, text) {
+		return Token{}, p.errf("expected %q, found %s", text, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	t := p.cur()
+	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) posOf(t Token) Pos { return Pos{Line: t.Line, Col: t.Col} }
+
+// atTypeStart reports whether the current token begins a type.
+func (p *Parser) atTypeStart() bool {
+	t := p.cur()
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "void", "int", "unsigned", "long", "char", "bool", "short",
+			"signed", "struct", "enum", "const", "volatile":
+			return true
+		}
+		return false
+	}
+	return t.Kind == TokIdent && p.typedefs[t.Text]
+}
+
+// parseTypeSpec parses a type specifier (without declarator stars).
+// Inline struct/enum bodies produce auxiliary declarations appended to
+// aux.
+func (p *Parser) parseTypeSpec(aux *[]Decl) (Type, error) {
+	// Skip qualifiers.
+	for p.accept(TokKeyword, "const") || p.accept(TokKeyword, "volatile") ||
+		p.accept(TokKeyword, "static") {
+	}
+	t := p.cur()
+	switch {
+	case p.accept(TokKeyword, "void"):
+		return &BaseType{Kind: Void}, nil
+	case p.accept(TokKeyword, "bool"):
+		return &BaseType{Kind: Bool}, nil
+	case p.accept(TokKeyword, "char"):
+		return &BaseType{Kind: Char}, nil
+	case t.Kind == TokKeyword && isIntKeyword(t.Text):
+		for isIntKeyword(p.cur().Text) && p.cur().Kind == TokKeyword {
+			p.next()
+		}
+		return &BaseType{Kind: Int}, nil
+	case p.accept(TokKeyword, "struct"):
+		return p.parseStructRef(aux)
+	case p.accept(TokKeyword, "enum"):
+		return p.parseEnumRef(aux)
+	case t.Kind == TokIdent && p.typedefs[t.Text]:
+		p.next()
+		return &NamedType{Name: t.Text}, nil
+	}
+	return nil, p.errf("expected type, found %s", t)
+}
+
+func isIntKeyword(s string) bool {
+	switch s {
+	case "int", "unsigned", "long", "short", "signed":
+		return true
+	}
+	return false
+}
+
+var anonCounter int
+
+func (p *Parser) parseStructRef(aux *[]Decl) (Type, error) {
+	tag := ""
+	if p.at(TokIdent, "") {
+		tag = p.next().Text
+	}
+	if p.accept(TokPunct, "{") {
+		if tag == "" {
+			anonCounter++
+			tag = fmt.Sprintf("$anon%d", anonCounter)
+		}
+		var fields []Field
+		for !p.accept(TokPunct, "}") {
+			ft, err := p.parseTypeSpec(aux)
+			if err != nil {
+				return nil, err
+			}
+			for {
+				typ := ft
+				for p.accept(TokPunct, "*") {
+					typ = &PtrType{Elem: typ}
+				}
+				nameTok, err := p.expect(TokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				typ, err = p.parseArraySuffix(typ)
+				if err != nil {
+					return nil, err
+				}
+				fields = append(fields, Field{Name: nameTok.Text, Type: typ})
+				if !p.accept(TokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		*aux = append(*aux, &StructDecl{Tag: tag, Fields: fields})
+	}
+	if tag == "" {
+		return nil, p.errf("struct requires a tag or a body")
+	}
+	return &StructRef{Tag: tag}, nil
+}
+
+func (p *Parser) parseEnumRef(aux *[]Decl) (Type, error) {
+	tag := ""
+	if p.at(TokIdent, "") {
+		tag = p.next().Text
+	}
+	if p.accept(TokPunct, "{") {
+		if tag == "" {
+			anonCounter++
+			tag = fmt.Sprintf("$anonenum%d", anonCounter)
+		}
+		var names []string
+		for !p.accept(TokPunct, "}") {
+			nameTok, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			names = append(names, nameTok.Text)
+			if !p.accept(TokPunct, ",") {
+				if _, err := p.expect(TokPunct, "}"); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+		*aux = append(*aux, &EnumDecl{Tag: tag, Names: names})
+	}
+	if tag == "" {
+		return nil, p.errf("enum requires a tag or a body")
+	}
+	return &EnumRef{Tag: tag}, nil
+}
+
+func (p *Parser) parseArraySuffix(t Type) (Type, error) {
+	for p.accept(TokPunct, "[") {
+		numTok, err := p.expect(TokInt, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := parseIntLit(numTok.Text)
+		if err != nil {
+			return nil, p.errf("bad array length %q", numTok.Text)
+		}
+		if _, err := p.expect(TokPunct, "]"); err != nil {
+			return nil, err
+		}
+		t = &ArrayType{Elem: t, Len: n}
+	}
+	return t, nil
+}
+
+func parseIntLit(s string) (int64, error) {
+	s = strings.TrimRight(s, "uUlL")
+	return strconv.ParseInt(s, 0, 64)
+}
+
+func (p *Parser) parseTopDecl() (Decl, error) {
+	start := p.cur()
+	extern := p.accept(TokKeyword, "extern")
+
+	if p.accept(TokKeyword, "typedef") {
+		var aux []Decl
+		base, err := p.parseTypeSpec(&aux)
+		if err != nil {
+			return nil, err
+		}
+		typ := base
+		for p.accept(TokPunct, "*") {
+			typ = &PtrType{Elem: typ}
+		}
+		nameTok, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		typ, err = p.parseArraySuffix(typ)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		p.typedefs[nameTok.Text] = true
+		td := &TypedefDecl{Pos: p.posOf(start), Name: nameTok.Text, Type: typ}
+		return wrapAux(aux, td), nil
+	}
+
+	var aux []Decl
+	base, err := p.parseTypeSpec(&aux)
+	if err != nil {
+		return nil, err
+	}
+	// Bare struct/enum definition: `struct node { ... };`
+	if p.accept(TokPunct, ";") {
+		return wrapAux(aux, nil), nil
+	}
+
+	typ := base
+	for p.accept(TokPunct, "*") {
+		typ = &PtrType{Elem: typ}
+	}
+	nameTok, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+
+	if p.accept(TokPunct, "(") {
+		params, err := p.parseParams()
+		if err != nil {
+			return nil, err
+		}
+		fd := &FuncDecl{
+			Pos: p.posOf(start), Name: nameTok.Text, Ret: typ,
+			Params: params, Extern: extern,
+		}
+		if p.accept(TokPunct, ";") {
+			fd.Extern = true
+			return wrapAux(aux, fd), nil
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		fd.Body = body
+		return wrapAux(aux, fd), nil
+	}
+
+	// Global variable(s).
+	var decls []Decl
+	typ, err = p.parseArraySuffix(typ)
+	if err != nil {
+		return nil, err
+	}
+	decls = append(decls, &VarDecl{Pos: p.posOf(start), Name: nameTok.Text, Type: typ})
+	for p.accept(TokPunct, ",") {
+		t2 := base
+		for p.accept(TokPunct, "*") {
+			t2 = &PtrType{Elem: t2}
+		}
+		n2, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		t2, err = p.parseArraySuffix(t2)
+		if err != nil {
+			return nil, err
+		}
+		decls = append(decls, &VarDecl{Pos: p.posOf(n2), Name: n2.Text, Type: t2})
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return wrapAux(append(aux, decls...), nil), nil
+}
+
+// declGroup bundles several declarations produced by one syntactic
+// construct (e.g. a typedef with an inline struct body).
+type declGroup struct{ Decls []Decl }
+
+func (*declGroup) isDecl() {}
+
+func wrapAux(aux []Decl, main Decl) Decl {
+	if main != nil {
+		aux = append(aux, main)
+	}
+	if len(aux) == 1 {
+		return aux[0]
+	}
+	return &declGroup{Decls: aux}
+}
+
+// Flatten expands declaration groups into a flat list.
+func (f *File) Flatten() []Decl {
+	var out []Decl
+	var walk func(d Decl)
+	walk = func(d Decl) {
+		if g, ok := d.(*declGroup); ok {
+			for _, dd := range g.Decls {
+				walk(dd)
+			}
+			return
+		}
+		out = append(out, d)
+	}
+	for _, d := range f.Decls {
+		walk(d)
+	}
+	return out
+}
+
+func (p *Parser) parseParams() ([]Param, error) {
+	var params []Param
+	if p.accept(TokPunct, ")") {
+		return params, nil
+	}
+	if p.at(TokKeyword, "void") && p.toks[p.pos+1].Text == ")" {
+		p.next()
+		p.next()
+		return params, nil
+	}
+	for {
+		var aux []Decl
+		base, err := p.parseTypeSpec(&aux)
+		if err != nil {
+			return nil, err
+		}
+		typ := base
+		for p.accept(TokPunct, "*") {
+			typ = &PtrType{Elem: typ}
+		}
+		name := ""
+		if p.at(TokIdent, "") {
+			name = p.next().Text
+		}
+		params = append(params, Param{Name: name, Type: typ})
+		if !p.accept(TokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return params, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lbrace, err := p.expect(TokPunct, "{")
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: p.posOf(lbrace)}
+	for !p.accept(TokPunct, "}") {
+		if p.at(TokEOF, "") {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.List = append(blk.List, s)
+	}
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	pos := p.posOf(t)
+	switch {
+	case p.at(TokPunct, "{"):
+		return p.parseBlock()
+
+	case p.accept(TokPunct, ";"):
+		return &EmptyStmt{Pos: pos}, nil
+
+	case p.accept(TokKeyword, "atomic"):
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &AtomicStmt{Pos: pos, Body: body}, nil
+
+	case p.accept(TokKeyword, "if"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.accept(TokKeyword, "else") {
+			els, err = p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Pos: pos, Cond: cond, Then: then, Else: els}, nil
+
+	case p.accept(TokKeyword, "while"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+
+	case p.accept(TokKeyword, "do"):
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "while"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: pos, Cond: cond, Body: body, DoWhile: true}, nil
+
+	case p.accept(TokKeyword, "for"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		var init Stmt
+		if !p.accept(TokPunct, ";") {
+			var err error
+			init, err = p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		var cond Expr
+		if !p.at(TokPunct, ";") {
+			var err error
+			cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		var post Expr
+		if !p.at(TokPunct, ")") {
+			var err error
+			post, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Pos: pos, Init: init, Cond: cond, Post: post, Body: body}, nil
+
+	case p.accept(TokKeyword, "return"):
+		var x Expr
+		if !p.at(TokPunct, ";") {
+			var err error
+			x, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Pos: pos, X: x}, nil
+
+	case p.accept(TokKeyword, "break"):
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: pos}, nil
+
+	case p.accept(TokKeyword, "continue"):
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: pos}, nil
+	}
+
+	s, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseSimpleStmt parses a declaration or expression statement without
+// the trailing semicolon (shared with for-loop initializers). Multiple
+// declarators become a BlockStmt of DeclStmts.
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	pos := p.posOf(p.cur())
+	if p.atTypeStart() {
+		var aux []Decl
+		base, err := p.parseTypeSpec(&aux)
+		if err != nil {
+			return nil, err
+		}
+		if len(aux) > 0 {
+			return nil, p.errf("inline struct/enum definitions are not allowed in function bodies")
+		}
+		var decls []*DeclStmt
+		for {
+			typ := base
+			for p.accept(TokPunct, "*") {
+				typ = &PtrType{Elem: typ}
+			}
+			nameTok, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			typ, err = p.parseArraySuffix(typ)
+			if err != nil {
+				return nil, err
+			}
+			var init Expr
+			if p.accept(TokPunct, "=") {
+				init, err = p.parseAssign()
+				if err != nil {
+					return nil, err
+				}
+			}
+			decls = append(decls, &DeclStmt{
+				Pos: p.posOf(nameTok), Name: nameTok.Text, Type: typ, Init: init,
+			})
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+		if len(decls) == 1 {
+			return decls[0], nil
+		}
+		return &DeclGroup{Pos: pos, List: decls}, nil
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: pos, X: x}, nil
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+func (p *Parser) parseAssign() (Expr, error) {
+	lhs, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "+=", "-="} {
+		if p.at(TokPunct, op) {
+			opTok := p.next()
+			rhs, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignExpr{Pos: p.posOf(opTok), Op: op, Lhs: lhs, Rhs: rhs}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokPunct, "?") {
+		return cond, nil
+	}
+	qTok := p.next()
+	then, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ":"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Pos: p.posOf(qTok), Cond: cond, Then: then, Else: els}, nil
+}
+
+var binaryLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *Parser) parseBinary(level int) (Expr, error) {
+	if level >= len(binaryLevels) {
+		return p.parseUnary()
+	}
+	x, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range binaryLevels[level] {
+			if p.at(TokPunct, op) {
+				opTok := p.next()
+				y, err := p.parseBinary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				x = &BinaryExpr{Pos: p.posOf(opTok), Op: op, X: x, Y: y}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	pos := p.posOf(t)
+	for _, op := range []string{"!", "-", "*", "&", "~"} {
+		if p.at(TokPunct, op) {
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Pos: pos, Op: op, X: x}, nil
+		}
+	}
+	if p.at(TokPunct, "++") || p.at(TokPunct, "--") {
+		opTok := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &IncDecExpr{Pos: p.posOf(opTok), Op: opTok.Text, X: x}, nil
+	}
+	// Cast: '(' type ')' unary.
+	if p.at(TokPunct, "(") {
+		save := p.pos
+		p.next()
+		if p.atTypeStart() {
+			var aux []Decl
+			typ, err := p.parseTypeSpec(&aux)
+			if err == nil && len(aux) == 0 {
+				for p.accept(TokPunct, "*") {
+					typ = &PtrType{Elem: typ}
+				}
+				if p.accept(TokPunct, ")") {
+					x, err := p.parseUnary()
+					if err != nil {
+						return nil, err
+					}
+					return &CastExpr{Pos: pos, Type: typ, X: x}, nil
+				}
+			}
+		}
+		p.pos = save
+	}
+	if p.accept(TokKeyword, "sizeof") {
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		var aux []Decl
+		if _, err := p.parseTypeSpec(&aux); err != nil {
+			return nil, err
+		}
+		for p.accept(TokPunct, "*") {
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		// Allocation is object-granular in LSL; sizeof is 1 slot.
+		return &IntLit{Pos: pos, Val: 1}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		pos := p.posOf(t)
+		switch {
+		case p.accept(TokPunct, "->"):
+			nameTok, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			x = &MemberExpr{Pos: pos, X: x, Name: nameTok.Text, Arrow: true}
+		case p.accept(TokPunct, "."):
+			nameTok, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			x = &MemberExpr{Pos: pos, X: x, Name: nameTok.Text}
+		case p.accept(TokPunct, "["):
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{Pos: pos, X: x, Index: idx}
+		case p.at(TokPunct, "++") || p.at(TokPunct, "--"):
+			opTok := p.next()
+			x = &IncDecExpr{Pos: p.posOf(opTok), Op: opTok.Text, X: x}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	pos := p.posOf(t)
+	switch {
+	case t.Kind == TokInt:
+		p.next()
+		v, err := parseIntLit(t.Text)
+		if err != nil {
+			return nil, p.errf("bad integer literal %q", t.Text)
+		}
+		return &IntLit{Pos: pos, Val: v}, nil
+
+	case t.Kind == TokString:
+		p.next()
+		return &StringLit{Pos: pos, Val: t.Text}, nil
+
+	case p.accept(TokKeyword, "true"):
+		return &IntLit{Pos: pos, Val: 1}, nil
+	case p.accept(TokKeyword, "false"):
+		return &IntLit{Pos: pos, Val: 0}, nil
+	case p.accept(TokKeyword, "null") || p.accept(TokKeyword, "NULL"):
+		return &IntLit{Pos: pos, Val: 0}, nil
+
+	case t.Kind == TokIdent:
+		p.next()
+		if p.accept(TokPunct, "(") {
+			var args []Expr
+			if !p.accept(TokPunct, ")") {
+				for {
+					a, err := p.parseAssign()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(TokPunct, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(TokPunct, ")"); err != nil {
+					return nil, err
+				}
+			}
+			return &CallExpr{Pos: pos, Fun: t.Text, Args: args}, nil
+		}
+		return &Ident{Pos: pos, Name: t.Text}, nil
+
+	case p.accept(TokPunct, "("):
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errf("unexpected token %s in expression", t)
+}

@@ -1,0 +1,396 @@
+package cparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize(`int x = 0x1F; // comment
+/* block
+   comment */ p->next != NULL && y >= 2;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		if tok.Kind == TokEOF {
+			break
+		}
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"int", "x", "=", "0x1F", ";", "p", "->", "next",
+		"!=", "NULL", "&&", "y", ">=", "2", ";"}
+	if strings.Join(texts, " ") != strings.Join(want, " ") {
+		t.Errorf("tokens = %v, want %v", texts, want)
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, err := Tokenize("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("b at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestTokenizeString(t *testing.T) {
+	toks, err := Tokenize(`fence("store-store");`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != TokString || toks[2].Text != "store-store" {
+		t.Errorf("string token = %+v", toks[2])
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	if _, err := Tokenize("/* unterminated"); err == nil {
+		t.Error("expected error for unterminated comment")
+	}
+	if _, err := Tokenize(`"unterminated`); err == nil {
+		t.Error("expected error for unterminated string")
+	}
+	if _, err := Tokenize("int @ x;"); err == nil {
+		t.Error("expected error for stray character")
+	}
+}
+
+const msnSnippet = `
+typedef int value_t;
+typedef struct node {
+    struct node *next;
+    value_t value;
+} node_t;
+typedef struct queue {
+    node_t *head;
+    node_t *tail;
+} queue_t;
+
+extern void fence(char *type);
+extern int cas(void *loc, unsigned old, unsigned new);
+extern node_t *new_node();
+extern void delete_node(node_t *node);
+
+queue_t q;
+
+void init_queue(queue_t *queue)
+{
+    node_t *node = new_node();
+    node->next = 0;
+    queue->head = queue->tail = node;
+}
+
+void enqueue(queue_t *queue, value_t value)
+{
+    node_t *node, *tail, *next;
+    node = new_node();
+    node->value = value;
+    node->next = 0;
+    fence("store-store");
+    while (true) {
+        tail = queue->tail;
+        fence("load-load");
+        next = tail->next;
+        if (tail == queue->tail)
+            if (next == 0) {
+                if (cas(&tail->next, (unsigned) next, (unsigned) node))
+                    break;
+            } else
+                cas(&queue->tail, (unsigned) tail, (unsigned) next);
+    }
+    cas(&queue->tail, (unsigned) tail, (unsigned) node);
+}
+
+bool dequeue(queue_t *queue, value_t *pvalue)
+{
+    node_t *head, *tail, *next;
+    while (true) {
+        head = queue->head;
+        tail = queue->tail;
+        next = head->next;
+        if (head == queue->head) {
+            if (head == tail) {
+                if (next == 0)
+                    return false;
+                cas(&queue->tail, (unsigned) tail, (unsigned) next);
+            } else {
+                *pvalue = next->value;
+                if (cas(&queue->head, (unsigned) head, (unsigned) next))
+                    break;
+            }
+        }
+    }
+    delete_node(head);
+    return true;
+}
+`
+
+func TestParseMSNQueue(t *testing.T) {
+	f, err := Parse(msnSnippet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decls := f.Flatten()
+	var structs, typedefs, funcs, externs, globals int
+	names := map[string]bool{}
+	for _, d := range decls {
+		switch d := d.(type) {
+		case *StructDecl:
+			structs++
+		case *TypedefDecl:
+			typedefs++
+		case *FuncDecl:
+			if d.Extern {
+				externs++
+			} else {
+				funcs++
+			}
+			names[d.Name] = true
+		case *VarDecl:
+			globals++
+		}
+	}
+	if structs != 2 || typedefs != 3 || funcs != 3 || externs != 4 || globals != 1 {
+		t.Errorf("decl counts: structs=%d typedefs=%d funcs=%d externs=%d globals=%d",
+			structs, typedefs, funcs, externs, globals)
+	}
+	for _, n := range []string{"init_queue", "enqueue", "dequeue"} {
+		if !names[n] {
+			t.Errorf("missing function %s", n)
+		}
+	}
+}
+
+func TestParseChainedAssignment(t *testing.T) {
+	f, err := Parse(`
+typedef struct q { int *head; int *tail; } q_t;
+void f(q_t *p, int *n) { p->head = p->tail = n; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := findFunc(t, f, "f")
+	es, ok := fn.Body.List[0].(*ExprStmt)
+	if !ok {
+		t.Fatalf("stmt = %T", fn.Body.List[0])
+	}
+	outer, ok := es.X.(*AssignExpr)
+	if !ok {
+		t.Fatalf("expr = %T", es.X)
+	}
+	if _, ok := outer.Rhs.(*AssignExpr); !ok {
+		t.Fatalf("assignment must be right associative, rhs = %T", outer.Rhs)
+	}
+}
+
+func findFunc(t *testing.T, f *File, name string) *FuncDecl {
+	t.Helper()
+	for _, d := range f.Flatten() {
+		if fd, ok := d.(*FuncDecl); ok && fd.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f, err := Parse(`void f(int a, int b, int c) { int x = a + b * c == a && b < c; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := findFunc(t, f, "f")
+	ds := fn.Body.List[0].(*DeclStmt)
+	// Expect: ((a + (b*c)) == a) && (b < c)
+	and, ok := ds.Init.(*BinaryExpr)
+	if !ok || and.Op != "&&" {
+		t.Fatalf("top = %#v", ds.Init)
+	}
+	eq, ok := and.X.(*BinaryExpr)
+	if !ok || eq.Op != "==" {
+		t.Fatalf("lhs = %#v", and.X)
+	}
+	add, ok := eq.X.(*BinaryExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("eq lhs = %#v", eq.X)
+	}
+	mul, ok := add.Y.(*BinaryExpr)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("add rhs = %#v", add.Y)
+	}
+	lt, ok := and.Y.(*BinaryExpr)
+	if !ok || lt.Op != "<" {
+		t.Fatalf("rhs = %#v", and.Y)
+	}
+}
+
+func TestParseCastVsParen(t *testing.T) {
+	f, err := Parse(`
+typedef int myint;
+void f(int a) { int x = (myint) a; int y = (a) + 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := findFunc(t, f, "f")
+	dx := fn.Body.List[0].(*DeclStmt)
+	if _, ok := dx.Init.(*CastExpr); !ok {
+		t.Errorf("(myint)a should be a cast, got %T", dx.Init)
+	}
+	dy := fn.Body.List[1].(*DeclStmt)
+	if _, ok := dy.Init.(*BinaryExpr); !ok {
+		t.Errorf("(a)+1 should be binary, got %T", dy.Init)
+	}
+}
+
+func TestParseAtomicBlock(t *testing.T) {
+	f, err := Parse(`
+bool cas(unsigned *loc, unsigned old, unsigned new) {
+    atomic {
+        if (*loc == old) {
+            *loc = new;
+            return true;
+        } else {
+            return false;
+        }
+    }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := findFunc(t, f, "cas")
+	if _, ok := fn.Body.List[0].(*AtomicStmt); !ok {
+		t.Fatalf("expected atomic stmt, got %T", fn.Body.List[0])
+	}
+}
+
+func TestParseEnumAndDoWhile(t *testing.T) {
+	f, err := Parse(`
+typedef enum { free, held } lock_t;
+void lock(lock_t *lock) {
+    lock_t val;
+    do {
+        atomic { val = *lock; *lock = held; }
+    } while (val != free);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enum *EnumDecl
+	for _, d := range f.Flatten() {
+		if e, ok := d.(*EnumDecl); ok {
+			enum = e
+		}
+	}
+	if enum == nil || len(enum.Names) != 2 || enum.Names[0] != "free" {
+		t.Fatalf("enum = %+v", enum)
+	}
+	fn := findFunc(t, f, "lock")
+	w, ok := fn.Body.List[1].(*WhileStmt)
+	if !ok || !w.DoWhile {
+		t.Fatalf("expected do-while, got %#v", fn.Body.List[1])
+	}
+}
+
+func TestParseForAndArrays(t *testing.T) {
+	f, err := Parse(`
+int a[10];
+void f() {
+    int i;
+    for (i = 0; i < 10; i = i + 1) {
+        a[i] = i;
+    }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g *VarDecl
+	for _, d := range f.Flatten() {
+		if v, ok := d.(*VarDecl); ok {
+			g = v
+		}
+	}
+	arr, ok := g.Type.(*ArrayType)
+	if !ok || arr.Len != 10 {
+		t.Fatalf("global type = %#v", g.Type)
+	}
+	fn := findFunc(t, f, "f")
+	if _, ok := fn.Body.List[1].(*ForStmt); !ok {
+		t.Fatalf("expected for, got %T", fn.Body.List[1])
+	}
+}
+
+func TestParseTernaryAndUnary(t *testing.T) {
+	f, err := Parse(`int f(int a, int b) { return a ? -a : !b; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := findFunc(t, f, "f")
+	ret := fn.Body.List[0].(*ReturnStmt)
+	c, ok := ret.X.(*CondExpr)
+	if !ok {
+		t.Fatalf("return expr = %T", ret.X)
+	}
+	if u, ok := c.Then.(*UnaryExpr); !ok || u.Op != "-" {
+		t.Errorf("then = %#v", c.Then)
+	}
+	if u, ok := c.Else.(*UnaryExpr); !ok || u.Op != "!" {
+		t.Errorf("else = %#v", c.Else)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"void f( {",
+		"int ;;; = 3",
+		"void f() { if (x { } }",
+		"void f() { return 1 }",
+		"struct;",
+		"void f() { x = ; }",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		} else if _, ok := err.(*Error); !ok {
+			t.Errorf("Parse(%q) error type %T", src, err)
+		}
+	}
+}
+
+func TestParseIncDec(t *testing.T) {
+	f, err := Parse(`void f(int i) { i++; ++i; i--; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := findFunc(t, f, "f")
+	if len(fn.Body.List) != 3 {
+		t.Fatalf("stmts = %d", len(fn.Body.List))
+	}
+	for i, s := range fn.Body.List {
+		es := s.(*ExprStmt)
+		if _, ok := es.X.(*IncDecExpr); !ok {
+			t.Errorf("stmt %d = %T", i, es.X)
+		}
+	}
+}
+
+func TestParseSizeofIsOneSlot(t *testing.T) {
+	f, err := Parse(`
+typedef struct n { int v; } n_t;
+extern void *malloc(int size);
+void f() { void *p = malloc(sizeof(n_t)); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := findFunc(t, f, "f")
+	ds := fn.Body.List[0].(*DeclStmt)
+	call := ds.Init.(*CallExpr)
+	lit, ok := call.Args[0].(*IntLit)
+	if !ok || lit.Val != 1 {
+		t.Errorf("sizeof arg = %#v", call.Args[0])
+	}
+}

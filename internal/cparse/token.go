@@ -1,0 +1,238 @@
+// Package cparse implements a lexer and recursive-descent parser for
+// the subset of C that the CheckFence study set uses. It replaces the
+// CIL front-end of the paper's prototype.
+//
+// Supported: typedefs, struct and enum declarations, pointers,
+// arrays, global and local variable declarations, extern function
+// declarations, function definitions, if/while/do-while/for control
+// flow, return/break/continue, assignment, the usual arithmetic,
+// relational, and logical operators with short-circuit semantics,
+// casts, address-of on globals, and the paper's extensions: an
+// `atomic { ... }` statement (used to model compare-and-swap and
+// locks, Figs. 6-7) and calls to the special functions fence(),
+// assert(), assume(), new_node()/malloc(), and nondet().
+package cparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokString
+	TokKeyword
+	TokPunct
+)
+
+// Token is a lexical token with source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+var keywords = map[string]bool{
+	"typedef": true, "struct": true, "enum": true, "union": true,
+	"void": true, "int": true, "unsigned": true, "long": true,
+	"char": true, "bool": true, "short": true, "signed": true,
+	"if": true, "else": true, "while": true, "do": true, "for": true,
+	"return": true, "break": true, "continue": true,
+	"extern": true, "static": true, "const": true, "volatile": true,
+	"true": true, "false": true, "atomic": true, "sizeof": true,
+	"null": true, "NULL": true,
+}
+
+var punctuators = []string{
+	// Longest first so maximal munch works.
+	"->", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "++", "--",
+	"<<", ">>",
+	"{", "}", "(", ")", "[", "]", ";", ",", ".", "=", "<", ">", "+",
+	"-", "*", "/", "%", "!", "&", "|", "^", "~", "?", ":",
+}
+
+// Lexer tokenizes C source.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over the given source.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a positioned front-end error.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *Lexer) errf(format string, args ...interface{}) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.advance(2)
+			for {
+				if l.pos+1 >= len(l.src) {
+					return l.errf("unterminated block comment")
+				}
+				if l.src[l.pos] == '*' && l.src[l.pos+1] == '/' {
+					l.advance(2)
+					break
+				}
+				l.advance(1)
+			}
+		case c == '#':
+			// Preprocessor lines are ignored (the study set uses none,
+			// but headers may carry include guards).
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: l.line, Col: l.col}, nil
+	}
+	start := l.pos
+	line, col := l.line, l.col
+	c := rune(l.src[l.pos])
+
+	switch {
+	case unicode.IsLetter(c) || c == '_':
+		for l.pos < len(l.src) {
+			r := rune(l.src[l.pos])
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			l.advance(1)
+		}
+		text := l.src[start:l.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+
+	case unicode.IsDigit(c):
+		isHex := false
+		if c == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+			isHex = true
+			l.advance(2)
+		}
+		for l.pos < len(l.src) {
+			r := rune(l.src[l.pos])
+			if unicode.IsDigit(r) || (isHex && strings.ContainsRune("abcdefABCDEF", r)) {
+				l.advance(1)
+				continue
+			}
+			// Integer suffixes.
+			if strings.ContainsRune("uUlL", r) {
+				l.advance(1)
+				continue
+			}
+			break
+		}
+		return Token{Kind: TokInt, Text: l.src[start:l.pos], Line: line, Col: col}, nil
+
+	case c == '"':
+		l.advance(1)
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errf("unterminated string literal")
+			}
+			ch := l.src[l.pos]
+			if ch == '"' {
+				l.advance(1)
+				break
+			}
+			if ch == '\\' && l.pos+1 < len(l.src) {
+				l.advance(1)
+				ch = l.src[l.pos]
+			}
+			sb.WriteByte(ch)
+			l.advance(1)
+		}
+		return Token{Kind: TokString, Text: sb.String(), Line: line, Col: col}, nil
+	}
+
+	for _, p := range punctuators {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.advance(len(p))
+			return Token{Kind: TokPunct, Text: p, Line: line, Col: col}, nil
+		}
+	}
+	return Token{}, l.errf("unexpected character %q", c)
+}
+
+// Tokenize returns all tokens including the trailing EOF token.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,568 @@
+package ctrans
+
+import (
+	"checkfence/internal/cparse"
+	"checkfence/internal/lsl"
+)
+
+// expr translates an expression and returns the register holding its
+// value.
+func (fn *fnCtx) expr(e cparse.Expr) (lsl.Reg, error) {
+	switch e := e.(type) {
+	case *cparse.IntLit:
+		return fn.emitConst(lsl.Int(e.Val), "c"), nil
+
+	case *cparse.StringLit:
+		return "", errAt(e.Pos, "string literals are only valid as fence() arguments")
+
+	case *cparse.Ident:
+		if v, ok := fn.lookup(e.Name); ok {
+			return v.reg, nil
+		}
+		if val, ok := fn.u.Env.Enums[e.Name]; ok {
+			return fn.emitConst(lsl.Int(val), e.Name), nil
+		}
+		if g, ok := fn.u.Prog.GlobalByName(e.Name); ok {
+			// Global scalar as rvalue: load from its address.
+			addr := fn.emitConst(lsl.Ptr(g.Base), e.Name+".addr")
+			return fn.emitLoad(addr, e.Name), nil
+		}
+		return "", errAt(e.Pos, "undefined identifier %q", e.Name)
+
+	case *cparse.CastExpr:
+		// LSL is untyped; casts are erased.
+		return fn.expr(e.X)
+
+	case *cparse.UnaryExpr:
+		switch e.Op {
+		case "!":
+			x, err := fn.expr(e.X)
+			if err != nil {
+				return "", err
+			}
+			return fn.emitOp(lsl.OpNot, "not", 0, x), nil
+		case "-":
+			x, err := fn.expr(e.X)
+			if err != nil {
+				return "", err
+			}
+			return fn.emitOp(lsl.OpNeg, "neg", 0, x), nil
+		case "~":
+			return "", errAt(e.Pos, "bitwise complement is not supported")
+		case "*":
+			addr, err := fn.expr(e.X)
+			if err != nil {
+				return "", err
+			}
+			return fn.emitLoad(addr, "deref"), nil
+		case "&":
+			return fn.addr(e.X)
+		}
+		return "", errAt(e.Pos, "unsupported unary operator %q", e.Op)
+
+	case *cparse.BinaryExpr:
+		return fn.binary(e)
+
+	case *cparse.CondExpr:
+		return fn.condExpr(e)
+
+	case *cparse.MemberExpr:
+		addr, err := fn.addr(e)
+		if err != nil {
+			return "", err
+		}
+		return fn.emitLoad(addr, e.Name), nil
+
+	case *cparse.IndexExpr:
+		addr, err := fn.addr(e)
+		if err != nil {
+			return "", err
+		}
+		return fn.emitLoad(addr, "elem"), nil
+
+	case *cparse.AssignExpr:
+		return fn.assign(e)
+
+	case *cparse.IncDecExpr:
+		return fn.incDec(e)
+
+	case *cparse.CallExpr:
+		regs, err := fn.call(e, true)
+		if err != nil {
+			return "", err
+		}
+		return regs, nil
+	}
+	return "", errAt(e.ExprPos(), "unsupported expression %T", e)
+}
+
+// exprOrVoidCall translates an expression statement, allowing calls to
+// void functions.
+func (fn *fnCtx) exprOrVoidCall(e cparse.Expr) (lsl.Reg, error) {
+	if call, ok := e.(*cparse.CallExpr); ok {
+		return fn.call(call, false)
+	}
+	return fn.expr(e)
+}
+
+func (fn *fnCtx) emitLoad(addr lsl.Reg, hint string) lsl.Reg {
+	dst := fn.fresh(hint)
+	fn.emit(&lsl.LoadStmt{Dst: dst, Addr: addr})
+	return dst
+}
+
+// binary translates a binary operator, giving && and || short-circuit
+// semantics: the right operand's loads only execute when the left
+// operand does not decide the result.
+func (fn *fnCtx) binary(e *cparse.BinaryExpr) (lsl.Reg, error) {
+	switch e.Op {
+	case "&&", "||":
+		x, err := fn.expr(e.X)
+		if err != nil {
+			return "", err
+		}
+		res := fn.fresh("sc")
+		// Normalize the left operand to 0/1 into res.
+		fn.emit(&lsl.OpStmt{Dst: res, Op: lsl.OpBool, Args: []lsl.Reg{x}})
+		tag := fn.freshTag("sc")
+		var body []lsl.Stmt
+		saved := fn.out
+		fn.out = &body
+		// Skip evaluating the right side when the left decides.
+		var skip lsl.Reg
+		if e.Op == "&&" {
+			skip = fn.emitOp(lsl.OpNot, "skip", 0, res)
+		} else {
+			skip = res
+		}
+		fn.emit(&lsl.BreakStmt{Cond: skip, Tag: tag})
+		y, err := fn.expr(e.Y)
+		if err != nil {
+			fn.out = saved
+			return "", err
+		}
+		fn.emit(&lsl.OpStmt{Dst: res, Op: lsl.OpBool, Args: []lsl.Reg{y}})
+		fn.out = saved
+		fn.emit(&lsl.BlockStmt{Tag: tag, Body: body})
+		return res, nil
+	}
+
+	x, err := fn.expr(e.X)
+	if err != nil {
+		return "", err
+	}
+	y, err := fn.expr(e.Y)
+	if err != nil {
+		return "", err
+	}
+	var op lsl.Op
+	switch e.Op {
+	case "+":
+		op = lsl.OpAdd
+	case "-":
+		op = lsl.OpSub
+	case "*":
+		op = lsl.OpMul
+	case "==":
+		op = lsl.OpEq
+	case "!=":
+		op = lsl.OpNe
+	case "<":
+		op = lsl.OpLt
+	case "<=":
+		op = lsl.OpLe
+	case ">":
+		op = lsl.OpGt
+	case ">=":
+		op = lsl.OpGe
+	case "&":
+		op = lsl.OpAnd
+	case "|":
+		op = lsl.OpOr
+	case "^":
+		op = lsl.OpXor
+	default:
+		return "", errAt(e.Pos, "unsupported binary operator %q", e.Op)
+	}
+	return fn.emitOp(op, "b", 0, x, y), nil
+}
+
+func (fn *fnCtx) condExpr(e *cparse.CondExpr) (lsl.Reg, error) {
+	cond, err := fn.expr(e.Cond)
+	if err != nil {
+		return "", err
+	}
+	res := fn.fresh("sel")
+	tag := fn.freshTag("sel")
+	notCond := fn.emitOp(lsl.OpNot, "nc", 0, cond)
+
+	var body []lsl.Stmt
+	saved := fn.out
+
+	// then arm
+	fn.out = &body
+	fn.emit(&lsl.BreakStmt{Cond: notCond, Tag: tag + ".else"})
+	tv, err := fn.expr(e.Then)
+	if err != nil {
+		fn.out = saved
+		return "", err
+	}
+	fn.emit(&lsl.OpStmt{Dst: res, Op: lsl.OpIdent, Args: []lsl.Reg{tv}})
+	fn.emit(&lsl.BreakStmt{Cond: fn.emitTrue(), Tag: tag})
+	thenBody := body
+
+	// else arm
+	body = nil
+	fn.out = &body
+	ev, err := fn.expr(e.Else)
+	if err != nil {
+		fn.out = saved
+		return "", err
+	}
+	fn.emit(&lsl.OpStmt{Dst: res, Op: lsl.OpIdent, Args: []lsl.Reg{ev}})
+	elseBody := body
+
+	fn.out = saved
+	fn.emit(&lsl.BlockStmt{Tag: tag, Body: append(
+		[]lsl.Stmt{&lsl.BlockStmt{Tag: tag + ".else", Body: thenBody}},
+		elseBody...,
+	)})
+	return res, nil
+}
+
+// addr translates an lvalue expression to a register holding its
+// address.
+func (fn *fnCtx) addr(e cparse.Expr) (lsl.Reg, error) {
+	switch e := e.(type) {
+	case *cparse.Ident:
+		if _, ok := fn.lookup(e.Name); ok {
+			return "", errAt(e.Pos, "cannot take the address of local variable %q", e.Name)
+		}
+		if g, ok := fn.u.Prog.GlobalByName(e.Name); ok {
+			return fn.emitConst(lsl.Ptr(g.Base), e.Name+".addr"), nil
+		}
+		return "", errAt(e.Pos, "undefined identifier %q", e.Name)
+
+	case *cparse.UnaryExpr:
+		if e.Op == "*" {
+			return fn.expr(e.X)
+		}
+		return "", errAt(e.Pos, "not an lvalue: unary %q", e.Op)
+
+	case *cparse.MemberExpr:
+		var base lsl.Reg
+		var baseType cparse.Type
+		var err error
+		if e.Arrow {
+			base, err = fn.expr(e.X)
+			if err != nil {
+				return "", err
+			}
+			pt, err := fn.typeOf(e.X)
+			if err != nil {
+				return "", errAt(e.Pos, "%v", err)
+			}
+			baseType, err = fn.u.Env.Elem(pt)
+			if err != nil {
+				return "", errAt(e.Pos, "-> on non-pointer: %v", err)
+			}
+		} else {
+			base, err = fn.addr(e.X)
+			if err != nil {
+				return "", err
+			}
+			baseType, err = fn.typeOf(e.X)
+			if err != nil {
+				return "", errAt(e.Pos, "%v", err)
+			}
+		}
+		layout, err := fn.u.Env.StructOf(baseType)
+		if err != nil {
+			return "", errAt(e.Pos, "member access on non-struct: %v", err)
+		}
+		idx, ok := layout.Index[e.Name]
+		if !ok {
+			return "", errAt(e.Pos, "struct %s has no field %q", layout.Tag, e.Name)
+		}
+		return fn.emitOp(lsl.OpField, e.Name+".addr", int64(idx), base), nil
+
+	case *cparse.IndexExpr:
+		// Arrays are global objects or struct fields; pointers-to-array
+		// decay to the same component form.
+		var base lsl.Reg
+		var err error
+		switch x := e.X.(type) {
+		case *cparse.Ident:
+			if _, isLocal := fn.lookup(x.Name); isLocal {
+				base, err = fn.expr(x) // pointer local
+			} else {
+				base, err = fn.addr(x) // global array object
+			}
+		case *cparse.MemberExpr:
+			base, err = fn.addr(x)
+		default:
+			base, err = fn.expr(x)
+		}
+		if err != nil {
+			return "", err
+		}
+		idx, err := fn.expr(e.Index)
+		if err != nil {
+			return "", err
+		}
+		return fn.emitOp(lsl.OpIndex, "idx.addr", 0, base, idx), nil
+
+	case *cparse.CastExpr:
+		return fn.addr(e.X)
+	}
+	return "", errAt(e.ExprPos(), "not an lvalue: %T", e)
+}
+
+// assign translates an assignment, returning the value register.
+func (fn *fnCtx) assign(e *cparse.AssignExpr) (lsl.Reg, error) {
+	rhs, err := fn.expr(e.Rhs)
+	if err != nil {
+		return "", err
+	}
+	if e.Op != "=" {
+		cur, err := fn.readLvalue(e.Lhs)
+		if err != nil {
+			return "", err
+		}
+		op := lsl.OpAdd
+		if e.Op == "-=" {
+			op = lsl.OpSub
+		}
+		rhs = fn.emitOp(op, "upd", 0, cur, rhs)
+	}
+	if err := fn.writeLvalue(e.Lhs, rhs); err != nil {
+		return "", err
+	}
+	return rhs, nil
+}
+
+func (fn *fnCtx) incDec(e *cparse.IncDecExpr) (lsl.Reg, error) {
+	cur, err := fn.readLvalue(e.X)
+	if err != nil {
+		return "", err
+	}
+	one := fn.emitConst(lsl.Int(1), "one")
+	op := lsl.OpAdd
+	if e.Op == "--" {
+		op = lsl.OpSub
+	}
+	upd := fn.emitOp(op, "incdec", 0, cur, one)
+	if err := fn.writeLvalue(e.X, upd); err != nil {
+		return "", err
+	}
+	// Both forms are used only as statements in the study set; return
+	// the updated value.
+	return upd, nil
+}
+
+func (fn *fnCtx) readLvalue(e cparse.Expr) (lsl.Reg, error) {
+	if id, ok := e.(*cparse.Ident); ok {
+		if v, ok := fn.lookup(id.Name); ok {
+			return v.reg, nil
+		}
+	}
+	return fn.expr(e)
+}
+
+func (fn *fnCtx) writeLvalue(e cparse.Expr, val lsl.Reg) error {
+	if id, ok := e.(*cparse.Ident); ok {
+		if v, ok := fn.lookup(id.Name); ok {
+			fn.emit(&lsl.OpStmt{Dst: v.reg, Op: lsl.OpIdent, Args: []lsl.Reg{val}})
+			return nil
+		}
+	}
+	addr, err := fn.addr(e)
+	if err != nil {
+		return err
+	}
+	fn.emit(&lsl.StoreStmt{Addr: addr, Src: val})
+	return nil
+}
+
+// call translates a function call. Special functions become dedicated
+// LSL statements; everything else becomes a CallStmt that the unroller
+// later inlines.
+func (fn *fnCtx) call(e *cparse.CallExpr, needValue bool) (lsl.Reg, error) {
+	switch e.Fun {
+	case "fence":
+		if len(e.Args) != 1 {
+			return "", errAt(e.Pos, "fence() takes one string argument")
+		}
+		s, ok := e.Args[0].(*cparse.StringLit)
+		if !ok {
+			return "", errAt(e.Pos, "fence() argument must be a string literal")
+		}
+		kind, err := lsl.ParseFenceKind(s.Val)
+		if err != nil {
+			return "", errAt(e.Pos, "%v", err)
+		}
+		fn.emit(&lsl.FenceStmt{Kind: kind})
+		return "", nil
+
+	case "assert":
+		if len(e.Args) != 1 {
+			return "", errAt(e.Pos, "assert() takes one argument")
+		}
+		cond, err := fn.expr(e.Args[0])
+		if err != nil {
+			return "", err
+		}
+		fn.emit(&lsl.AssertStmt{Cond: cond, Msg: assertMsg(e)})
+		return "", nil
+
+	case "assume", "__assume":
+		if len(e.Args) != 1 {
+			return "", errAt(e.Pos, "assume() takes one argument")
+		}
+		cond, err := fn.expr(e.Args[0])
+		if err != nil {
+			return "", err
+		}
+		fn.emit(&lsl.AssumeStmt{Cond: cond})
+		return "", nil
+
+	case "new_node", "malloc":
+		dst := fn.fresh("new")
+		fn.emit(&lsl.AllocStmt{Dst: dst, Site: fn.fd.Name})
+		return dst, nil
+
+	case "delete_node", "free":
+		// Reclamation is a no-op in the bounded model: bases are never
+		// reused, so freed memory stays distinguishable.
+		for _, a := range e.Args {
+			if _, err := fn.expr(a); err != nil {
+				return "", err
+			}
+		}
+		return "", nil
+
+	case "nondet":
+		dst := fn.fresh("nd")
+		fn.emit(&lsl.HavocStmt{Dst: dst, Bits: 1})
+		return dst, nil
+
+	case "commit":
+		// Commit-point annotation (the CAV'06 baseline method): a
+		// store to the reserved __commit cell. Its memory-order
+		// position defines the operation's serialization point; the
+		// cell is private, so the store is invisible to the
+		// algorithm itself.
+		if _, ok := fn.u.Prog.GlobalByName(commitGlobal); !ok {
+			fn.u.Prog.AddGlobal(commitGlobal, 1)
+		}
+		g, _ := fn.u.Prog.GlobalByName(commitGlobal)
+		addr := fn.emitConst(lsl.Ptr(g.Base), "commit.addr")
+		zero := fn.emitConst(lsl.Int(0), "commit.val")
+		fn.emit(&lsl.StoreStmt{Addr: addr, Src: zero})
+		return "", nil
+	}
+
+	var args []lsl.Reg
+	for _, a := range e.Args {
+		r, err := fn.expr(a)
+		if err != nil {
+			return "", err
+		}
+		args = append(args, r)
+	}
+	var rets []lsl.Reg
+	var ret lsl.Reg
+	if needValue {
+		ret = fn.fresh(e.Fun + ".ret")
+		rets = []lsl.Reg{ret}
+	}
+	fn.emit(&lsl.CallStmt{Proc: e.Fun, Args: args, Rets: rets})
+	return ret, nil
+}
+
+func assertMsg(e *cparse.CallExpr) string {
+	return "assert at " + e.Pos.String()
+}
+
+// typeOf computes the C type of an expression, which the translator
+// needs to resolve struct field offsets.
+func (fn *fnCtx) typeOf(e cparse.Expr) (cparse.Type, error) {
+	switch e := e.(type) {
+	case *cparse.Ident:
+		if v, ok := fn.lookup(e.Name); ok {
+			return v.typ, nil
+		}
+		if _, ok := fn.u.Env.Enums[e.Name]; ok {
+			return &cparse.BaseType{Kind: cparse.Int}, nil
+		}
+		if t, ok := fn.u.GlobalTypes[e.Name]; ok {
+			return t, nil
+		}
+		return nil, errAt(e.Pos, "undefined identifier %q", e.Name)
+	case *cparse.IntLit:
+		return &cparse.BaseType{Kind: cparse.Int}, nil
+	case *cparse.CastExpr:
+		return e.Type, nil
+	case *cparse.UnaryExpr:
+		switch e.Op {
+		case "*":
+			t, err := fn.typeOf(e.X)
+			if err != nil {
+				return nil, err
+			}
+			return fn.u.Env.Elem(t)
+		case "&":
+			t, err := fn.typeOf(e.X)
+			if err != nil {
+				return nil, err
+			}
+			return &cparse.PtrType{Elem: t}, nil
+		default:
+			return &cparse.BaseType{Kind: cparse.Int}, nil
+		}
+	case *cparse.BinaryExpr:
+		return &cparse.BaseType{Kind: cparse.Int}, nil
+	case *cparse.MemberExpr:
+		var st cparse.Type
+		var err error
+		if e.Arrow {
+			pt, err2 := fn.typeOf(e.X)
+			if err2 != nil {
+				return nil, err2
+			}
+			st, err = fn.u.Env.Elem(pt)
+		} else {
+			st, err = fn.typeOf(e.X)
+		}
+		if err != nil {
+			return nil, err
+		}
+		layout, err := fn.u.Env.StructOf(st)
+		if err != nil {
+			return nil, err
+		}
+		idx, ok := layout.Index[e.Name]
+		if !ok {
+			return nil, errAt(e.Pos, "struct %s has no field %q", layout.Tag, e.Name)
+		}
+		return layout.Fields[idx].Type, nil
+	case *cparse.IndexExpr:
+		t, err := fn.typeOf(e.X)
+		if err != nil {
+			return nil, err
+		}
+		return fn.u.Env.Elem(t)
+	case *cparse.CallExpr:
+		if e.Fun == "new_node" || e.Fun == "malloc" {
+			// Untyped allocation; callers only use it via member
+			// access after assignment to a typed local.
+			return &cparse.PtrType{Elem: &cparse.BaseType{Kind: cparse.Void}}, nil
+		}
+		return &cparse.BaseType{Kind: cparse.Int}, nil
+	case *cparse.AssignExpr:
+		return fn.typeOf(e.Lhs)
+	case *cparse.CondExpr:
+		return fn.typeOf(e.Then)
+	}
+	return nil, errAt(e.ExprPos(), "cannot type expression %T", e)
+}

@@ -1,0 +1,385 @@
+package ctrans
+
+import (
+	"fmt"
+
+	"checkfence/internal/cparse"
+	"checkfence/internal/lsl"
+)
+
+// Unit is the result of translating a translation unit.
+type Unit struct {
+	Prog *lsl.Program
+	Env  *TypeEnv
+	// GlobalTypes maps global variable names to their C types, used by
+	// the harness to type operation arguments and by traces to render
+	// addresses.
+	GlobalTypes map[string]cparse.Type
+}
+
+// Translate lowers a parsed C file to an LSL program.
+func Translate(file *cparse.File) (*Unit, error) {
+	env, err := NewTypeEnv(file)
+	if err != nil {
+		return nil, err
+	}
+	u := &Unit{
+		Prog:        lsl.NewProgram(),
+		Env:         env,
+		GlobalTypes: map[string]cparse.Type{},
+	}
+	// Globals first so function bodies can reference them.
+	for _, d := range file.Flatten() {
+		if v, ok := d.(*cparse.VarDecl); ok {
+			u.Prog.AddGlobal(v.Name, 1)
+			u.GlobalTypes[v.Name] = v.Type
+		}
+	}
+	for _, d := range file.Flatten() {
+		fd, ok := d.(*cparse.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		proc, err := u.translateFunc(fd)
+		if err != nil {
+			return nil, err
+		}
+		u.Prog.AddProc(proc)
+	}
+	return u, nil
+}
+
+// fnCtx is the per-function translation state.
+type fnCtx struct {
+	u       *Unit
+	fd      *cparse.FuncDecl
+	nextReg int
+	nextTag int
+	scopes  []map[string]localVar
+	// loopStack tracks (continueTag, breakTag) of enclosing C loops.
+	loopStack []loopTags
+	exitTag   string
+	retReg    lsl.Reg
+	out       *[]lsl.Stmt
+}
+
+type localVar struct {
+	reg lsl.Reg
+	typ cparse.Type
+}
+
+type loopTags struct {
+	continueTag string // break to this tag implements C `continue`
+	breakTag    string // break to this tag implements C `break`
+}
+
+func (u *Unit) translateFunc(fd *cparse.FuncDecl) (*lsl.Proc, error) {
+	fn := &fnCtx{u: u, fd: fd}
+	proc := &lsl.Proc{Name: fd.Name}
+
+	fn.pushScope()
+	for _, p := range fd.Params {
+		reg := fn.fresh(p.Name)
+		proc.Params = append(proc.Params, reg)
+		fn.declare(p.Name, reg, p.Type)
+	}
+	isVoid := false
+	if bt, ok := fd.Ret.(*cparse.BaseType); ok && bt.Kind == cparse.Void {
+		isVoid = true
+	}
+	if !isVoid {
+		fn.retReg = fn.fresh("ret")
+		proc.Results = []lsl.Reg{fn.retReg}
+	}
+
+	fn.exitTag = fn.freshTag("fnexit")
+	var body []lsl.Stmt
+	fn.out = &body
+	if err := fn.stmt(fd.Body); err != nil {
+		return nil, err
+	}
+	proc.Body = []lsl.Stmt{&lsl.BlockStmt{Tag: fn.exitTag, Body: body}}
+	return proc, nil
+}
+
+func (fn *fnCtx) fresh(hint string) lsl.Reg {
+	fn.nextReg++
+	if hint == "" {
+		hint = "t"
+	}
+	return lsl.Reg(fmt.Sprintf("%s.%s%d", fn.fd.Name, hint, fn.nextReg))
+}
+
+func (fn *fnCtx) freshTag(hint string) string {
+	fn.nextTag++
+	return fmt.Sprintf("%s.%s%d", fn.fd.Name, hint, fn.nextTag)
+}
+
+func (fn *fnCtx) pushScope() { fn.scopes = append(fn.scopes, map[string]localVar{}) }
+func (fn *fnCtx) popScope()  { fn.scopes = fn.scopes[:len(fn.scopes)-1] }
+
+func (fn *fnCtx) declare(name string, reg lsl.Reg, typ cparse.Type) {
+	fn.scopes[len(fn.scopes)-1][name] = localVar{reg: reg, typ: typ}
+}
+
+func (fn *fnCtx) lookup(name string) (localVar, bool) {
+	for i := len(fn.scopes) - 1; i >= 0; i-- {
+		if v, ok := fn.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	return localVar{}, false
+}
+
+func (fn *fnCtx) emit(s lsl.Stmt) { *fn.out = append(*fn.out, s) }
+
+func (fn *fnCtx) emitConst(v lsl.Value, hint string) lsl.Reg {
+	r := fn.fresh(hint)
+	fn.emit(&lsl.ConstStmt{Dst: r, Val: v})
+	return r
+}
+
+func (fn *fnCtx) emitTrue() lsl.Reg { return fn.emitConst(lsl.Int(1), "true") }
+
+func (fn *fnCtx) emitOp(op lsl.Op, hint string, imm int64, args ...lsl.Reg) lsl.Reg {
+	r := fn.fresh(hint)
+	fn.emit(&lsl.OpStmt{Dst: r, Op: op, Args: args, Imm: imm})
+	return r
+}
+
+func errAt(pos cparse.Pos, format string, args ...interface{}) error {
+	return fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+// stmt translates one C statement.
+func (fn *fnCtx) stmt(s cparse.Stmt) error {
+	switch s := s.(type) {
+	case *cparse.EmptyStmt:
+		return nil
+
+	case *cparse.BlockStmt:
+		fn.pushScope()
+		defer fn.popScope()
+		for _, sub := range s.List {
+			if err := fn.stmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *cparse.DeclGroup:
+		for _, d := range s.List {
+			if err := fn.stmt(d); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *cparse.DeclStmt:
+		reg := fn.fresh(s.Name)
+		fn.declare(s.Name, reg, s.Type)
+		if s.Init != nil {
+			v, err := fn.expr(s.Init)
+			if err != nil {
+				return err
+			}
+			fn.emit(&lsl.OpStmt{Dst: reg, Op: lsl.OpIdent, Args: []lsl.Reg{v}})
+		}
+		return nil
+
+	case *cparse.ExprStmt:
+		_, err := fn.exprOrVoidCall(s.X)
+		return err
+
+	case *cparse.IfStmt:
+		return fn.ifStmt(s)
+
+	case *cparse.WhileStmt:
+		return fn.whileStmt(s)
+
+	case *cparse.ForStmt:
+		return fn.forStmt(s)
+
+	case *cparse.ReturnStmt:
+		if s.X != nil {
+			if fn.retReg == "" {
+				return errAt(s.Pos, "return with value in void function %s", fn.fd.Name)
+			}
+			v, err := fn.expr(s.X)
+			if err != nil {
+				return err
+			}
+			fn.emit(&lsl.OpStmt{Dst: fn.retReg, Op: lsl.OpIdent, Args: []lsl.Reg{v}})
+		}
+		fn.emit(&lsl.BreakStmt{Cond: fn.emitTrue(), Tag: fn.exitTag})
+		return nil
+
+	case *cparse.BreakStmt:
+		if len(fn.loopStack) == 0 {
+			return errAt(s.Pos, "break outside loop")
+		}
+		fn.emit(&lsl.BreakStmt{Cond: fn.emitTrue(), Tag: fn.loopStack[len(fn.loopStack)-1].breakTag})
+		return nil
+
+	case *cparse.ContinueStmt:
+		if len(fn.loopStack) == 0 {
+			return errAt(s.Pos, "continue outside loop")
+		}
+		fn.emit(&lsl.BreakStmt{Cond: fn.emitTrue(), Tag: fn.loopStack[len(fn.loopStack)-1].continueTag})
+		return nil
+
+	case *cparse.AtomicStmt:
+		var body []lsl.Stmt
+		saved := fn.out
+		fn.out = &body
+		err := fn.stmt(s.Body)
+		fn.out = saved
+		if err != nil {
+			return err
+		}
+		fn.emit(&lsl.AtomicStmt{Body: body})
+		return nil
+	}
+	return errAt(s.StmtPos(), "unsupported statement %T", s)
+}
+
+func (fn *fnCtx) ifStmt(s *cparse.IfStmt) error {
+	cond, err := fn.expr(s.Cond)
+	if err != nil {
+		return err
+	}
+	notCond := fn.emitOp(lsl.OpNot, "nc", 0, cond)
+
+	endTag := fn.freshTag("ifend")
+	elseTag := fn.freshTag("ifelse")
+
+	var thenBody []lsl.Stmt
+	saved := fn.out
+	fn.out = &thenBody
+	thenBody = append(thenBody, &lsl.BreakStmt{Cond: notCond, Tag: elseTag})
+	err = fn.stmt(s.Then)
+	if err != nil {
+		fn.out = saved
+		return err
+	}
+	if s.Else != nil {
+		thenBody = append(thenBody, &lsl.BreakStmt{Cond: fn.emitTrue(), Tag: endTag})
+	}
+	fn.out = saved
+
+	if s.Else == nil {
+		fn.emit(&lsl.BlockStmt{Tag: elseTag, Body: thenBody})
+		return nil
+	}
+	var elseBody []lsl.Stmt
+	fn.out = &elseBody
+	err = fn.stmt(s.Else)
+	fn.out = saved
+	if err != nil {
+		return err
+	}
+	fn.emit(&lsl.BlockStmt{Tag: endTag, Body: append(
+		[]lsl.Stmt{&lsl.BlockStmt{Tag: elseTag, Body: thenBody}},
+		elseBody...,
+	)})
+	return nil
+}
+
+func (fn *fnCtx) whileStmt(s *cparse.WhileStmt) error {
+	loopTag := fn.freshTag("loop")
+	contTag := fn.freshTag("cont")
+
+	var body []lsl.Stmt
+	saved := fn.out
+	fn.out = &body
+
+	emitBody := func() error {
+		var inner []lsl.Stmt
+		fn.out = &inner
+		fn.loopStack = append(fn.loopStack, loopTags{continueTag: contTag, breakTag: loopTag})
+		err := fn.stmt(s.Body)
+		fn.loopStack = fn.loopStack[:len(fn.loopStack)-1]
+		fn.out = &body
+		if err != nil {
+			return err
+		}
+		body = append(body, &lsl.BlockStmt{Tag: contTag, Body: inner})
+		return nil
+	}
+
+	if s.DoWhile {
+		if err := emitBody(); err != nil {
+			fn.out = saved
+			return err
+		}
+		cond, err := fn.expr(s.Cond)
+		if err != nil {
+			fn.out = saved
+			return err
+		}
+		body = append(body, &lsl.ContinueStmt{Cond: cond, Tag: loopTag})
+	} else {
+		cond, err := fn.expr(s.Cond)
+		if err != nil {
+			fn.out = saved
+			return err
+		}
+		notCond := fn.emitOp(lsl.OpNot, "nc", 0, cond)
+		body = append(body, &lsl.BreakStmt{Cond: notCond, Tag: loopTag})
+		if err := emitBody(); err != nil {
+			fn.out = saved
+			return err
+		}
+		body = append(body, &lsl.ContinueStmt{Cond: fn.emitTrue(), Tag: loopTag})
+	}
+	fn.out = saved
+	fn.emit(&lsl.BlockStmt{Tag: loopTag, Loop: lsl.BoundedLoop, Body: body})
+	return nil
+}
+
+func (fn *fnCtx) forStmt(s *cparse.ForStmt) error {
+	fn.pushScope()
+	defer fn.popScope()
+	if s.Init != nil {
+		if err := fn.stmt(s.Init); err != nil {
+			return err
+		}
+	}
+	loopTag := fn.freshTag("forloop")
+	contTag := fn.freshTag("forcont")
+
+	var body []lsl.Stmt
+	saved := fn.out
+	fn.out = &body
+
+	if s.Cond != nil {
+		cond, err := fn.expr(s.Cond)
+		if err != nil {
+			fn.out = saved
+			return err
+		}
+		notCond := fn.emitOp(lsl.OpNot, "nc", 0, cond)
+		body = append(body, &lsl.BreakStmt{Cond: notCond, Tag: loopTag})
+	}
+	var inner []lsl.Stmt
+	fn.out = &inner
+	fn.loopStack = append(fn.loopStack, loopTags{continueTag: contTag, breakTag: loopTag})
+	err := fn.stmt(s.Body)
+	fn.loopStack = fn.loopStack[:len(fn.loopStack)-1]
+	fn.out = &body
+	if err != nil {
+		fn.out = saved
+		return err
+	}
+	body = append(body, &lsl.BlockStmt{Tag: contTag, Body: inner})
+	if s.Post != nil {
+		if _, err := fn.exprOrVoidCall(s.Post); err != nil {
+			fn.out = saved
+			return err
+		}
+	}
+	body = append(body, &lsl.ContinueStmt{Cond: fn.emitTrue(), Tag: loopTag})
+	fn.out = saved
+	fn.emit(&lsl.BlockStmt{Tag: loopTag, Loop: lsl.BoundedLoop, Body: body})
+	return nil
+}

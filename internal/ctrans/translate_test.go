@@ -1,0 +1,456 @@
+package ctrans
+
+import (
+	"errors"
+	"testing"
+
+	"checkfence/internal/cparse"
+	"checkfence/internal/interp"
+	"checkfence/internal/lsl"
+)
+
+// run translates C source and returns a machine ready to call its
+// functions.
+func run(t *testing.T, src string) (*Unit, *interp.Machine) {
+	t.Helper()
+	file, err := cparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	u, err := Translate(file)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	return u, interp.NewMachine(u.Prog)
+}
+
+func callInt(t *testing.T, m *interp.Machine, fn string, args ...lsl.Value) int64 {
+	t.Helper()
+	res, err := m.Call(fn, args...)
+	if err != nil {
+		t.Fatalf("call %s: %v", fn, err)
+	}
+	if len(res) != 1 || res[0].Kind != lsl.KindInt {
+		t.Fatalf("call %s: result = %v", fn, res)
+	}
+	return res[0].Int
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	_, m := run(t, `
+int add(int a, int b) { return a + b; }
+int max(int a, int b) { if (a > b) return a; else return b; }
+int sumTo(int n) {
+    int s = 0;
+    int i;
+    for (i = 1; i <= n; i = i + 1) s = s + i;
+    return s;
+}
+int countdown(int n) {
+    int c = 0;
+    while (n > 0) { n = n - 1; c = c + 1; }
+    return c;
+}
+int doLoop(int n) {
+    int c = 0;
+    do { c = c + 1; n = n - 1; } while (n > 0);
+    return c;
+}`)
+	if got := callInt(t, m, "add", lsl.Int(2), lsl.Int(3)); got != 5 {
+		t.Errorf("add = %d", got)
+	}
+	if got := callInt(t, m, "max", lsl.Int(2), lsl.Int(7)); got != 7 {
+		t.Errorf("max = %d", got)
+	}
+	if got := callInt(t, m, "max", lsl.Int(9), lsl.Int(7)); got != 9 {
+		t.Errorf("max = %d", got)
+	}
+	if got := callInt(t, m, "sumTo", lsl.Int(5)); got != 15 {
+		t.Errorf("sumTo(5) = %d", got)
+	}
+	if got := callInt(t, m, "countdown", lsl.Int(4)); got != 4 {
+		t.Errorf("countdown = %d", got)
+	}
+	if got := callInt(t, m, "doLoop", lsl.Int(0)); got != 1 {
+		t.Errorf("doLoop(0) = %d, want 1 (do-while runs once)", got)
+	}
+}
+
+func TestBreakContinueSemantics(t *testing.T) {
+	_, m := run(t, `
+int f() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 10; i = i + 1) {
+        if (i == 3) continue;
+        if (i == 6) break;
+        s = s + i;
+    }
+    return s;
+}
+int g(int n) {
+    int c = 0;
+    do {
+        n = n - 1;
+        if (n == 2) continue;   // must jump to the condition, not the body top
+        c = c + 1;
+    } while (n > 0);
+    return c;
+}`)
+	// 0+1+2+4+5 = 12
+	if got := callInt(t, m, "f"); got != 12 {
+		t.Errorf("f = %d, want 12", got)
+	}
+	// n=4: iterations n->3 c=1, n->2 (skip), n->1 c=2, n->0 c=3
+	if got := callInt(t, m, "g", lsl.Int(4)); got != 3 {
+		t.Errorf("g(4) = %d, want 3", got)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	u, m := run(t, `
+int x;
+int touchAndReturn(int v) { x = v; return v; }
+int andOp(int a, int b) { return a && touchAndReturn(b); }
+int orOp(int a, int b) { return a || touchAndReturn(b); }`)
+	g, _ := u.Prog.GlobalByName("x")
+	loc := lsl.LocOf(lsl.Ptr(g.Base))
+
+	if got := callInt(t, m, "andOp", lsl.Int(0), lsl.Int(7)); got != 0 {
+		t.Errorf("0 && _ = %d", got)
+	}
+	if _, written := m.Mem[loc]; written {
+		t.Error("&& must not evaluate rhs when lhs is false")
+	}
+	if got := callInt(t, m, "andOp", lsl.Int(1), lsl.Int(7)); got != 1 {
+		t.Errorf("1 && 7 = %d, want 1 (normalized)", got)
+	}
+	if v := m.Mem[loc]; !v.Equal(lsl.Int(7)) {
+		t.Error("&& must evaluate rhs when lhs is true")
+	}
+
+	m2 := interp.NewMachine(u.Prog)
+	if got := callInt(t, m2, "orOp", lsl.Int(1), lsl.Int(7)); got != 1 {
+		t.Errorf("1 || _ = %d", got)
+	}
+	if _, written := m2.Mem[loc]; written {
+		t.Error("|| must not evaluate rhs when lhs is true")
+	}
+}
+
+func TestPointersStructsAndGlobals(t *testing.T) {
+	u, m := run(t, `
+typedef struct pair { int a; int b; } pair_t;
+pair_t p;
+int y;
+void setA(pair_t *q, int v) { q->a = v; }
+int getA(pair_t *q) { return q->a; }
+void swap(pair_t *q) { int tmp = q->a; q->a = q->b; q->b = tmp; }
+void setY(int v) { y = v; }
+int getY() { return y; }`)
+	g, _ := u.Prog.GlobalByName("p")
+	pPtr := lsl.Ptr(g.Base)
+	if _, err := m.Call("setA", pPtr, lsl.Int(42)); err != nil {
+		t.Fatal(err)
+	}
+	if got := callInt(t, m, "getA", pPtr); got != 42 {
+		t.Errorf("getA = %d", got)
+	}
+	// b is still undefined; swap copies undefined into a (legal), and
+	// stores 42 into b.
+	if _, err := m.Call("swap", pPtr); err != nil {
+		t.Fatalf("swap: %v", err)
+	}
+	bLoc := lsl.LocOf(lsl.Ptr(g.Base, 1))
+	if v := m.Mem[bLoc]; !v.Equal(lsl.Int(42)) {
+		t.Errorf("p.b = %v, want 42", v)
+	}
+	aLoc := lsl.LocOf(lsl.Ptr(g.Base, 0))
+	if v := m.Mem[aLoc]; v.IsDefined() {
+		t.Errorf("p.a = %v, want undefined", v)
+	}
+	if _, err := m.Call("setY", lsl.Int(9)); err != nil {
+		t.Fatal(err)
+	}
+	if got := callInt(t, m, "getY"); got != 9 {
+		t.Errorf("getY = %d", got)
+	}
+}
+
+func TestAllocationAndLinkedList(t *testing.T) {
+	_, m := run(t, `
+typedef struct node { struct node *next; int value; } node_t;
+extern node_t *new_node();
+node_t *head;
+
+void push(int v) {
+    node_t *n = new_node();
+    n->value = v;
+    n->next = head;
+    head = n;
+}
+int pop() {
+    node_t *n = head;
+    head = n->next;
+    return n->value;
+}`)
+	for _, v := range []int64{1, 2, 3} {
+		if _, err := m.Call("push", lsl.Int(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range []int64{3, 2, 1} {
+		if got := callInt(t, m, "pop"); got != want {
+			t.Errorf("pop = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestUndefinedUseDetected(t *testing.T) {
+	_, m := run(t, `
+int g;
+int readUninit() { if (g == 0) return 1; return 2; }`)
+	_, err := m.Call("readUninit")
+	var rte *interp.RuntimeError
+	if !errors.As(err, &rte) {
+		t.Fatalf("expected RuntimeError for undefined read, got %v", err)
+	}
+}
+
+func TestAssertAssume(t *testing.T) {
+	_, m := run(t, `
+void check(int v) { assert(v > 0); }
+void require(int v) { assume(v > 0); }`)
+	if _, err := m.Call("check", lsl.Int(1)); err != nil {
+		t.Errorf("assert(1>0) must pass: %v", err)
+	}
+	_, err := m.Call("check", lsl.Int(0))
+	var rte *interp.RuntimeError
+	if !errors.As(err, &rte) {
+		t.Errorf("assert(0>0) must be a runtime error, got %v", err)
+	}
+	_, err = m.Call("require", lsl.Int(0))
+	if !errors.Is(err, interp.ErrAssumeFailed) {
+		t.Errorf("assume(0>0) must be infeasible, got %v", err)
+	}
+}
+
+func TestCASModel(t *testing.T) {
+	u, m := run(t, `
+int cell;
+bool cas(int *loc, unsigned old, unsigned new) {
+    atomic {
+        if (*loc == old) {
+            *loc = new;
+            return true;
+        } else {
+            return false;
+        }
+    }
+}
+void init() { cell = 5; }
+bool tryCas(unsigned old, unsigned new) { return cas(&cell, old, new); }`)
+	if _, err := m.Call("init"); err != nil {
+		t.Fatal(err)
+	}
+	if got := callInt(t, m, "tryCas", lsl.Int(4), lsl.Int(7)); got != 0 {
+		t.Error("cas with wrong old value must fail")
+	}
+	g, _ := u.Prog.GlobalByName("cell")
+	if v := m.Mem[lsl.LocOf(lsl.Ptr(g.Base))]; !v.Equal(lsl.Int(5)) {
+		t.Errorf("failed cas must not write, cell = %v", v)
+	}
+	if got := callInt(t, m, "tryCas", lsl.Int(5), lsl.Int(7)); got != 1 {
+		t.Error("cas with right old value must succeed")
+	}
+	if v := m.Mem[lsl.LocOf(lsl.Ptr(g.Base))]; !v.Equal(lsl.Int(7)) {
+		t.Errorf("cell = %v, want 7", v)
+	}
+}
+
+func TestMSNQueueSequential(t *testing.T) {
+	src := `
+typedef int value_t;
+typedef struct node { struct node *next; value_t value; } node_t;
+typedef struct queue { node_t *head; node_t *tail; } queue_t;
+extern node_t *new_node();
+extern void delete_node(node_t *node);
+extern void fence(char *type);
+queue_t q;
+value_t out;
+
+bool cas(unsigned *loc, unsigned old, unsigned new) {
+    atomic {
+        if (*loc == old) { *loc = new; return true; }
+        else { return false; }
+    }
+}
+void init_queue(queue_t *queue) {
+    node_t *node = new_node();
+    node->next = 0;
+    queue->head = queue->tail = node;
+}
+void enqueue(queue_t *queue, value_t value) {
+    node_t *node, *tail, *next;
+    node = new_node();
+    node->value = value;
+    node->next = 0;
+    fence("store-store");
+    while (true) {
+        tail = queue->tail;
+        fence("load-load");
+        next = tail->next;
+        fence("load-load");
+        if (tail == queue->tail)
+            if (next == 0) {
+                if (cas(&tail->next, (unsigned) next, (unsigned) node))
+                    break;
+            } else
+                cas(&queue->tail, (unsigned) tail, (unsigned) next);
+    }
+    fence("store-store");
+    cas(&queue->tail, (unsigned) tail, (unsigned) node);
+}
+bool dequeue(queue_t *queue, value_t *pvalue) {
+    node_t *head, *tail, *next;
+    while (true) {
+        head = queue->head;
+        fence("load-load");
+        tail = queue->tail;
+        fence("load-load");
+        next = head->next;
+        fence("load-load");
+        if (head == queue->head) {
+            if (head == tail) {
+                if (next == 0) return false;
+                cas(&queue->tail, (unsigned) tail, (unsigned) next);
+            } else {
+                *pvalue = next->value;
+                if (cas(&queue->head, (unsigned) head, (unsigned) next)) break;
+            }
+        }
+    }
+    delete_node(head);
+    return true;
+}
+void setup() { init_queue(&q); }
+void enq(value_t v) { enqueue(&q, v); }
+bool deq() { return dequeue(&q, &out); }`
+	u, m := run(t, src)
+	if _, err := m.Call("setup"); err != nil {
+		t.Fatal(err)
+	}
+	// Empty dequeue returns false.
+	if got := callInt(t, m, "deq"); got != 0 {
+		t.Error("dequeue on empty queue must return false")
+	}
+	for _, v := range []int64{4, 5, 6} {
+		if _, err := m.Call("enq", lsl.Int(v)); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	g, _ := u.Prog.GlobalByName("out")
+	outLoc := lsl.LocOf(lsl.Ptr(g.Base))
+	for _, want := range []int64{4, 5, 6} {
+		if got := callInt(t, m, "deq"); got != 1 {
+			t.Fatalf("dequeue must succeed")
+		}
+		if v := m.Mem[outLoc]; !v.Equal(lsl.Int(want)) {
+			t.Errorf("dequeued %v, want %d (FIFO order)", v, want)
+		}
+	}
+	if got := callInt(t, m, "deq"); got != 0 {
+		t.Error("queue must be empty again")
+	}
+}
+
+func TestEnumConstants(t *testing.T) {
+	_, m := run(t, `
+typedef enum { free, held } lock_t;
+int lockVal() { return held; }`)
+	if got := callInt(t, m, "lockVal"); got != 1 {
+		t.Errorf("held = %d, want 1", got)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	_, m := run(t, `
+int a[4];
+void fill() { int i; for (i = 0; i < 4; i = i + 1) a[i] = i * 10; }
+int get(int i) { return a[i]; }`)
+	if _, err := m.Call("fill"); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		if got := callInt(t, m, "get", lsl.Int(i)); got != i*10 {
+			t.Errorf("a[%d] = %d, want %d", i, got, i*10)
+		}
+	}
+}
+
+func TestTernaryAndCompoundAssign(t *testing.T) {
+	_, m := run(t, `
+int f(int a, int b) { return a > b ? a : b; }
+int g(int n) { n += 5; n -= 2; n++; return n; }`)
+	if got := callInt(t, m, "f", lsl.Int(3), lsl.Int(8)); got != 8 {
+		t.Errorf("ternary = %d", got)
+	}
+	if got := callInt(t, m, "g", lsl.Int(1)); got != 5 {
+		t.Errorf("g = %d, want 5", got)
+	}
+}
+
+func TestNullPointerComparison(t *testing.T) {
+	_, m := run(t, `
+typedef struct node { struct node *next; int v; } node_t;
+extern node_t *new_node();
+int isNull() {
+    node_t *n = new_node();
+    n->next = 0;
+    if (n->next == 0) return 1;
+    return 0;
+}
+int notNull() {
+    node_t *n = new_node();
+    n->next = n;
+    if (n->next == 0) return 1;
+    return 0;
+}`)
+	if got := callInt(t, m, "isNull"); got != 1 {
+		t.Error("null field must compare equal to 0")
+	}
+	if got := callInt(t, m, "notNull"); got != 0 {
+		t.Error("non-null pointer must not compare equal to 0")
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	bad := []string{
+		`void f() { int x; int *p = &x; }`,                              // address of local
+		`void f() { undefined_fn_var = 3; }`,                            // unknown identifier
+		`void f(int a) { fence(a); }`,                                   // non-literal fence kind
+		`void f() { fence("total"); }`,                                  // bad fence kind
+		`typedef struct s { int a; } s_t; void f(s_t *p) { p->b = 1; }`, // no field
+	}
+	for _, src := range bad {
+		file, err := cparse.Parse(src)
+		if err != nil {
+			t.Errorf("parse(%q) failed: %v", src, err)
+			continue
+		}
+		if _, err := Translate(file); err == nil {
+			t.Errorf("Translate(%q) should fail", src)
+		}
+	}
+}
+
+func TestInstrumentationCounts(t *testing.T) {
+	u, _ := run(t, `
+int x;
+void f() { x = 1; int y = x; x = y + 1; }`)
+	proc := u.Prog.Procs["f"]
+	loads, stores := lsl.CountAccesses(proc.Body)
+	if loads != 1 || stores != 2 {
+		t.Errorf("loads=%d stores=%d, want 1,2", loads, stores)
+	}
+}

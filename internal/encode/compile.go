@@ -1,0 +1,326 @@
+package encode
+
+import (
+	"fmt"
+
+	"checkfence/internal/bitvec"
+	"checkfence/internal/lsl"
+)
+
+// compiler is the per-thread symbolic compilation state. It performs
+// the guarded single-pass walk that CBMC-style bounded model checkers
+// use: every register holds a circuit value, every assignment becomes
+// a multiplexer guarded by the current liveness condition, and breaks
+// accumulate into per-block "broken" disjunctions.
+type compiler struct {
+	e       *Encoder
+	thread  int
+	opID    int
+	group   int // current atomic block id, -1 outside
+	progIdx int
+	env     map[lsl.Reg]SymVal
+	live    bitvec.Node
+	// errSoFar accumulates this thread's runtime error conditions.
+	// Assumptions are conditioned on its negation: an execution that
+	// has already raised an error is a counterexample and must stay
+	// satisfiable, not be pruned by a later assume over the garbage
+	// value (e.g. spinning on an uninitialized lock).
+	errSoFar bitvec.Node
+}
+
+type blockFrame struct {
+	tag    string
+	broken bitvec.Node
+}
+
+func (e *Encoder) compileThread(ti int, th Thread) (map[lsl.Reg]SymVal, error) {
+	c := &compiler{
+		e:        e,
+		thread:   ti,
+		opID:     -1,
+		group:    -1,
+		env:      map[lsl.Reg]SymVal{},
+		live:     bitvec.True,
+		errSoFar: bitvec.False,
+	}
+	for si, seg := range th.Segments {
+		if si < len(th.OpIDs) {
+			c.opID = th.OpIDs[si]
+		} else {
+			c.opID = -1
+		}
+		if err := c.stmts(seg, nil); err != nil {
+			return nil, err
+		}
+	}
+	return c.env, nil
+}
+
+func (c *compiler) value(r lsl.Reg) SymVal {
+	if v, ok := c.env[r]; ok {
+		return v
+	}
+	// Never-assigned registers are undefined.
+	u := c.e.UndefVal()
+	c.env[r] = u
+	return u
+}
+
+func (c *compiler) assign(r lsl.Reg, v SymVal) {
+	if c.live == bitvec.True {
+		c.env[r] = v
+		return
+	}
+	c.env[r] = c.e.MuxVal(c.live, v, c.value(r))
+}
+
+func (c *compiler) errIf(cond bitvec.Node, msg string) {
+	g := c.e.B.And(c.live, cond)
+	if g == bitvec.False {
+		return
+	}
+	c.e.Errors = append(c.e.Errors, ErrCond{Cond: g, Msg: msg})
+	c.errSoFar = c.e.B.Or(c.errSoFar, g)
+}
+
+// condTruthy evaluates a register as a branch condition: undefined
+// values are flagged as errors and treated as false.
+func (c *compiler) condTruthy(r lsl.Reg, ctxMsg string) bitvec.Node {
+	v := c.value(r)
+	c.errIf(c.e.IsUndef(v), "undefined value used in "+ctxMsg)
+	return c.e.Truthy(v)
+}
+
+// stmts compiles a statement list. frames is the enclosing block
+// stack (innermost last); the slice is shared down the recursion and
+// mutated through pointers.
+func (c *compiler) stmts(list []lsl.Stmt, frames []*blockFrame) error {
+	for _, s := range list {
+		if err := c.stmt(s, frames); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) stmt(s lsl.Stmt, frames []*blockFrame) error {
+	b := c.e.B
+	switch s := s.(type) {
+	case *lsl.ConstStmt:
+		c.assign(s.Dst, c.e.ConstVal(s.Val))
+		return nil
+
+	case *lsl.HavocStmt:
+		bv := b.VarBV(s.Bits)
+		c.assign(s.Dst, c.e.IntVal(bv))
+		return nil
+
+	case *lsl.OpStmt:
+		v, err := c.applyOp(s)
+		if err != nil {
+			return err
+		}
+		c.assign(s.Dst, v)
+		return nil
+
+	case *lsl.LoadStmt:
+		addr := c.value(s.Addr)
+		c.errIf(c.e.IsPtr(addr).Not(), "load from non-pointer address")
+		val := c.e.FreshVal()
+		acc := &Access{
+			Idx: len(c.e.Accesses), Thread: c.thread, ProgIdx: c.progIdx,
+			IsLoad: true, OpID: c.opID, Group: c.group,
+			Exec: c.live, Addr: addr, Val: val, AddrReg: s.Addr,
+			Desc: s.String(),
+		}
+		c.progIdx++
+		c.e.Accesses = append(c.e.Accesses, acc)
+		c.assign(s.Dst, val)
+		return nil
+
+	case *lsl.StoreStmt:
+		addr := c.value(s.Addr)
+		c.errIf(c.e.IsPtr(addr).Not(), "store to non-pointer address")
+		acc := &Access{
+			Idx: len(c.e.Accesses), Thread: c.thread, ProgIdx: c.progIdx,
+			IsLoad: false, OpID: c.opID, Group: c.group,
+			Exec: c.live, Addr: addr, Val: c.value(s.Src), AddrReg: s.Addr,
+			Desc: s.String(),
+		}
+		c.progIdx++
+		c.e.Accesses = append(c.e.Accesses, acc)
+		return nil
+
+	case *lsl.FenceStmt:
+		c.e.Fences = append(c.e.Fences, &FenceEv{
+			Thread: c.thread, ProgIdx: c.progIdx, Kind: s.Kind, Exec: c.live,
+		})
+		c.progIdx++
+		return nil
+
+	case *lsl.AtomicStmt:
+		if c.group >= 0 {
+			// Nested atomic blocks merge into the enclosing one.
+			return c.stmts(s.Body, frames)
+		}
+		c.group = c.e.numGroups
+		c.e.numGroups++
+		err := c.stmts(s.Body, frames)
+		c.group = -1
+		return err
+
+	case *lsl.BlockStmt:
+		if s.Loop != lsl.NotLoop {
+			return fmt.Errorf("loop %q survived unrolling", s.Tag)
+		}
+		frame := &blockFrame{tag: s.Tag, broken: bitvec.False}
+		if err := c.stmts(s.Body, append(frames, frame)); err != nil {
+			return err
+		}
+		// Executions that broke out of this block resume here; breaks
+		// to outer blocks remain excluded from the live condition.
+		c.live = b.Or(c.live, frame.broken)
+		return nil
+
+	case *lsl.BreakStmt:
+		cond := c.condTruthy(s.Cond, "break condition")
+		g := b.And(c.live, cond)
+		var target *blockFrame
+		for i := len(frames) - 1; i >= 0; i-- {
+			if frames[i].tag == s.Tag {
+				target = frames[i]
+				break
+			}
+		}
+		if target == nil {
+			return fmt.Errorf("break targets unknown block %q", s.Tag)
+		}
+		target.broken = b.Or(target.broken, g)
+		c.live = b.And(c.live, g.Not())
+		return nil
+
+	case *lsl.ContinueStmt:
+		return fmt.Errorf("continue %q survived unrolling", s.Tag)
+
+	case *lsl.AssertStmt:
+		cond := c.condTruthy(s.Cond, "assertion")
+		c.errIf(cond.Not(), "assertion failed: "+s.Msg)
+		return nil
+
+	case *lsl.AssumeStmt:
+		v := c.value(s.Cond)
+		// An assumption on an undefined value is a runtime error the
+		// checker must be able to observe, so the exclusion
+		// constraint applies only to defined values (otherwise the
+		// constraint would make the erroneous execution infeasible
+		// and hide the bug — e.g. spinning on an uninitialized lock).
+		undef := c.e.IsUndef(v)
+		c.errIf(undef, "undefined value used in assumption")
+		ok := b.AndAll(c.live, undef.Not(), c.errSoFar.Not())
+		c.e.B.Assert(b.Implies(ok, c.e.Truthy(v)))
+		return nil
+
+	case *lsl.OverflowStmt:
+		prev, ok := c.e.Overflow[s.LoopID]
+		if !ok {
+			prev = bitvec.False
+		}
+		c.e.Overflow[s.LoopID] = b.Or(prev, c.live)
+		// Execution past the marker is meaningless; treat the path as
+		// dead (checks assert the marker unreachable anyway).
+		c.live = b.And(c.live, bitvec.False)
+		return nil
+
+	case *lsl.CallStmt:
+		return fmt.Errorf("call to %q survived inlining", s.Proc)
+	case *lsl.AllocStmt:
+		return fmt.Errorf("allocation %q survived unrolling", s.Site)
+	}
+	return fmt.Errorf("unsupported statement %T", s)
+}
+
+func (c *compiler) applyOp(s *lsl.OpStmt) (SymVal, error) {
+	b := c.e.B
+	e := c.e
+	arg := func(i int) SymVal { return c.value(s.Args[i]) }
+
+	switch s.Op {
+	case lsl.OpIdent:
+		return arg(0), nil
+
+	case lsl.OpEq, lsl.OpNe:
+		a, v := arg(0), arg(1)
+		c.errIf(b.Or(e.IsUndef(a), e.IsUndef(v)), "undefined value used in comparison")
+		eq := e.EqVal(a, v)
+		if s.Op == lsl.OpNe {
+			eq = eq.Not()
+		}
+		return e.BoolVal(eq), nil
+
+	case lsl.OpField:
+		a := arg(0)
+		out, invalid := e.AppendComp(a, bitvec.ConstBV(e.W, s.Imm))
+		c.errIf(invalid, "invalid field access")
+		return out, nil
+
+	case lsl.OpIndex:
+		a, idx := arg(0), arg(1)
+		c.errIf(e.IsInt(idx).Not(), "non-integer array index")
+		out, invalid := e.AppendComp(a, idx.Comps[0])
+		c.errIf(invalid, "invalid array index")
+		return out, nil
+
+	case lsl.OpSelect:
+		cond := arg(0)
+		c.errIf(e.IsUndef(cond), "undefined value used in select")
+		return e.MuxVal(e.Truthy(cond), arg(1), arg(2)), nil
+
+	case lsl.OpBool, lsl.OpNot:
+		a := arg(0)
+		c.errIf(e.IsUndef(a), "undefined value used in condition")
+		t := e.Truthy(a)
+		if s.Op == lsl.OpNot {
+			t = t.Not()
+		}
+		return e.BoolVal(t), nil
+
+	case lsl.OpNeg:
+		a := arg(0)
+		c.errIf(e.IsInt(a).Not(), "negation of non-integer")
+		return e.IntVal(b.SubBV(bitvec.ConstBV(e.W, 0), a.Comps[0])), nil
+	}
+
+	// Binary integer operations.
+	a, v := arg(0), arg(1)
+	c.errIf(b.Or(e.IsInt(a).Not(), e.IsInt(v).Not()),
+		fmt.Sprintf("%v applied to non-integers", s.Op))
+	x, y := a.Comps[0], v.Comps[0]
+	switch s.Op {
+	case lsl.OpAdd:
+		return e.IntVal(b.AddBV(x, y)), nil
+	case lsl.OpSub:
+		return e.IntVal(b.SubBV(x, y)), nil
+	case lsl.OpMul:
+		return e.IntVal(b.MulBV(x, y)), nil
+	case lsl.OpLt:
+		return e.BoolVal(b.LtSignedBV(x, y)), nil
+	case lsl.OpLe:
+		return e.BoolVal(b.LeSignedBV(x, y)), nil
+	case lsl.OpGt:
+		return e.BoolVal(b.LtSignedBV(y, x)), nil
+	case lsl.OpGe:
+		return e.BoolVal(b.LeSignedBV(y, x)), nil
+	case lsl.OpAnd:
+		return e.BoolVal(b.And(b.IsZero(x).Not(), b.IsZero(y).Not())), nil
+	case lsl.OpOr:
+		return e.BoolVal(b.Or(b.IsZero(x).Not(), b.IsZero(y).Not())), nil
+	case lsl.OpXor:
+		xw, yw := x.Extend(e.W), y.Extend(e.W)
+		out := make(bitvec.BV, e.W)
+		for i := range out {
+			out[i] = b.Xor(xw[i], yw[i])
+		}
+		return e.IntVal(out), nil
+	}
+	return SymVal{}, fmt.Errorf("unsupported op %v", s.Op)
+}

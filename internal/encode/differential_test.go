@@ -1,0 +1,131 @@
+package encode
+
+import (
+	"math/rand"
+	"testing"
+
+	"checkfence/internal/interp"
+	"checkfence/internal/lsl"
+	"checkfence/internal/memmodel"
+	"checkfence/internal/ranges"
+	"checkfence/internal/sat"
+)
+
+// genProgram builds a random single-threaded program over two memory
+// locations with branches, arithmetic, and memory traffic. It avoids
+// undefined-value uses by initializing memory first.
+func genProgram(rng *rand.Rand) []lsl.Stmt {
+	body := []lsl.Stmt{
+		&lsl.ConstStmt{Dst: "p0", Val: lsl.Ptr(0)},
+		&lsl.ConstStmt{Dst: "p1", Val: lsl.Ptr(1)},
+		&lsl.ConstStmt{Dst: "r0", Val: lsl.Int(int64(rng.Intn(4)))},
+		&lsl.ConstStmt{Dst: "r1", Val: lsl.Int(int64(rng.Intn(4)))},
+		&lsl.StoreStmt{Addr: "p0", Src: "r0"},
+		&lsl.StoreStmt{Addr: "p1", Src: "r1"},
+	}
+	regs := []lsl.Reg{"r0", "r1", "r2", "r3"}
+	// Seed r2, r3.
+	body = append(body,
+		&lsl.OpStmt{Dst: "r2", Op: lsl.OpAdd, Args: []lsl.Reg{"r0", "r1"}},
+		&lsl.OpStmt{Dst: "r3", Op: lsl.OpSub, Args: []lsl.Reg{"r0", "r1"}},
+	)
+	ops := []lsl.Op{lsl.OpAdd, lsl.OpSub, lsl.OpMul, lsl.OpEq, lsl.OpNe,
+		lsl.OpLt, lsl.OpLe, lsl.OpGt, lsl.OpGe, lsl.OpXor}
+	n := 3 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0: // store
+			addr := lsl.Reg([]string{"p0", "p1"}[rng.Intn(2)])
+			body = append(body, &lsl.StoreStmt{Addr: addr, Src: regs[rng.Intn(4)]})
+		case 1: // load
+			addr := lsl.Reg([]string{"p0", "p1"}[rng.Intn(2)])
+			body = append(body, &lsl.LoadStmt{Dst: regs[rng.Intn(4)], Addr: addr})
+		case 2: // guarded block
+			cond := regs[rng.Intn(4)]
+			inner := &lsl.OpStmt{
+				Dst: regs[rng.Intn(4)], Op: ops[rng.Intn(len(ops))],
+				Args: []lsl.Reg{regs[rng.Intn(4)], regs[rng.Intn(4)]},
+			}
+			tag := "b" // nested same-tag blocks are fine lexically
+			body = append(body, &lsl.BlockStmt{Tag: tag, Body: []lsl.Stmt{
+				&lsl.OpStmt{Dst: "gc", Op: lsl.OpBool, Args: []lsl.Reg{cond}},
+				&lsl.BreakStmt{Cond: "gc", Tag: tag},
+				inner,
+			}})
+		case 3: // select
+			body = append(body, &lsl.OpStmt{
+				Dst: regs[rng.Intn(4)], Op: lsl.OpSelect,
+				Args: []lsl.Reg{regs[rng.Intn(4)], regs[rng.Intn(4)], regs[rng.Intn(4)]},
+			})
+		default: // arithmetic
+			body = append(body, &lsl.OpStmt{
+				Dst: regs[rng.Intn(4)], Op: ops[rng.Intn(len(ops))],
+				Args: []lsl.Reg{regs[rng.Intn(4)], regs[rng.Intn(4)]},
+			})
+		}
+	}
+	return body
+}
+
+// TestEncoderMatchesInterpreter: for deterministic single-threaded
+// programs, the SAT encoding must have exactly the execution the
+// interpreter computes — forcing the final register values to the
+// interpreted ones is satisfiable, and forcing any register to a
+// different value is unsatisfiable.
+func TestEncoderMatchesInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	regs := []lsl.Reg{"r0", "r1", "r2", "r3"}
+	for iter := 0; iter < 40; iter++ {
+		body := genProgram(rng)
+
+		p := lsl.NewProgram()
+		p.AddGlobal("g0", 1)
+		p.AddGlobal("g1", 1)
+		m := interp.NewMachine(p)
+		env, err := m.RunBody(body)
+		if err != nil {
+			// The generator can produce undefined-use errors via
+			// skipped loads; such programs are exercised elsewhere.
+			continue
+		}
+
+		for _, model := range []memmodel.Model{memmodel.SequentialConsistency, memmodel.Serial} {
+			info := ranges.Analyze([][]lsl.Stmt{body})
+			e := New(model, info)
+			if err := e.Encode([]Thread{
+				{},
+				{Name: "t", Segments: [][]lsl.Stmt{body}, OpIDs: []int{0}},
+			}); err != nil {
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+			e.B.Assert(e.ErrorNode().Not())
+			for _, r := range regs {
+				want, ok := env[r]
+				if !ok {
+					continue
+				}
+				sv := e.Envs[1][r]
+				e.B.Assert(e.EqVal(sv, e.ConstVal(want)))
+			}
+			if st := e.S.Solve(); st != sat.Sat {
+				t.Fatalf("iter %d (%v): interpreted execution infeasible in encoding", iter, model)
+			}
+			// Determinism: r2 differing from the interpreted value is
+			// impossible.
+			if want, ok := env["r2"]; ok {
+				e2 := New(model, info)
+				if err := e2.Encode([]Thread{
+					{},
+					{Name: "t", Segments: [][]lsl.Stmt{body}, OpIDs: []int{0}},
+				}); err != nil {
+					t.Fatal(err)
+				}
+				e2.B.Assert(e2.ErrorNode().Not())
+				e2.B.Assert(e2.EqVal(e2.Envs[1]["r2"], e2.ConstVal(want)).Not())
+				if st := e2.S.Solve(); st != sat.Unsat {
+					t.Fatalf("iter %d (%v): single-threaded program nondeterministic in encoding", iter, model)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,473 @@
+package encode
+
+import (
+	"fmt"
+
+	"checkfence/internal/bitvec"
+	"checkfence/internal/lsl"
+	"checkfence/internal/memmodel"
+	"checkfence/internal/ranges"
+	"checkfence/internal/sat"
+)
+
+// Access is one memory access (load or store) of the unrolled test.
+type Access struct {
+	Idx     int  // index into Encoder.Accesses
+	Thread  int  // thread index; 0 is the initialization pseudo-thread
+	ProgIdx int  // program-order position within the thread
+	IsLoad  bool // load or store
+	OpID    int  // operation invocation id (-1 for none)
+	Group   int  // atomic block id (-1 for none)
+
+	Exec    bitvec.Node // guard: does this access execute
+	Addr    SymVal
+	Val     SymVal  // store: value written; load: value read
+	AddrReg lsl.Reg // source register of the address, for alias queries
+	Desc    string  // human-readable source form for traces
+}
+
+// FenceEv is a fence occurrence (kept separate from accesses; fences
+// do not participate in the memory order, they constrain it).
+type FenceEv struct {
+	Thread  int
+	ProgIdx int
+	Kind    lsl.FenceKind
+	Exec    bitvec.Node
+}
+
+// ErrCond is a potential runtime error with its condition.
+type ErrCond struct {
+	Cond bitvec.Node
+	Msg  string
+}
+
+// Thread is one input thread: a name, its unrolled operation
+// segments, and the operation ids they belong to.
+type Thread struct {
+	Name string
+	// Segments are compiled in order; all statements of segment i
+	// belong to operation OpIDs[i].
+	Segments [][]lsl.Stmt
+	OpIDs    []int
+}
+
+// Encoder assembles Φ for one (test, model) pair.
+type Encoder struct {
+	S     *sat.Solver
+	B     *bitvec.Builder
+	Model memmodel.Model
+	Info  *ranges.Info
+
+	W int // component bit width
+	D int // pointer depth bound
+
+	Accesses []*Access
+	Fences   []*FenceEv
+	Errors   []ErrCond
+	Overflow map[int]bitvec.Node // loop id -> "bound exhausted" guard
+
+	// Envs[i] is the final register environment of thread i, from
+	// which the harness extracts observed argument/return values.
+	Envs []map[lsl.Reg]SymVal
+
+	order     [][]bitvec.Node // order[i][j] for i<j: node for i <M j
+	numGroups int
+}
+
+// New creates an encoder over a fresh solver.
+func New(model memmodel.Model, info *ranges.Info) *Encoder {
+	s := sat.New()
+	e := &Encoder{
+		S:        s,
+		B:        bitvec.NewBuilder(s),
+		Model:    model,
+		Info:     info,
+		W:        info.IntWidth,
+		D:        info.MaxPtrDepth,
+		Overflow: map[int]bitvec.Node{},
+	}
+	if e.D < 1 {
+		e.D = 1
+	}
+	return e
+}
+
+// Encode compiles all threads and asserts the memory model axioms.
+// Thread 0 must be the initialization pseudo-thread (possibly empty);
+// its accesses are ordered before all others and execute sequentially.
+func (e *Encoder) Encode(threads []Thread) error {
+	for ti, th := range threads {
+		env, err := e.compileThread(ti, th)
+		if err != nil {
+			return fmt.Errorf("encode: thread %d (%s): %w", ti, th.Name, err)
+		}
+		e.Envs = append(e.Envs, env)
+	}
+	e.buildOrder()
+	e.assertOrderAxioms()
+	e.assertValueAxioms()
+	return nil
+}
+
+// mLess returns the node "access i happens before access j in memory
+// order". It is defined for i != j.
+func (e *Encoder) mLess(i, j int) bitvec.Node {
+	if i < j {
+		return e.order[i][j-i-1]
+	}
+	return e.order[j][i-j-1].Not()
+}
+
+// buildOrder allocates the memory order relation. Pairs whose order is
+// fixed by the model (program order under SC/Serial, initialization
+// before everything, atomic-block internal order) become constants,
+// which shrinks the formula considerably without losing executions:
+// the order of non-executed accesses is irrelevant to all other
+// axioms, so fixing it is always sound.
+func (e *Encoder) buildOrder() {
+	n := len(e.Accesses)
+	e.order = make([][]bitvec.Node, n)
+	for i := 0; i < n; i++ {
+		e.order[i] = make([]bitvec.Node, n-i-1)
+		for j := i + 1; j < n; j++ {
+			a, b := e.Accesses[i], e.Accesses[j]
+			var node bitvec.Node
+			switch {
+			case a.Thread == 0 && b.Thread != 0:
+				node = bitvec.True // init precedes everything
+			case b.Thread == 0 && a.Thread != 0:
+				node = bitvec.False
+			case a.Thread == b.Thread && e.progOrderFixed(a, b):
+				node = bitvec.True // accesses are created in program order
+			default:
+				node = e.B.Var()
+			}
+			e.order[i][j-i-1] = node
+		}
+	}
+}
+
+// progOrderFixed reports whether the model forces a (earlier in
+// program order) before b unconditionally: always under SC and
+// Serial, within one atomic block, for the initialization thread, and
+// for the pairs each relaxed model keeps ordered (TSO relaxes only
+// store→load; PSO additionally relaxes store→store, keeping loads in
+// order; Relaxed keeps nothing unconditionally).
+func (e *Encoder) progOrderFixed(a, b *Access) bool {
+	if a.Thread == 0 {
+		return true
+	}
+	if a.Group >= 0 && a.Group == b.Group {
+		return true
+	}
+	switch e.Model {
+	case memmodel.SequentialConsistency, memmodel.Serial:
+		return true
+	case memmodel.TSO:
+		return !(!a.IsLoad && b.IsLoad)
+	case memmodel.PSO:
+		return a.IsLoad
+	default:
+		return false
+	}
+}
+
+// assertOrderAxioms emits transitivity, the model's program-order
+// axioms, fence constraints, and atomicity constraints.
+func (e *Encoder) assertOrderAxioms() {
+	n := len(e.Accesses)
+
+	// Transitivity: two clauses per unordered triple.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a := e.mLess(i, j)
+			for k := j + 1; k < n; k++ {
+				b := e.mLess(j, k)
+				c := e.mLess(i, k)
+				e.B.AssertOr(a.Not(), b.Not(), c)
+				e.B.AssertOr(a, b, c.Not())
+			}
+		}
+	}
+
+	switch e.Model {
+	case memmodel.Relaxed, memmodel.PSO:
+		e.assertSameAddrProgramOrder()
+		e.assertFences()
+	case memmodel.TSO:
+		e.assertFences()
+	}
+	e.assertAtomicity()
+	if e.Model == memmodel.Serial {
+		e.assertSeriality()
+	}
+}
+
+// assertSameAddrProgramOrder emits the conditional same-address
+// program-order axiom of the weak models. For Relaxed it is axiom 1:
+// if x <p y, a(x) = a(y), and y is a store, then x <M y. For PSO only
+// the store→store case remains conditional (load-first pairs are
+// already unconditional); store→load pairs are relaxed (the store
+// buffer forwards).
+func (e *Encoder) assertSameAddrProgramOrder() {
+	for i, a := range e.Accesses {
+		for j, b := range e.Accesses {
+			if a.Thread != b.Thread || a.ProgIdx >= b.ProgIdx || !e.orderFree(i, j) {
+				continue
+			}
+			if b.IsLoad {
+				continue
+			}
+			if e.Model == memmodel.PSO && a.IsLoad {
+				continue // already fixed unconditionally
+			}
+			if !e.Info.MayAlias(a.AddrReg, b.AddrReg) {
+				continue
+			}
+			sameAddr := e.EqVal(a.Addr, b.Addr)
+			e.B.AssertOr(a.Exec.Not(), b.Exec.Not(), sameAddr.Not(), e.mLess(i, j))
+		}
+	}
+}
+
+// orderFree reports whether the order of pair (i,j) is a free variable
+// (not already fixed to a constant).
+func (e *Encoder) orderFree(i, j int) bool {
+	m := e.mLess(i, j)
+	return m != bitvec.True && m != bitvec.False
+}
+
+// assertFences emits the fence axioms: for an X-Y fence f and accesses
+// x <p f <p y with matching kinds, if all three execute then x <M y.
+func (e *Encoder) assertFences() {
+	for _, f := range e.Fences {
+		for i, a := range e.Accesses {
+			if a.Thread != f.Thread || a.ProgIdx >= f.ProgIdx {
+				continue
+			}
+			if !f.Kind.OrdersBefore(a.IsLoad) {
+				continue
+			}
+			for j, b := range e.Accesses {
+				if b.Thread != f.Thread || b.ProgIdx <= f.ProgIdx {
+					continue
+				}
+				if !f.Kind.OrdersAfter(b.IsLoad) || !e.orderFree(i, j) {
+					continue
+				}
+				e.B.AssertOr(a.Exec.Not(), f.Exec.Not(), b.Exec.Not(), e.mLess(i, j))
+			}
+		}
+	}
+}
+
+// assertAtomicity keeps each atomic block contiguous in memory order:
+// for accesses g, g' of one block and any access z outside it,
+// g <M z iff g' <M z. Chaining consecutive members suffices.
+func (e *Encoder) assertAtomicity() {
+	groups := map[int][]int{}
+	for i, a := range e.Accesses {
+		if a.Group >= 0 {
+			groups[a.Group] = append(groups[a.Group], i)
+		}
+	}
+	for _, members := range groups {
+		e.assertContiguous(members, func(z *Access) bool { return true })
+	}
+}
+
+// assertSeriality emits the seriality condition (paper §2.3.2): the
+// accesses of one operation are contiguous with respect to accesses of
+// other threads. (Operations of the same thread are already separated
+// by program order.)
+func (e *Encoder) assertSeriality() {
+	ops := map[[2]int][]int{}
+	for i, a := range e.Accesses {
+		if a.OpID >= 0 && a.Thread != 0 {
+			k := [2]int{a.Thread, a.OpID}
+			ops[k] = append(ops[k], i)
+		}
+	}
+	for k, members := range ops {
+		thread := k[0]
+		e.assertContiguous(members, func(z *Access) bool { return z.Thread != thread })
+	}
+}
+
+// assertContiguous makes the given accesses adjacent in memory order
+// relative to every access z (of a different group) accepted by
+// include.
+func (e *Encoder) assertContiguous(members []int, include func(*Access) bool) {
+	if len(members) < 2 {
+		return
+	}
+	inGroup := map[int]bool{}
+	for _, m := range members {
+		inGroup[m] = true
+	}
+	for z, az := range e.Accesses {
+		if inGroup[z] || !include(az) {
+			continue
+		}
+		for mi := 0; mi+1 < len(members); mi++ {
+			g1, g2 := members[mi], members[mi+1]
+			a := e.mLess(g1, z)
+			b := e.mLess(g2, z)
+			// a <-> b
+			e.B.AssertOr(a.Not(), b)
+			e.B.AssertOr(a, b.Not())
+		}
+	}
+}
+
+// assertValueAxioms emits the Init/Flows constraints that determine
+// load values (axioms 2 and 3 of §2.3.2, for the chosen model's
+// visibility definition).
+func (e *Encoder) assertValueAxioms() {
+	undef := e.UndefVal()
+	for li, l := range e.Accesses {
+		if !l.IsLoad {
+			continue
+		}
+		// visible(s, l) for every store that may alias.
+		type cand struct {
+			si      int
+			visible bitvec.Node
+		}
+		var cands []cand
+		for si, s := range e.Accesses {
+			if s.IsLoad || si == li {
+				continue
+			}
+			if !e.Info.MayAlias(l.AddrReg, s.AddrReg) {
+				continue
+			}
+			sameAddr := e.EqVal(l.Addr, s.Addr)
+			before := e.mLess(si, li)
+			if e.forwards() && s.Thread == l.Thread && s.ProgIdx < l.ProgIdx {
+				// Store forwarding: a program-order-earlier store of
+				// the same thread is visible even if globally later
+				// (store buffering, present in TSO, PSO, and Relaxed).
+				before = bitvec.True
+			}
+			vis := e.B.AndAll(s.Exec, sameAddr, before)
+			if vis == bitvec.False {
+				continue
+			}
+			cands = append(cands, cand{si: si, visible: vis})
+		}
+
+		initV := e.B.Var()
+		// Init_l -> no store is visible; Init_l -> v(l) = undefined.
+		for _, c := range cands {
+			e.B.AssertOr(initV.Not(), c.visible.Not())
+		}
+		e.B.AssertOr(initV.Not(), e.EqVal(l.Val, undef))
+
+		// Flows_{s,l} -> s visible, maximal, and v(l) = v(s).
+		flowNodes := make([]bitvec.Node, 0, len(cands))
+		for ci, c := range cands {
+			flow := e.B.Var()
+			flowNodes = append(flowNodes, flow)
+			e.B.AssertOr(flow.Not(), c.visible)
+			e.B.AssertOr(flow.Not(), e.EqVal(l.Val, e.Accesses[c.si].Val))
+			for cj, c2 := range cands {
+				if ci == cj {
+					continue
+				}
+				// No visible store strictly after s.
+				e.B.AssertOr(flow.Not(), c2.visible.Not(), e.mLess(c2.si, c.si))
+			}
+		}
+		// An executed load reads from initial memory or some store.
+		clause := append([]bitvec.Node{l.Exec.Not(), initV}, flowNodes...)
+		e.B.AssertOr(clause...)
+	}
+}
+
+// forwards reports whether the model has a store buffer with local
+// forwarding.
+func (e *Encoder) forwards() bool {
+	switch e.Model {
+	case memmodel.TSO, memmodel.PSO, memmodel.Relaxed:
+		return true
+	}
+	return false
+}
+
+// ErrorNode returns the disjunction of all runtime error conditions
+// (assertion failures and undefined-value uses).
+func (e *Encoder) ErrorNode() bitvec.Node {
+	nodes := make([]bitvec.Node, len(e.Errors))
+	for i, ec := range e.Errors {
+		nodes[i] = ec.Cond
+	}
+	return e.B.OrAll(nodes...)
+}
+
+// AssertNoOverflow constrains every loop to stay within its unrolling
+// bound (used for regular checking; the lazy-bound probe asserts the
+// opposite in a fresh encoder).
+func (e *Encoder) AssertNoOverflow() {
+	for _, g := range e.Overflow {
+		e.B.Assert(g.Not())
+	}
+}
+
+// AssertSomeOverflow requires that at least one loop exceeds its
+// bound (the probe of paper §3.3).
+func (e *Encoder) AssertSomeOverflow() {
+	nodes := make([]bitvec.Node, 0, len(e.Overflow))
+	for _, g := range e.Overflow {
+		nodes = append(nodes, g)
+	}
+	e.B.AssertOr(nodes...)
+}
+
+// MemOrderNode exposes the circuit node for "access i precedes access
+// j in memory order" (the commit-point method builds on it).
+func (e *Encoder) MemOrderNode(i, j int) bitvec.Node { return e.mLess(i, j) }
+
+// ConstAddrLoc returns the location an access statically addresses,
+// or "" when the address is not a compile-time constant pointer.
+func (e *Encoder) ConstAddrLoc(a *Access) lsl.Loc {
+	if a.Addr.K1 != bitvec.True || a.Addr.K0 != bitvec.False {
+		return ""
+	}
+	var comps []int64
+	for _, bv := range a.Addr.Comps {
+		v, ok := bv.IsConst()
+		if !ok {
+			return ""
+		}
+		if v == 0 {
+			break
+		}
+		comps = append(comps, v-1)
+	}
+	if len(comps) == 0 {
+		return ""
+	}
+	return lsl.LocOf(lsl.PtrFromComponents(comps))
+}
+
+// MemOrderBefore reports, under the solver's current model, whether
+// access i precedes access j in the memory order (trace decoding).
+func (e *Encoder) MemOrderBefore(i, j int) bool {
+	if i == j {
+		return false
+	}
+	return e.B.Eval(e.mLess(i, j))
+}
+
+// OverflowingLoops returns the loop ids whose overflow guard holds in
+// the current model.
+func (e *Encoder) OverflowingLoops() []int {
+	var out []int
+	for id, g := range e.Overflow {
+		if e.B.Eval(g) {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+// Package fenceinfer automates the paper's manual workflow of §4.2:
+// determining where memory ordering fences must be placed. Starting
+// from an implementation variant that carries a candidate fence set
+// (the fences the study placed by hand), it
+//
+//  1. verifies the full set is sufficient for a list of tests,
+//  2. greedily removes fences that all tests tolerate losing, and
+//  3. reports, for the resulting minimal set, which test fails when
+//     each remaining fence is dropped (necessity evidence, paper:
+//     "we verified that these fences are sufficient and necessary
+//     for the tests").
+//
+// Observation sets are mined once per test and reused across fence
+// variants — fences cannot change serial behavior, a fact the paper
+// exploits ("observation sets need not be recomputed after each
+// change to the implementation").
+package fenceinfer
+
+import (
+	"fmt"
+
+	"checkfence/internal/core"
+	"checkfence/internal/harness"
+	"checkfence/internal/memmodel"
+	"checkfence/internal/spec"
+)
+
+// FenceStatus describes one fence of the minimal set.
+type FenceStatus struct {
+	Index       int    // occurrence index in the candidate source
+	Necessary   bool   // true if some test fails without it
+	FailingTest string // a witness test (empty for removable fences)
+}
+
+// Report is the inference result.
+type Report struct {
+	Impl       string
+	Tests      []string
+	Model      memmodel.Model
+	Candidates int   // fences in the candidate set
+	Kept       []int // indices of the minimal sufficient set
+	Removed    []int // indices the tests tolerate losing
+	Status     []FenceStatus
+	// Sufficient is false if even the full candidate set fails some
+	// test (then Kept/Removed are meaningless and FailedTest names
+	// the offender).
+	Sufficient bool
+	FailedTest string
+}
+
+// Minimize computes a minimal sufficient fence set for the named
+// implementation (whose source carries the candidate fences) against
+// the given tests on the given model.
+func Minimize(implName string, tests []string, model memmodel.Model) (*Report, error) {
+	base, err := harness.Get(implName)
+	if err != nil {
+		return nil, err
+	}
+	total := harness.CountFences(base.Source)
+	rep := &Report{Impl: implName, Tests: tests, Model: model, Candidates: total}
+
+	// Mine each test's observation set once, from the full variant.
+	specs := make(map[string]*spec.Set, len(tests))
+	for _, tn := range tests {
+		res, err := core.Check(implName, tn, core.Options{Model: model})
+		if err != nil {
+			return nil, fmt.Errorf("fenceinfer: %s/%s: %w", implName, tn, err)
+		}
+		if !res.Pass {
+			rep.Sufficient = false
+			rep.FailedTest = tn
+			return rep, nil
+		}
+		specs[tn] = res.Spec
+	}
+	rep.Sufficient = true
+
+	// Greedy elimination: try dropping each fence in turn; keep the
+	// drop when every test still passes.
+	dropped := map[int]bool{}
+	passesAll := func(drop map[int]bool) (bool, string, error) {
+		v := withDrops(base, drop)
+		for _, tn := range tests {
+			test, err := harness.GetTest(v, tn)
+			if err != nil {
+				return false, "", err
+			}
+			res, err := core.CheckImpl(v, test, core.Options{Model: model, Spec: specs[tn]})
+			if err != nil {
+				return false, "", err
+			}
+			if !res.Pass {
+				return false, tn, nil
+			}
+		}
+		return true, "", nil
+	}
+
+	for k := 0; k < total; k++ {
+		dropped[k] = true
+		ok, _, err := passesAll(dropped)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			rep.Removed = append(rep.Removed, k)
+		} else {
+			delete(dropped, k)
+		}
+	}
+	for k := 0; k < total; k++ {
+		if !dropped[k] {
+			rep.Kept = append(rep.Kept, k)
+		}
+	}
+
+	// Necessity: each kept fence must have a failing witness when
+	// removed on its own from the minimal set.
+	for _, k := range rep.Kept {
+		trial := map[int]bool{k: true}
+		for d := range dropped {
+			trial[d] = true
+		}
+		ok, witness, err := passesAll(trial)
+		if err != nil {
+			return nil, err
+		}
+		rep.Status = append(rep.Status, FenceStatus{
+			Index: k, Necessary: !ok, FailingTest: witness,
+		})
+	}
+	return rep, nil
+}
+
+func withDrops(base *harness.Impl, drop map[int]bool) *harness.Impl {
+	v := *base
+	v.Name = base.Name + "-inferred"
+	v.Source = harness.RemoveFences(base.Source, drop)
+	return &v
+}

@@ -1,0 +1,61 @@
+package fenceinfer
+
+import (
+	"testing"
+
+	"checkfence/internal/memmodel"
+)
+
+// TestMinimizeMSN runs the fence inference on the Michael-Scott queue
+// against the smallest test. T0 exercises only a subset of the 11
+// published fences, so some must be removable and the kept ones must
+// each have a failing witness.
+func TestMinimizeMSN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many full checks")
+	}
+	rep, err := Minimize("msn", []string{"T0"}, memmodel.Relaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sufficient {
+		t.Fatalf("the published fence set must be sufficient (failed %s)", rep.FailedTest)
+	}
+	if rep.Candidates == 0 {
+		t.Fatal("msn must have candidate fences")
+	}
+	if len(rep.Kept)+len(rep.Removed) != rep.Candidates {
+		t.Errorf("kept %d + removed %d != candidates %d",
+			len(rep.Kept), len(rep.Removed), rep.Candidates)
+	}
+	if len(rep.Kept) == 0 {
+		t.Error("T0 must need at least one fence (store-store for node init)")
+	}
+	for _, st := range rep.Status {
+		if !st.Necessary {
+			t.Errorf("kept fence #%d has no failing witness — minimization incomplete", st.Index)
+		}
+		if st.Necessary && st.FailingTest == "" {
+			t.Errorf("kept fence #%d lacks a witness test name", st.Index)
+		}
+	}
+	t.Logf("candidates=%d kept=%v removed=%v", rep.Candidates, rep.Kept, rep.Removed)
+}
+
+// TestInsufficientSetReported: minimizing an unfenced variant reports
+// insufficiency instead of minimizing garbage.
+func TestInsufficientSetReported(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full checks")
+	}
+	rep, err := Minimize("msn-nofence", []string{"T0"}, memmodel.Relaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sufficient {
+		t.Error("the empty fence set must be reported insufficient")
+	}
+	if rep.FailedTest != "T0" {
+		t.Errorf("failed test = %q", rep.FailedTest)
+	}
+}

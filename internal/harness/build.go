@@ -1,0 +1,254 @@
+package harness
+
+import (
+	"fmt"
+
+	"checkfence/internal/cparse"
+	"checkfence/internal/ctrans"
+	"checkfence/internal/encode"
+	"checkfence/internal/lsl"
+	"checkfence/internal/spec"
+	"checkfence/internal/unroll"
+)
+
+// Built is a fully assembled verification problem before unrolling.
+type Built struct {
+	Impl *Impl
+	Test *Test
+	Unit *ctrans.Unit
+
+	// Threads[0] is the initialization pseudo-thread (init function
+	// call plus the test's serial initialization operations).
+	Threads []ThreadSpec
+	// Entries lists the observed argument/return registers in
+	// canonical order (post-unrolling names).
+	Entries []spec.Entry
+	// CellNames maps out-parameter cell base addresses to labels for
+	// trace rendering.
+	CellNames map[int64]string
+	// ObsOps maps each operation invocation to its observation entry
+	// indices (the commit-point method needs per-operation values).
+	ObsOps []ObsOp
+}
+
+// ObsOp locates one operation invocation's observed values within
+// Built.Entries. Indices are -1 when absent.
+type ObsOp struct {
+	Thread   int
+	Seg      int
+	Mnemonic string
+	NoRetry  bool
+	ArgIdx   int
+	RetIdx   int
+	OutIdx   int
+}
+
+// ThreadSpec is one thread as operation segments of LSL code (calls
+// not yet inlined, loops not yet unrolled).
+type ThreadSpec struct {
+	Name     string
+	Segments [][]lsl.Stmt
+}
+
+// segName is the unroller prefix for a segment; observation entry
+// registers use it.
+func segName(thread, seg int) string { return fmt.Sprintf("t%d.s%d", thread, seg) }
+
+// Build parses and translates the implementation and constructs the
+// harness threads for the test.
+func Build(impl *Impl, test *Test) (*Built, error) {
+	file, err := cparse.Parse(impl.Source)
+	if err != nil {
+		return nil, fmt.Errorf("harness: parse %s: %w", impl.Name, err)
+	}
+	unit, err := ctrans.Translate(file)
+	if err != nil {
+		return nil, fmt.Errorf("harness: translate %s: %w", impl.Name, err)
+	}
+	obj, ok := unit.Prog.GlobalByName(impl.Obj)
+	if !ok {
+		return nil, fmt.Errorf("harness: %s: global object %q not found", impl.Name, impl.Obj)
+	}
+
+	b := &Built{Impl: impl, Test: test, Unit: unit, CellNames: map[int64]string{}}
+
+	// Initialization thread: the init function, then the test's
+	// serial initialization operations.
+	initSegs := [][]lsl.Stmt{{
+		&lsl.ConstStmt{Dst: "obj", Val: lsl.Ptr(obj.Base)},
+		&lsl.CallStmt{Proc: impl.InitFunc, Args: []lsl.Reg{"obj"}},
+	}}
+	initThread := ThreadSpec{Name: "init", Segments: initSegs}
+	for k, inv := range test.Init {
+		seg, err := b.addInvocation(0, k+1, inv, obj.Base)
+		if err != nil {
+			return nil, err
+		}
+		initThread.Segments = append(initThread.Segments, seg)
+	}
+	b.Threads = append(b.Threads, initThread)
+
+	for ti, ops := range test.Threads {
+		th := ThreadSpec{Name: fmt.Sprintf("thread%d", ti+1)}
+		for k, inv := range ops {
+			seg, err := b.addInvocation(ti+1, k, inv, obj.Base)
+			if err != nil {
+				return nil, err
+			}
+			th.Segments = append(th.Segments, seg)
+		}
+		b.Threads = append(b.Threads, th)
+	}
+	return b, nil
+}
+
+// addInvocation builds one invocation and records its observation
+// metadata.
+func (b *Built) addInvocation(thread, seg int, inv Invocation, objBase int64) ([]lsl.Stmt, error) {
+	op, ok := b.Impl.OpByMnemonic(inv.Op)
+	if !ok {
+		return nil, fmt.Errorf("harness: %s has no operation %q", b.Impl.Name, inv.Op)
+	}
+	stmts, entries, err := b.buildInvocation(thread, seg, inv, objBase)
+	if err != nil {
+		return nil, err
+	}
+	oo := ObsOp{Thread: thread, Seg: seg, Mnemonic: inv.Op, NoRetry: inv.NoRetry,
+		ArgIdx: -1, RetIdx: -1, OutIdx: -1}
+	next := len(b.Entries)
+	if op.NumArgs > 0 {
+		oo.ArgIdx = next
+		next += op.NumArgs
+	}
+	if op.HasRet {
+		oo.RetIdx = next
+		next++
+	}
+	if op.HasOut {
+		oo.OutIdx = next
+		next++
+	}
+	b.Entries = append(b.Entries, entries...)
+	b.ObsOps = append(b.ObsOps, oo)
+	return stmts, nil
+}
+
+// buildInvocation emits the LSL statements for one operation call:
+// nondeterministic arguments, the call itself, and observation of the
+// return value and out-parameter.
+func (b *Built) buildInvocation(thread, seg int, inv Invocation, objBase int64) ([]lsl.Stmt, []spec.Entry, error) {
+	op, ok := b.Impl.OpByMnemonic(inv.Op)
+	if !ok {
+		return nil, nil, fmt.Errorf("harness: %s has no operation %q", b.Impl.Name, inv.Op)
+	}
+	prefix := segName(thread, seg)
+	label := func(suffix string) string {
+		return fmt.Sprintf("t%d.%s%d.%s", thread, op.Mnemonic, seg, suffix)
+	}
+	post := func(r lsl.Reg) lsl.Reg { return lsl.Reg(prefix + "/" + string(r)) }
+
+	var stmts []lsl.Stmt
+	var entries []spec.Entry
+
+	stmts = append(stmts, &lsl.ConstStmt{Dst: "obj", Val: lsl.Ptr(objBase)})
+	callArgs := []lsl.Reg{"obj"}
+
+	for a := 0; a < op.NumArgs; a++ {
+		reg := lsl.Reg(fmt.Sprintf("arg%d", a))
+		stmts = append(stmts, &lsl.HavocStmt{Dst: reg, Bits: 1})
+		callArgs = append(callArgs, reg)
+		entries = append(entries, spec.Entry{
+			Label: label(fmt.Sprintf("arg%d", a)), Thread: thread, Reg: post(reg),
+		})
+	}
+
+	var cellReg lsl.Reg
+	if op.HasOut {
+		cell := b.Unit.Prog.AddGlobal(fmt.Sprintf("out.%s", prefix), 1)
+		b.CellNames[cell.Base] = label("cell")
+		cellReg = "outp"
+		stmts = append(stmts, &lsl.ConstStmt{Dst: cellReg, Val: lsl.Ptr(cell.Base)})
+		callArgs = append(callArgs, cellReg)
+	}
+
+	call := &lsl.CallStmt{Proc: op.Func, Args: callArgs, NoRetry: inv.NoRetry}
+	if op.HasRet {
+		call.Rets = []lsl.Reg{"ret"}
+	}
+	stmts = append(stmts, call)
+
+	if op.HasRet {
+		entries = append(entries, spec.Entry{Label: label("ret"), Thread: thread, Reg: post("ret")})
+	}
+	if op.HasOut {
+		// Observe the out-parameter cell, but only when the operation
+		// reported success: *pvalue is unspecified otherwise, so it is
+		// masked to undefined (register "undef" is never assigned).
+		stmts = append(stmts,
+			&lsl.LoadStmt{Dst: "outraw", Addr: cellReg},
+			&lsl.OpStmt{Dst: "out", Op: lsl.OpSelect,
+				Args: []lsl.Reg{"ret", "outraw", "undef"}})
+		entries = append(entries, spec.Entry{Label: label("out"), Thread: thread, Reg: post("out")})
+	}
+	return stmts, entries, nil
+}
+
+// Unrolled is the loop-free, call-free form ready for encoding.
+type Unrolled struct {
+	Threads []encode.Thread
+	Loops   []unroll.LoopInfo
+	Allocs  map[int64]string
+	Bodies  [][]lsl.Stmt // all segments flattened, for the range analysis
+
+	Instrs int
+	Loads  int
+	Stores int
+}
+
+// Unroll expands every thread with the given loop-instance bounds.
+func (b *Built) Unroll(bounds map[string]int) (*Unrolled, error) {
+	u := unroll.New(b.Unit.Prog, unroll.Options{Bounds: bounds})
+	out := &Unrolled{Allocs: map[int64]string{}}
+	for ti, th := range b.Threads {
+		et := encode.Thread{Name: th.Name}
+		for si, seg := range th.Segments {
+			res, err := u.Expand(seg, segName(ti, si))
+			if err != nil {
+				return nil, fmt.Errorf("harness: unroll %s seg %d: %w", th.Name, si, err)
+			}
+			et.Segments = append(et.Segments, res.Body)
+			et.OpIDs = append(et.OpIDs, si)
+			out.Loops = append(out.Loops, res.Loops...)
+			for base, site := range res.Allocs {
+				out.Allocs[base] = site
+			}
+			out.Bodies = append(out.Bodies, res.Body)
+			out.Instrs += lsl.CountStmts(res.Body)
+			l, s := lsl.CountAccesses(res.Body)
+			out.Loads += l
+			out.Stores += s
+		}
+		out.Threads = append(out.Threads, et)
+	}
+	return out, nil
+}
+
+// LoopKey resolves a loop id of this unrolling to its stable key.
+func (u *Unrolled) LoopKey(id int) (string, bool) {
+	for _, li := range u.Loops {
+		if li.ID == id {
+			return li.Key, true
+		}
+	}
+	return "", false
+}
+
+// BoundFor returns the bound used for a loop id in this unrolling.
+func (u *Unrolled) BoundFor(id int) int {
+	for _, li := range u.Loops {
+		if li.ID == id {
+			return li.Bound
+		}
+	}
+	return 1
+}

@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"checkfence/internal/interp"
+	"checkfence/internal/lsl"
+	"checkfence/internal/spec"
+)
+
+// EnumerateSerial computes the serial observation set by directly
+// interpreting the translated implementation: operations execute
+// atomically, threads interleave at operation boundaries, and
+// unspecified arguments range over {0,1}.
+//
+// This is a third, independent way to obtain the specification (next
+// to SAT mining and the refimpl enumeration); the test suite compares
+// all three, which differentially validates the C translation, the
+// interpreter, and the SAT encoding against each other.
+func EnumerateSerial(b *Built) (*spec.Set, error) {
+	m := interp.NewMachine(b.Unit.Prog)
+
+	// Initialization thread runs first, serially. Its operation
+	// segments contribute observations; its argument havocs are
+	// enumerated like any other.
+	set := spec.NewSet()
+	obs := make(spec.Observation, len(b.Entries))
+	for i := range obs {
+		obs[i] = lsl.Undef()
+	}
+
+	e := &serialEnum{built: b, set: set}
+	if err := e.runInit(m, 0, obs); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+type serialEnum struct {
+	built *Built
+	set   *spec.Set
+}
+
+// obsOpFor finds the observation slots for a (thread, seg) pair.
+func (e *serialEnum) obsOpFor(thread, seg int) *ObsOp {
+	for i := range e.built.ObsOps {
+		oo := &e.built.ObsOps[i]
+		if oo.Thread == thread && oo.Seg == seg {
+			return oo
+		}
+	}
+	return nil
+}
+
+// runSegment executes one operation segment atomically under all of
+// its argument choices, invoking cont on each feasible outcome.
+func (e *serialEnum) runSegment(m *interp.Machine, thread, seg int,
+	obs spec.Observation, cont func(*interp.Machine, spec.Observation) error) error {
+
+	oo := e.obsOpFor(thread, seg)
+	numArgs := 0
+	if oo != nil && oo.ArgIdx >= 0 {
+		op, _ := e.built.Impl.OpByMnemonic(oo.Mnemonic)
+		numArgs = op.NumArgs
+	}
+	stmts := e.built.Threads[thread].Segments[seg]
+
+	for mask := int64(0); mask < 1<<uint(numArgs); mask++ {
+		m2 := m.Clone()
+		calls := 0
+		m2.Oracle = func(bits int) int64 {
+			v := mask >> uint(calls) & 1
+			calls++
+			return v
+		}
+		env, err := m2.RunBody(stmts)
+		if errors.Is(err, interp.ErrAssumeFailed) {
+			continue // infeasible under serial semantics
+		}
+		var rte *interp.RuntimeError
+		if errors.As(err, &rte) {
+			return fmt.Errorf("harness: sequential bug in %s (thread %d seg %d): %w",
+				e.built.Impl.Name, thread, seg, rte)
+		}
+		if err != nil {
+			return err
+		}
+		obs2 := append(spec.Observation(nil), obs...)
+		if oo != nil {
+			e.record(oo, env, obs2)
+		}
+		if err := cont(m2, obs2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *serialEnum) record(oo *ObsOp, env map[lsl.Reg]lsl.Value, obs spec.Observation) {
+	get := func(r lsl.Reg) lsl.Value {
+		if v, ok := env[r]; ok {
+			return v
+		}
+		return lsl.Undef()
+	}
+	if oo.ArgIdx >= 0 {
+		op, _ := e.built.Impl.OpByMnemonic(oo.Mnemonic)
+		for a := 0; a < op.NumArgs; a++ {
+			obs[oo.ArgIdx+a] = get(lsl.Reg(fmt.Sprintf("arg%d", a)))
+		}
+	}
+	if oo.RetIdx >= 0 {
+		obs[oo.RetIdx] = get("ret")
+	}
+	if oo.OutIdx >= 0 {
+		obs[oo.OutIdx] = get("out")
+	}
+}
+
+// runInit executes the initialization thread's segments in order,
+// then enumerates the concurrent threads' interleavings.
+func (e *serialEnum) runInit(m *interp.Machine, seg int, obs spec.Observation) error {
+	if seg >= len(e.built.Threads[0].Segments) {
+		pos := make([]int, len(e.built.Threads)-1)
+		return e.interleave(m, pos, obs)
+	}
+	return e.runSegment(m, 0, seg, obs, func(m2 *interp.Machine, obs2 spec.Observation) error {
+		return e.runInit(m2, seg+1, obs2)
+	})
+}
+
+// interleave explores every order of the remaining operations.
+func (e *serialEnum) interleave(m *interp.Machine, pos []int, obs spec.Observation) error {
+	done := true
+	for ti := range pos {
+		if pos[ti] < len(e.built.Threads[ti+1].Segments) {
+			done = false
+			break
+		}
+	}
+	if done {
+		e.set.Add(obs)
+		return nil
+	}
+	for ti := range pos {
+		if pos[ti] >= len(e.built.Threads[ti+1].Segments) {
+			continue
+		}
+		seg := pos[ti]
+		err := e.runSegment(m, ti+1, seg, obs, func(m2 *interp.Machine, obs2 spec.Observation) error {
+			pos2 := append([]int(nil), pos...)
+			pos2[ti]++
+			return e.interleave(m2, pos2, obs2)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

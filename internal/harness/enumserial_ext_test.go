@@ -1,0 +1,51 @@
+package harness_test
+
+import (
+	"testing"
+
+	"checkfence/internal/harness"
+	"checkfence/internal/refimpl"
+)
+
+// TestSerialEnumMatchesRefimpl cross-validates the interpreter-based
+// serial enumeration against the native reference implementations on
+// several implementation/test pairs.
+func TestSerialEnumMatchesRefimpl(t *testing.T) {
+	cases := []struct{ impl, test string }{
+		{"msn", "T0"},
+		{"msn", "Ti2"},
+		{"ms2", "T1"},
+		{"lazylist", "Sac"},
+		{"lazylist", "Sar"},
+		{"harris", "Sac"},
+		{"snark", "D0"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.impl+"/"+c.test, func(t *testing.T) {
+			t.Parallel()
+			impl := harness.Implementations()[c.impl]
+			tst, err := harness.GetTest(impl, c.test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := harness.Build(impl, tst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			interpSet, err := harness.EnumerateSerial(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refSet, err := refimpl.Enumerate(impl, tst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !interpSet.Equal(refSet) {
+				t.Errorf("interp enumeration (%d) != refimpl (%d)\ninterp:\n%srefimpl:\n%s",
+					interpSet.Len(), refSet.Len(),
+					refimpl.FormatSet(interpSet), refimpl.FormatSet(refSet))
+			}
+		})
+	}
+}

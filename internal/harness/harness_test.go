@@ -1,0 +1,265 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"checkfence/internal/lsl"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	impls := Implementations()
+	for _, name := range []string{"ms2", "msn", "lazylist", "harris", "snark",
+		"msn-nofence", "ms2-nofence", "lazylist-nofence", "harris-nofence",
+		"snark-nofence", "lazylist-bug", "msn-commit"} {
+		if _, ok := impls[name]; !ok {
+			t.Errorf("missing implementation %q", name)
+		}
+	}
+}
+
+func TestGetDropFence(t *testing.T) {
+	base, err := Get("msn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := CountFences(base.Source)
+	if total == 0 {
+		t.Fatal("msn must have fences")
+	}
+	v, err := Get("msn-dropfence0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CountFences(v.Source) != total-1 {
+		t.Errorf("dropfence0 has %d fences, want %d", CountFences(v.Source), total-1)
+	}
+	if _, err := Get("msn-dropfenceX"); err == nil {
+		t.Error("bad dropfence suffix must fail")
+	}
+	if _, err := Get("nosuch"); err == nil {
+		t.Error("unknown implementation must fail")
+	}
+}
+
+func TestStripFences(t *testing.T) {
+	src := `a; fence("load-load"); b; fence("store-store"); c;`
+	out := StripFences(src)
+	if CountFences(out) != 0 {
+		t.Errorf("StripFences left fences: %q", out)
+	}
+	if !strings.Contains(out, "a;") || !strings.Contains(out, "c;") {
+		t.Errorf("StripFences damaged code: %q", out)
+	}
+}
+
+func TestStripUnprotectedFencesKeepsLockFences(t *testing.T) {
+	impls := Implementations()
+	ms2nf := impls["ms2-nofence"]
+	// The lock/unlock bodies retain their fences; the queue code does
+	// not.
+	lockIdx := strings.Index(ms2nf.Source, "void lock(")
+	if lockIdx < 0 {
+		t.Fatal("no lock function")
+	}
+	lockEnd := strings.Index(ms2nf.Source[lockIdx:], "\n}")
+	lockBody := ms2nf.Source[lockIdx : lockIdx+lockEnd]
+	if CountFences(lockBody) == 0 {
+		t.Error("lock() must keep its fences in the -nofence variant")
+	}
+	enqIdx := strings.Index(ms2nf.Source, "void enqueue(")
+	if enqIdx < 0 {
+		t.Fatal("no enqueue")
+	}
+	if CountFences(ms2nf.Source[enqIdx:]) != 0 {
+		t.Error("enqueue must lose its fences in the -nofence variant")
+	}
+}
+
+func TestRemoveBugLines(t *testing.T) {
+	impls := Implementations()
+	fixed := impls["lazylist"]
+	buggy := impls["lazylist-bug"]
+	// The buggy variant drops exactly the annotated initialization
+	// line (the sentinels' initializations remain).
+	cnt := func(s string) int { return strings.Count(s, "marked = 0;") }
+	if cnt(buggy.Source) != cnt(fixed.Source)-1 {
+		t.Errorf("buggy variant: %d marked-inits, fixed: %d",
+			cnt(buggy.Source), cnt(fixed.Source))
+	}
+	if strings.Contains(buggy.Source, "BUG:") {
+		t.Error("buggy variant must not contain the annotated line")
+	}
+}
+
+func TestParseTestNotation(t *testing.T) {
+	impl := Implementations()["msn"]
+	tst, err := ParseTest("x", "e ( ed | de )", impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tst.Init) != 1 || tst.Init[0].Op != "e" {
+		t.Errorf("init = %+v", tst.Init)
+	}
+	if len(tst.Threads) != 2 || len(tst.Threads[0]) != 2 {
+		t.Errorf("threads = %+v", tst.Threads)
+	}
+	if tst.Threads[1][0].Op != "d" || tst.Threads[1][1].Op != "e" {
+		t.Errorf("thread 2 = %+v", tst.Threads[1])
+	}
+	if tst.NumOps() != 5 {
+		t.Errorf("NumOps = %d", tst.NumOps())
+	}
+}
+
+func TestParseTestPrimed(t *testing.T) {
+	impl := Implementations()["snark"]
+	tst, err := ParseTest("Dm", "( al' al' al' | rr' rr' rr' | rl' | ar' )", impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tst.Threads) != 4 {
+		t.Fatalf("threads = %d", len(tst.Threads))
+	}
+	for _, th := range tst.Threads {
+		for _, inv := range th {
+			if !inv.NoRetry {
+				t.Errorf("op %s must be primed", inv.Op)
+			}
+		}
+	}
+	// Multi-letter mnemonics parse greedily.
+	if tst.Threads[0][0].Op != "al" || tst.Threads[1][0].Op != "rr" {
+		t.Errorf("ops = %v %v", tst.Threads[0][0], tst.Threads[1][0])
+	}
+}
+
+func TestParseTestErrors(t *testing.T) {
+	impl := Implementations()["msn"]
+	for _, bad := range []string{"e e d", "( )", "( x | y )", "()"} {
+		if _, err := ParseTest("bad", bad, impl); err == nil {
+			t.Errorf("ParseTest(%q) should fail", bad)
+		}
+	}
+}
+
+func TestFig8TablesParse(t *testing.T) {
+	for _, name := range []string{"ms2", "msn", "lazylist", "harris", "snark"} {
+		impl := Implementations()[name]
+		tests, err := TestsFor(impl)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tests) == 0 {
+			t.Errorf("%s has no tests", name)
+		}
+		for _, fig10 := range Fig10Tests[name] {
+			if _, ok := tests[fig10]; !ok {
+				t.Errorf("%s: Fig. 10 test %s not defined", name, fig10)
+			}
+		}
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	impl := Implementations()["msn"]
+	tst, err := GetTest(impl, "Ti2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(impl, tst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// init thread: init_queue + 1 init op; two test threads with 2
+	// ops each.
+	if len(b.Threads) != 3 {
+		t.Fatalf("threads = %d", len(b.Threads))
+	}
+	if len(b.Threads[0].Segments) != 2 {
+		t.Errorf("init segments = %d", len(b.Threads[0].Segments))
+	}
+	if len(b.Threads[1].Segments) != 2 || len(b.Threads[2].Segments) != 2 {
+		t.Errorf("thread segments = %d, %d",
+			len(b.Threads[1].Segments), len(b.Threads[2].Segments))
+	}
+	// Observation: init e (arg), t1: e(arg), d(ret,out), t2: d(ret,out), e(arg)
+	if len(b.Entries) != 1+1+2+2+1 {
+		t.Errorf("entries = %d: %+v", len(b.Entries), b.Entries)
+	}
+	if len(b.ObsOps) != 5 {
+		t.Errorf("obs ops = %d", len(b.ObsOps))
+	}
+}
+
+func TestUnrollProducesLoopFreeCode(t *testing.T) {
+	impl := Implementations()["msn"]
+	tst, err := GetTest(impl, "T0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(impl, tst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := b.Unroll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checkLoopFree func(stmts []lsl.Stmt)
+	checkLoopFree = func(stmts []lsl.Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *lsl.BlockStmt:
+				if s.Loop != lsl.NotLoop {
+					t.Errorf("loop %q survived unrolling", s.Tag)
+				}
+				checkLoopFree(s.Body)
+			case *lsl.AtomicStmt:
+				checkLoopFree(s.Body)
+			case *lsl.CallStmt:
+				t.Errorf("call to %q survived inlining", s.Proc)
+			case *lsl.ContinueStmt:
+				t.Errorf("continue survived unrolling")
+			}
+		}
+	}
+	for _, th := range u.Threads {
+		for _, seg := range th.Segments {
+			checkLoopFree(seg)
+		}
+	}
+	if u.Instrs == 0 || u.Loads == 0 || u.Stores == 0 {
+		t.Errorf("stats: %+v", u)
+	}
+	if len(u.Loops) == 0 {
+		t.Error("msn has retry loops; none recorded")
+	}
+}
+
+func TestUnrollBoundsGrowth(t *testing.T) {
+	impl := Implementations()["msn"]
+	tst, _ := GetTest(impl, "T0")
+	b, _ := Build(impl, tst)
+	u1, err := b.Unroll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := u1.Loops[0].Key
+	u2, err := b.Unroll(map[string]int{key: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2.Instrs <= u1.Instrs {
+		t.Errorf("unrolling with larger bound must grow: %d vs %d", u2.Instrs, u1.Instrs)
+	}
+	found := false
+	for _, li := range u2.Loops {
+		if li.Key == key && li.Bound == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("bound override not applied")
+	}
+}

@@ -1,0 +1,163 @@
+/*
+ * harris: the non-blocking sorted-list set of Harris (DISC'01), as
+ * studied in the paper [16]. Deletion first *marks* a node's next
+ * pointer (logical removal) and then snips it out with a CAS;
+ * traversals help by physically removing marked nodes they pass.
+ *
+ * Harris packs the mark bit into the next pointer's low bit. Here the
+ * (next, marked) pair is a packed structure accessed atomically — the
+ * modeling technique for packed words the paper describes in
+ * footnote 1: the pair read and the pair CAS (cas_next) are atomic
+ * blocks, which gives exactly single-word-CAS semantics without
+ * pointer bit-stealing. cas_next implies no ordering fences, like
+ * cas.
+ *
+ * Keys are restricted to {0,1} by the symbolic tests; the sentinels
+ * use -1 and 2.
+ */
+
+typedef struct node {
+    int key;
+    struct node *next;
+    int marked;
+} node_t;
+
+typedef struct list {
+    struct node *head;
+} list_t;
+
+extern void fence(char *type);
+extern node_t *new_node();
+extern void delete_node(node_t *n);
+
+list_t set;
+
+/* Atomic compare-and-swap on the packed (next, marked) word. */
+bool cas_next(node_t *p, node_t *expNext, int expMark,
+              node_t *newNext, int newMark)
+{
+    atomic {
+        if (p->next == expNext) {
+            if (p->marked == expMark) {
+                p->next = newNext;
+                p->marked = newMark;
+                return true;
+            } else {
+                return false;
+            }
+        } else {
+            return false;
+        }
+    }
+}
+
+void init_set(list_t *l)
+{
+    node_t *tailn = new_node();
+    tailn->key = 2;
+    tailn->next = 0;
+    tailn->marked = 0;
+    node_t *headn = new_node();
+    headn->key = -1;
+    headn->next = tailn;
+    headn->marked = 0;
+    l->head = headn;
+}
+
+bool add(list_t *l, int key)
+{
+    node_t *pred, *curr, *succ, *n;
+    int cmark;
+    while (true) {
+        /* search: find pred/curr with curr the first node >= key,
+         * snipping marked nodes along the way */
+        pred = l->head;
+        fence("load-load");
+        curr = pred->next;
+        fence("load-load");
+        while (true) {
+            atomic { succ = curr->next; cmark = curr->marked; }
+            fence("load-load");
+            if (cmark) {
+                /* curr is logically deleted: try to unlink it */
+                if (!cas_next(pred, curr, 0, succ, 0))
+                    break; /* restart the outer loop */
+                curr = succ;
+                continue;
+            }
+            if (curr->key >= key)
+                break;
+            pred = curr;
+            curr = succ;
+        }
+        if (cmark)
+            continue; /* snip failed; retry from the head */
+        if (curr->key == key)
+            return false;
+        n = new_node();
+        n->key = key;
+        n->next = curr;
+        n->marked = 0;
+        fence("store-store");
+        if (cas_next(pred, curr, 0, n, 0))
+            return true;
+    }
+}
+
+bool remove(list_t *l, int key)
+{
+    node_t *pred, *curr, *succ;
+    int cmark;
+    while (true) {
+        pred = l->head;
+        fence("load-load");
+        curr = pred->next;
+        fence("load-load");
+        while (true) {
+            atomic { succ = curr->next; cmark = curr->marked; }
+            fence("load-load");
+            if (cmark) {
+                if (!cas_next(pred, curr, 0, succ, 0))
+                    break;
+                curr = succ;
+                continue;
+            }
+            if (curr->key >= key)
+                break;
+            pred = curr;
+            curr = succ;
+        }
+        if (cmark)
+            continue;
+        if (curr->key != key)
+            return false;
+        /* logical removal: mark curr's packed word */
+        atomic { succ = curr->next; cmark = curr->marked; }
+        if (cmark)
+            continue;
+        if (!cas_next(curr, succ, 0, succ, 1))
+            continue;
+        /* physical removal (best effort; traversals will help) */
+        cas_next(pred, curr, 0, succ, 0);
+        return true;
+    }
+}
+
+bool contains(list_t *l, int key)
+{
+    node_t *curr;
+    int cmark;
+    curr = l->head;
+    fence("load-load");
+    while (curr->key < key) {
+        curr = curr->next;
+        fence("load-load");
+    }
+    if (curr->key == key) {
+        atomic { cmark = curr->marked; }
+        if (!cmark)
+            return true;
+        return false;
+    }
+    return false;
+}

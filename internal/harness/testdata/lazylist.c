@@ -1,0 +1,140 @@
+/*
+ * lazylist: the lazy concurrent list-based set of Heller, Herlihy,
+ * Luchangco, Moir, Scherer, Shavit (OPODIS'05), as studied in the
+ * paper [6, 18].
+ *
+ * The set is a sorted linked list between two sentinel nodes. add and
+ * remove lock the two affected nodes and validate; removal is done
+ * lazily (logical 'marked' flag first, then physical unlink).
+ * contains is wait-free and lock-free: it traverses without locking
+ * and checks the marked flag.
+ *
+ * The paper found a not-previously-known bug here: the *published*
+ * pseudocode fails to initialize the 'marked' field of a new node.
+ * This file contains the corrected line (n->marked = 0); the harness
+ * derives the buggy variant by removing the line marked BUG below.
+ *
+ * Keys are restricted to {0,1} by the symbolic tests; the sentinels
+ * use -1 and 2.
+ */
+
+typedef enum { free, held } lock_t;
+
+typedef struct node {
+    int key;
+    struct node *next;
+    int marked;
+    lock_t lock;
+} node_t;
+
+typedef struct list {
+    struct node *head;
+} list_t;
+
+extern void fence(char *type);
+extern void lock(lock_t *l);
+extern void unlock(lock_t *l);
+extern node_t *new_node();
+
+list_t set;
+
+void init_set(list_t *l)
+{
+    node_t *tailn = new_node();
+    tailn->key = 2;
+    tailn->next = 0;
+    tailn->marked = 0;
+    tailn->lock = free;
+    node_t *headn = new_node();
+    headn->key = -1;
+    headn->next = tailn;
+    headn->marked = 0;
+    headn->lock = free;
+    l->head = headn;
+}
+
+bool add(list_t *l, int key)
+{
+    while (true) {
+        node_t *pred = l->head;
+        fence("load-load");
+        node_t *curr = pred->next;
+        fence("load-load");
+        while (curr->key < key) {
+            pred = curr;
+            curr = curr->next;
+            fence("load-load");
+        }
+        lock(&pred->lock);
+        lock(&curr->lock);
+        if (!pred->marked && !curr->marked && pred->next == curr) {
+            if (curr->key == key) {
+                unlock(&curr->lock);
+                unlock(&pred->lock);
+                return false;
+            } else {
+                node_t *n = new_node();
+                n->key = key;
+                n->next = curr;
+                n->lock = free;
+                n->marked = 0;  /* BUG: missing in the published pseudocode */
+                fence("store-store");
+                pred->next = n;
+                unlock(&curr->lock);
+                unlock(&pred->lock);
+                return true;
+            }
+        }
+        unlock(&curr->lock);
+        unlock(&pred->lock);
+    }
+}
+
+bool remove(list_t *l, int key)
+{
+    while (true) {
+        node_t *pred = l->head;
+        fence("load-load");
+        node_t *curr = pred->next;
+        fence("load-load");
+        while (curr->key < key) {
+            pred = curr;
+            curr = curr->next;
+            fence("load-load");
+        }
+        lock(&pred->lock);
+        lock(&curr->lock);
+        if (!pred->marked && !curr->marked && pred->next == curr) {
+            if (curr->key != key) {
+                unlock(&curr->lock);
+                unlock(&pred->lock);
+                return false;
+            } else {
+                curr->marked = 1;
+                fence("store-store");
+                pred->next = curr->next;
+                unlock(&curr->lock);
+                unlock(&pred->lock);
+                return true;
+            }
+        }
+        unlock(&curr->lock);
+        unlock(&pred->lock);
+    }
+}
+
+bool contains(list_t *l, int key)
+{
+    node_t *curr = l->head;
+    fence("load-load");
+    while (curr->key < key) {
+        curr = curr->next;
+        fence("load-load");
+    }
+    if (curr->key == key) {
+        if (!curr->marked)
+            return true;
+        return false;
+    }
+    return false;
+}

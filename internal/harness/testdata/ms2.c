@@ -1,0 +1,77 @@
+/*
+ * ms2: the two-lock concurrent queue of Michael and Scott (PODC'96).
+ * The queue is a linked list with a dummy head node and independent
+ * head and tail locks, so one enqueuer and one dequeuer can run
+ * concurrently.
+ *
+ * Because enqueuers and dequeuers take *different* locks, the only
+ * synchronization between them is the linked-list structure itself.
+ * On relaxed models this needs the same fences as the lock-free
+ * algorithms: a store-store fence between node initialization and
+ * linking (enqueue) and a load-load fence between reading the link
+ * and reading through it (dequeue, the dependent-load reordering of
+ * paper §4.3).
+ */
+
+typedef int value_t;
+
+typedef enum { free, held } lock_t;
+
+typedef struct node {
+    struct node *next;
+    value_t value;
+} node_t;
+
+typedef struct queue {
+    node_t *head;
+    node_t *tail;
+    lock_t headlock;
+    lock_t taillock;
+} queue_t;
+
+extern void fence(char *type);
+extern void lock(lock_t *lock);
+extern void unlock(lock_t *lock);
+extern node_t *new_node();
+extern void delete_node(node_t *node);
+
+queue_t q;
+
+void init_queue(queue_t *queue)
+{
+    node_t *node = new_node();
+    node->next = 0;
+    queue->head = queue->tail = node;
+    queue->headlock = free;
+    queue->taillock = free;
+}
+
+void enqueue(queue_t *queue, value_t value)
+{
+    node_t *node = new_node();
+    node->value = value;
+    node->next = 0;
+    fence("store-store");
+    lock(&queue->taillock);
+    queue->tail->next = node;
+    queue->tail = node;
+    unlock(&queue->taillock);
+}
+
+bool dequeue(queue_t *queue, value_t *pvalue)
+{
+    lock(&queue->headlock);
+    node_t *node = queue->head;
+    fence("load-load");
+    node_t *new_head = node->next;
+    if (new_head == 0) {
+        unlock(&queue->headlock);
+        return false;
+    }
+    fence("load-load");
+    *pvalue = new_head->value;
+    queue->head = new_head;
+    unlock(&queue->headlock);
+    delete_node(node);
+    return true;
+}

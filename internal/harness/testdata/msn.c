@@ -1,0 +1,93 @@
+/*
+ * msn: the non-blocking concurrent queue of Michael and Scott
+ * (PODC'96), with the memory ordering fences of the paper's Fig. 9.
+ * The counter that the original pairs with each pointer is omitted,
+ * exactly as in the paper ("it is not required in all contexts").
+ *
+ * Fence inventory (paper §4.3):
+ *   enqueue line "store-store" #1: node initialization before linking
+ *   enqueue "load-load" #1/#2:     tail/next/tail load sequence
+ *   enqueue "store-store" #2:      link before tail advance (CAS order)
+ *   dequeue "load-load" #1-#3:     head/tail/next/head load sequence
+ */
+
+typedef int value_t;
+
+typedef struct node {
+    struct node *next;
+    value_t value;
+} node_t;
+
+typedef struct queue {
+    node_t *head;
+    node_t *tail;
+} queue_t;
+
+extern void assert(int cond);
+extern void fence(char *type);
+extern bool cas(unsigned *loc, unsigned old, unsigned new);
+extern node_t *new_node();
+extern void delete_node(node_t *node);
+
+queue_t q;
+
+void init_queue(queue_t *queue)
+{
+    node_t *node = new_node();
+    node->next = 0;
+    queue->head = queue->tail = node;
+}
+
+void enqueue(queue_t *queue, value_t value)
+{
+    node_t *node, *tail, *next;
+    node = new_node();
+    node->value = value;
+    node->next = 0;
+    fence("store-store");
+    while (true) {
+        tail = queue->tail;
+        fence("load-load");
+        next = tail->next;
+        fence("load-load");
+        if (tail == queue->tail)
+            if (next == 0) {
+                if (cas(&tail->next,
+                        (unsigned) next, (unsigned) node))
+                    break;
+            } else
+                cas(&queue->tail,
+                    (unsigned) tail, (unsigned) next);
+    }
+    fence("store-store");
+    cas(&queue->tail,
+        (unsigned) tail, (unsigned) node);
+}
+
+bool dequeue(queue_t *queue, value_t *pvalue)
+{
+    node_t *head, *tail, *next;
+    while (true) {
+        head = queue->head;
+        fence("load-load");
+        tail = queue->tail;
+        fence("load-load");
+        next = head->next;
+        fence("load-load");
+        if (head == queue->head) {
+            if (head == tail) {
+                if (next == 0)
+                    return false;
+                cas(&queue->tail,
+                    (unsigned) tail, (unsigned) next);
+            } else {
+                *pvalue = next->value;
+                if (cas(&queue->head,
+                        (unsigned) head, (unsigned) next))
+                    break;
+            }
+        }
+    }
+    delete_node(head);
+    return true;
+}

@@ -1,0 +1,126 @@
+/*
+ * msn_commit: the Michael-Scott non-blocking queue (same fences as
+ * msn.c) annotated with commit points for the commit-point baseline
+ * method of the paper's earlier case study [4], used by the Fig. 12
+ * method comparison.
+ *
+ * Annotations:
+ *   - enqueue commits when its CAS links the node (cas_commit on
+ *     tail->next);
+ *   - dequeue commits when its CAS advances the head (cas_commit on
+ *     queue->head), or, for the empty case, when it reads
+ *     head->next == 0 (the atomic load+commit block).
+ *
+ * A commit() is a store to the private __commit cell; executed inside
+ * the atomic block of the deciding access, its memory-order position
+ * is the operation's serialization point. The last executed commit of
+ * an operation wins, so the per-iteration empty-probe commits are
+ * overridden when a later CAS commits the operation.
+ */
+
+typedef int value_t;
+
+typedef struct node {
+    struct node *next;
+    value_t value;
+} node_t;
+
+typedef struct queue {
+    node_t *head;
+    node_t *tail;
+} queue_t;
+
+extern void assert(int cond);
+extern void fence(char *type);
+extern void commit();
+extern node_t *new_node();
+extern void delete_node(node_t *node);
+
+queue_t q;
+
+bool cas(unsigned *loc, unsigned old, unsigned new) {
+    atomic {
+        if (*loc == old) {
+            *loc = new;
+            return true;
+        } else {
+            return false;
+        }
+    }
+}
+
+bool cas_commit(unsigned *loc, unsigned old, unsigned new) {
+    atomic {
+        if (*loc == old) {
+            *loc = new;
+            commit();
+            return true;
+        } else {
+            return false;
+        }
+    }
+}
+
+void init_queue(queue_t *queue)
+{
+    node_t *node = new_node();
+    node->next = 0;
+    queue->head = queue->tail = node;
+}
+
+void enqueue(queue_t *queue, value_t value)
+{
+    node_t *node, *tail, *next;
+    node = new_node();
+    node->value = value;
+    node->next = 0;
+    fence("store-store");
+    while (true) {
+        tail = queue->tail;
+        fence("load-load");
+        next = tail->next;
+        fence("load-load");
+        if (tail == queue->tail)
+            if (next == 0) {
+                if (cas_commit(&tail->next,
+                               (unsigned) next, (unsigned) node))
+                    break;
+            } else
+                cas(&queue->tail,
+                    (unsigned) tail, (unsigned) next);
+    }
+    fence("store-store");
+    cas(&queue->tail,
+        (unsigned) tail, (unsigned) node);
+}
+
+bool dequeue(queue_t *queue, value_t *pvalue)
+{
+    node_t *head, *tail, *next;
+    while (true) {
+        head = queue->head;
+        fence("load-load");
+        tail = queue->tail;
+        fence("load-load");
+        atomic {
+            next = head->next;
+            commit();
+        }
+        fence("load-load");
+        if (head == queue->head) {
+            if (head == tail) {
+                if (next == 0)
+                    return false;
+                cas(&queue->tail,
+                    (unsigned) tail, (unsigned) next);
+            } else {
+                *pvalue = next->value;
+                if (cas_commit(&queue->head,
+                               (unsigned) head, (unsigned) next))
+                    break;
+            }
+        }
+    }
+    delete_node(head);
+    return true;
+}

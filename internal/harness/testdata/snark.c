@@ -1,0 +1,180 @@
+/*
+ * snark: the DCAS-based non-blocking double-ended queue of Detlefs,
+ * Flood, Garthwaite, Martin, Shavit, Steele (DISC'00), as studied in
+ * the paper [8, 10].
+ *
+ * The deque is a doubly-linked list addressed by two hat pointers
+ * (LeftHat, RightHat). A node is off the deque when its outward
+ * pointer points to itself; Dummy is a permanently-dead node the hats
+ * point at when the deque is empty. Pushes splice a node in with a
+ * DCAS on the hat and the neighbor's link; pops move the hat inward
+ * with a DCAS that simultaneously makes the popped node self-pointing.
+ *
+ * This is a reconstruction of the published pseudocode (the paper's
+ * study set), *including its known bugs*: the algorithm as published
+ * is incorrect [10, 26] — e.g. two pops racing on an almost-empty
+ * deque can return the same element. CheckFence is expected to find
+ * observation-set violations on the deque tests (paper §4.1).
+ */
+
+typedef int value_t;
+
+typedef struct node {
+    struct node *L;
+    struct node *R;
+    value_t V;
+} node_t;
+
+typedef struct deque {
+    node_t *LeftHat;
+    node_t *RightHat;
+    node_t *Dummy;
+} deque_t;
+
+extern void fence(char *type);
+extern bool dcas(unsigned *loc1, unsigned *loc2,
+                 unsigned old1, unsigned old2,
+                 unsigned new1, unsigned new2);
+extern node_t *new_node();
+
+deque_t dq;
+
+void init_deque(deque_t *d)
+{
+    node_t *dummy = new_node();
+    dummy->L = dummy;
+    dummy->R = dummy;
+    d->Dummy = dummy;
+    fence("store-store");
+    d->LeftHat = dummy;
+    d->RightHat = dummy;
+}
+
+void pushRight(deque_t *d, value_t v)
+{
+    node_t *nd, *rh, *rhR, *lh;
+    nd = new_node();
+    nd->R = d->Dummy;
+    nd->V = v;
+    fence("store-store");
+    while (true) {
+        rh = d->RightHat;
+        fence("load-load");
+        rhR = rh->R;
+        fence("load-load");
+        if (rhR == rh) {
+            /* right sentinel is dead: deque is empty */
+            nd->L = d->Dummy;
+            fence("store-store");
+            lh = d->LeftHat;
+            if (dcas(&d->RightHat, &d->LeftHat,
+                     (unsigned) rh, (unsigned) lh,
+                     (unsigned) nd, (unsigned) nd))
+                return;
+        } else {
+            nd->L = rh;
+            fence("store-store");
+            if (dcas(&d->RightHat, &rh->R,
+                     (unsigned) rh, (unsigned) rhR,
+                     (unsigned) nd, (unsigned) nd))
+                return;
+        }
+    }
+}
+
+void pushLeft(deque_t *d, value_t v)
+{
+    node_t *nd, *lh, *lhL, *rh;
+    nd = new_node();
+    nd->L = d->Dummy;
+    nd->V = v;
+    fence("store-store");
+    while (true) {
+        lh = d->LeftHat;
+        fence("load-load");
+        lhL = lh->L;
+        fence("load-load");
+        if (lhL == lh) {
+            nd->R = d->Dummy;
+            fence("store-store");
+            rh = d->RightHat;
+            if (dcas(&d->LeftHat, &d->RightHat,
+                     (unsigned) lh, (unsigned) rh,
+                     (unsigned) nd, (unsigned) nd))
+                return;
+        } else {
+            nd->R = lh;
+            fence("store-store");
+            if (dcas(&d->LeftHat, &lh->L,
+                     (unsigned) lh, (unsigned) lhL,
+                     (unsigned) nd, (unsigned) nd))
+                return;
+        }
+    }
+}
+
+bool popRight(deque_t *d, value_t *pvalue)
+{
+    node_t *rh, *lh, *rhL;
+    while (true) {
+        rh = d->RightHat;
+        fence("load-load");
+        lh = d->LeftHat;
+        fence("load-load");
+        if (rh->R == rh)
+            return false; /* empty */
+        if (rh == lh) {
+            /* single node: retire it and point both hats at Dummy */
+            if (dcas(&d->RightHat, &d->LeftHat,
+                     (unsigned) rh, (unsigned) lh,
+                     (unsigned) d->Dummy, (unsigned) d->Dummy)) {
+                fence("load-load");
+                *pvalue = rh->V;
+                return true;
+            }
+        } else {
+            rhL = rh->L;
+            fence("load-load");
+            /* move the hat inward and make rh self-pointing */
+            if (dcas(&d->RightHat, &rh->L,
+                     (unsigned) rh, (unsigned) rhL,
+                     (unsigned) rhL, (unsigned) rh)) {
+                fence("load-load");
+                *pvalue = rh->V;
+                return true;
+            }
+        }
+    }
+}
+
+bool popLeft(deque_t *d, value_t *pvalue)
+{
+    node_t *lh, *rh, *lhR;
+    while (true) {
+        lh = d->LeftHat;
+        fence("load-load");
+        rh = d->RightHat;
+        fence("load-load");
+        if (lh->L == lh)
+            return false; /* empty */
+        if (lh == rh) {
+            if (dcas(&d->LeftHat, &d->RightHat,
+                     (unsigned) lh, (unsigned) rh,
+                     (unsigned) d->Dummy, (unsigned) d->Dummy)) {
+                fence("load-load");
+                *pvalue = lh->V;
+                return true;
+            }
+        } else {
+            lhR = lh->R;
+            fence("load-load");
+            if (dcas(&d->LeftHat, &lh->R,
+                     (unsigned) lh, (unsigned) lhR,
+                     (unsigned) lhR, (unsigned) lh)) {
+                fence("load-load");
+                *pvalue = lh->V;
+                return true;
+            }
+        }
+    }
+}

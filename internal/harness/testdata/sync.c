@@ -1,0 +1,71 @@
+/*
+ * Synchronization primitives, modeled as in the paper.
+ *
+ * cas (Fig. 6) and dcas are atomic blocks: their bodies execute in
+ * program order and never interleave with other threads. Neither
+ * implies any memory ordering fence, matching real hardware where
+ * CAS instructions to different addresses may be reordered (paper
+ * §4.3 "Reordering of CAS operations").
+ *
+ * lock/unlock follow Fig. 7 (SPARC v9 spin lock with partial fences).
+ * The unbounded spin loop is replaced by the paper's reduction for
+ * side-effect-free spin loops: one visible iteration plus the
+ * assumption that it succeeds (failed iterations write `held` over
+ * `held`, which no other thread can observe).
+ */
+
+typedef enum { free, held } lock_t;
+
+extern void fence(char *type);
+extern void assert(int cond);
+extern void assume(int cond);
+
+bool cas(unsigned *loc, unsigned old, unsigned new) {
+    atomic {
+        if (*loc == old) {
+            *loc = new;
+            return true;
+        } else {
+            return false;
+        }
+    }
+}
+
+bool dcas(unsigned *loc1, unsigned *loc2,
+          unsigned old1, unsigned old2,
+          unsigned new1, unsigned new2) {
+    atomic {
+        if (*loc1 == old1) {
+            if (*loc2 == old2) {
+                *loc1 = new1;
+                *loc2 = new2;
+                return true;
+            } else {
+                return false;
+            }
+        } else {
+            return false;
+        }
+    }
+}
+
+void lock(lock_t *lock) {
+    lock_t val;
+    /* spin loop reduced: atomic test-and-set, assumed to succeed */
+    atomic {
+        val = *lock;
+        *lock = held;
+    }
+    assume(val == free);
+    fence("load-load");
+    fence("load-store");
+}
+
+void unlock(lock_t *lock) {
+    fence("load-store");
+    fence("store-store");
+    atomic {
+        assert(*lock == held);
+        *lock = free;
+    }
+}

@@ -1,0 +1,180 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Invocation is one operation call in a test program.
+type Invocation struct {
+	Op      string
+	NoRetry bool // primed form: retry loops restricted to one iteration
+}
+
+// Test is a symbolic test program (paper Fig. 8): an optional
+// initialization sequence executed serially before the threads, and
+// one operation sequence per thread. Operation arguments are left
+// unspecified and chosen nondeterministically from {0, 1}.
+type Test struct {
+	Name    string
+	Init    []Invocation
+	Threads [][]Invocation
+}
+
+// NumOps returns the total number of operation invocations.
+func (t *Test) NumOps() int {
+	n := len(t.Init)
+	for _, th := range t.Threads {
+		n += len(th)
+	}
+	return n
+}
+
+// ParseTest parses the Fig. 8 notation for the given implementation's
+// mnemonics: an optional initialization sequence, then a
+// parenthesized, '|'-separated list of per-thread sequences. A prime
+// (') after an operation restricts its retry loops to one iteration.
+//
+// Example: "aar ( a | c | r )" or "e ( ed | de )" or
+// "( al' | rr' )".
+func ParseTest(name, notation string, impl *Impl) (*Test, error) {
+	open := strings.Index(notation, "(")
+	closeIdx := strings.LastIndex(notation, ")")
+	if open < 0 || closeIdx < open {
+		return nil, fmt.Errorf("harness: test %q: missing thread list parentheses", name)
+	}
+	test := &Test{Name: name}
+	var err error
+	if init := strings.TrimSpace(notation[:open]); init != "" {
+		test.Init, err = parseSeq(init, impl)
+		if err != nil {
+			return nil, fmt.Errorf("harness: test %q init: %w", name, err)
+		}
+	}
+	for _, part := range strings.Split(notation[open+1:closeIdx], "|") {
+		seq, err := parseSeq(strings.TrimSpace(part), impl)
+		if err != nil {
+			return nil, fmt.Errorf("harness: test %q: %w", name, err)
+		}
+		test.Threads = append(test.Threads, seq)
+	}
+	if len(test.Threads) == 0 {
+		return nil, fmt.Errorf("harness: test %q has no threads", name)
+	}
+	return test, nil
+}
+
+func parseSeq(s string, impl *Impl) ([]Invocation, error) {
+	mnems := impl.Mnemonics()
+	var out []Invocation
+	i := 0
+	for i < len(s) {
+		if s[i] == ' ' || s[i] == '\t' {
+			i++
+			continue
+		}
+		matched := false
+		for _, m := range mnems {
+			if strings.HasPrefix(s[i:], m) {
+				inv := Invocation{Op: m}
+				i += len(m)
+				if i < len(s) && s[i] == '\'' {
+					inv.NoRetry = true
+					i++
+				}
+				out = append(out, inv)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("unknown operation at %q", s[i:])
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty operation sequence")
+	}
+	return out, nil
+}
+
+// testTable maps test names to their Fig. 8 notation, grouped by data
+// type kind.
+var testTable = map[string]map[string]string{
+	"queue": {
+		"T0":   "( e | d )",
+		"T1":   "( e | e | d | d )",
+		"Ti2":  "e ( ed | de )",
+		"Ti3":  "e ( de | dde )",
+		"Tpc2": "( ee | dd )",
+		"Tpc3": "( eee | ddd )",
+		"Tpc4": "( eeee | dddd )",
+		"Tpc5": "( eeeee | ddddd )",
+		"Tpc6": "( eeeeee | dddddd )",
+		"T53":  "( eeee | d | d )",
+		"T54":  "( eee | e | d | d )",
+		"T55":  "( ee | e | e | d | d )",
+		"T56":  "( e | e | e | e | d | d )",
+	},
+	"set": {
+		"Sac":    "( a | c )",
+		"Sar":    "( a | r )",
+		"Saa":    "( a | a )",
+		"Sacr":   "( a | c | r )",
+		"Saacr":  "a ( a | c | r )",
+		"Sacr2":  "aar ( a | c | r )",
+		"Saaarr": "aaa ( r | rc )",
+		"Sarr":   "( a | r | r )",
+		"S1":     "( a' | a' | c' | c' | r' | r' )",
+	},
+	"deque": {
+		"D0": "( al rr | ar rl )",
+		"Da": "al al ( rr rr | rl rl )",
+		"Db": "( rr rl | ar | al )",
+		"Dm": "( al' al' al' | rr' rr' rr' | rl' | ar' )",
+		"Dq": "( al' | al' | ar' | ar' | rl' | rl' | rr' | rr' )",
+	},
+}
+
+// TestsFor returns the Fig. 8 tests applicable to an implementation,
+// keyed by name.
+func TestsFor(impl *Impl) (map[string]*Test, error) {
+	table, ok := testTable[impl.Kind]
+	if !ok {
+		return nil, fmt.Errorf("harness: no tests for kind %q", impl.Kind)
+	}
+	out := map[string]*Test{}
+	for name, notation := range table {
+		t, err := ParseTest(name, notation, impl)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = t
+	}
+	return out, nil
+}
+
+// GetTest resolves a test by name for an implementation, also
+// accepting raw Fig. 8 notation.
+func GetTest(impl *Impl, name string) (*Test, error) {
+	tests, err := TestsFor(impl)
+	if err != nil {
+		return nil, err
+	}
+	if t, ok := tests[name]; ok {
+		return t, nil
+	}
+	if strings.Contains(name, "(") {
+		return ParseTest("custom", name, impl)
+	}
+	return nil, fmt.Errorf("harness: unknown test %q for %s", name, impl.Name)
+}
+
+// Fig10Tests lists, per implementation, the tests of the paper's
+// Fig. 10 statistics table in row order.
+var Fig10Tests = map[string][]string{
+	"ms2":      {"T0", "T1", "T53", "T54", "T55", "T56", "Ti2", "Ti3", "Tpc2", "Tpc3", "Tpc4", "Tpc5", "Tpc6"},
+	"msn":      {"T0", "T1", "T53", "Ti2", "Ti3", "Tpc2", "Tpc3", "Tpc4", "Tpc5", "Tpc6"},
+	"lazylist": {"Sac", "Sar", "Sacr", "Saa", "Saacr", "Sacr2", "Sarr", "S1", "Saaarr"},
+	"harris":   {"Sac", "Sar", "Saa", "Sacr"},
+	"snark":    {"Da", "D0", "Db", "Dm", "Dq"},
+}

@@ -1,0 +1,406 @@
+// Package interp is a reference interpreter for LSL programs under
+// sequential (single-thread-at-a-time) semantics.
+//
+// CheckFence uses it in three roles: as a differential-testing oracle
+// for the translator and the SAT encoder, as the fast path for
+// enumerating serial observation sets directly from C code (the
+// "refset" mining variant of the paper's Fig. 11a), and inside the
+// commit-point baseline to compute expected results.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"checkfence/internal/lsl"
+)
+
+// RuntimeError is an LSL-level runtime error (assertion failure or use
+// of an undefined value), i.e. a bug CheckFence reports.
+type RuntimeError struct {
+	Msg string
+}
+
+func (e *RuntimeError) Error() string { return "runtime error: " + e.Msg }
+
+// ErrAssumeFailed marks an execution excluded by an assume statement;
+// it is not a bug, the execution simply does not exist.
+var ErrAssumeFailed = errors.New("interp: assumption failed (execution infeasible)")
+
+// ErrFuel is returned when the step budget is exhausted (runaway
+// loop).
+var ErrFuel = errors.New("interp: step budget exhausted")
+
+// Oracle supplies nondeterministic choices for havoc statements. The
+// enumeration drivers implement it with depth-first search over
+// decision points.
+type Oracle func(bits int) int64
+
+// Machine is a sequential LSL interpreter with a shared memory.
+type Machine struct {
+	Prog   *lsl.Program
+	Mem    map[lsl.Loc]lsl.Value
+	Oracle Oracle
+	Fuel   int
+
+	nextBase int64
+}
+
+// NewMachine creates a machine for the program. Memory starts fully
+// undefined; globals obtain definite values only when stored to
+// (matching the paper's detection of missing initialization).
+func NewMachine(prog *lsl.Program) *Machine {
+	return &Machine{
+		Prog:     prog,
+		Mem:      make(map[lsl.Loc]lsl.Value),
+		Oracle:   func(bits int) int64 { return 0 },
+		Fuel:     100000,
+		nextBase: prog.NextBase,
+	}
+}
+
+// Clone returns a deep copy sharing the program but not the memory,
+// used by enumeration drivers to branch on nondeterminism.
+func (m *Machine) Clone() *Machine {
+	mem := make(map[lsl.Loc]lsl.Value, len(m.Mem))
+	for k, v := range m.Mem {
+		mem[k] = v
+	}
+	return &Machine{Prog: m.Prog, Mem: mem, Oracle: m.Oracle, Fuel: m.Fuel, nextBase: m.nextBase}
+}
+
+type signalKind int
+
+const (
+	sigNone signalKind = iota
+	sigBreak
+	sigContinue
+)
+
+type signal struct {
+	kind signalKind
+	tag  string
+}
+
+type frame struct {
+	env map[lsl.Reg]lsl.Value
+}
+
+// Call executes the named procedure with the given argument values and
+// returns its results.
+func (m *Machine) Call(proc string, args ...lsl.Value) ([]lsl.Value, error) {
+	p, ok := m.Prog.Procs[proc]
+	if !ok {
+		return nil, fmt.Errorf("interp: undefined procedure %q", proc)
+	}
+	if len(args) != len(p.Params) {
+		return nil, fmt.Errorf("interp: %s expects %d args, got %d", proc, len(p.Params), len(args))
+	}
+	f := &frame{env: make(map[lsl.Reg]lsl.Value)}
+	for i, param := range p.Params {
+		f.env[param] = args[i]
+	}
+	sig, err := m.exec(p.Body, f)
+	if err != nil {
+		return nil, err
+	}
+	if sig.kind != sigNone {
+		return nil, fmt.Errorf("interp: %s finished with unresolved %v %q", proc, sig.kind, sig.tag)
+	}
+	results := make([]lsl.Value, len(p.Results))
+	for i, r := range p.Results {
+		if v, ok := f.env[r]; ok {
+			results[i] = v
+		} else {
+			results[i] = lsl.Undef()
+		}
+	}
+	return results, nil
+}
+
+// RunBody executes a statement list in a fresh frame (the harness's
+// per-operation segments) and returns the final register environment.
+func (m *Machine) RunBody(stmts []lsl.Stmt) (map[lsl.Reg]lsl.Value, error) {
+	f := &frame{env: make(map[lsl.Reg]lsl.Value)}
+	sig, err := m.exec(stmts, f)
+	if err != nil {
+		return nil, err
+	}
+	if sig.kind != sigNone {
+		return nil, fmt.Errorf("interp: body finished with unresolved break/continue %q", sig.tag)
+	}
+	return f.env, nil
+}
+
+func (m *Machine) exec(stmts []lsl.Stmt, f *frame) (signal, error) {
+	for _, s := range stmts {
+		if m.Fuel <= 0 {
+			return signal{}, ErrFuel
+		}
+		m.Fuel--
+		sig, err := m.execOne(s, f)
+		if err != nil {
+			return signal{}, err
+		}
+		if sig.kind != sigNone {
+			return sig, nil
+		}
+	}
+	return signal{}, nil
+}
+
+func (m *Machine) reg(f *frame, r lsl.Reg) lsl.Value {
+	if v, ok := f.env[r]; ok {
+		return v
+	}
+	return lsl.Undef()
+}
+
+func (m *Machine) cond(f *frame, r lsl.Reg, ctx string) (bool, error) {
+	v := m.reg(f, r)
+	truthy, ok := v.IsTruthy()
+	if !ok {
+		return false, &RuntimeError{Msg: "undefined value used in " + ctx}
+	}
+	return truthy, nil
+}
+
+func (m *Machine) execOne(s lsl.Stmt, f *frame) (signal, error) {
+	switch s := s.(type) {
+	case *lsl.ConstStmt:
+		f.env[s.Dst] = s.Val
+		return signal{}, nil
+
+	case *lsl.OpStmt:
+		v, err := m.applyOp(s, f)
+		if err != nil {
+			return signal{}, err
+		}
+		f.env[s.Dst] = v
+		return signal{}, nil
+
+	case *lsl.LoadStmt:
+		addr := m.reg(f, s.Addr)
+		if addr.Kind != lsl.KindPtr {
+			return signal{}, &RuntimeError{Msg: fmt.Sprintf("load from non-pointer address %v", addr)}
+		}
+		v, ok := m.Mem[lsl.LocOf(addr)]
+		if !ok {
+			v = lsl.Undef()
+		}
+		f.env[s.Dst] = v
+		return signal{}, nil
+
+	case *lsl.StoreStmt:
+		addr := m.reg(f, s.Addr)
+		if addr.Kind != lsl.KindPtr {
+			return signal{}, &RuntimeError{Msg: fmt.Sprintf("store to non-pointer address %v", addr)}
+		}
+		m.Mem[lsl.LocOf(addr)] = m.reg(f, s.Src)
+		return signal{}, nil
+
+	case *lsl.FenceStmt:
+		return signal{}, nil // no-op under sequential semantics
+
+	case *lsl.AtomicStmt:
+		return m.exec(s.Body, f)
+
+	case *lsl.CallStmt:
+		callee, ok := m.Prog.Procs[s.Proc]
+		if !ok {
+			return signal{}, fmt.Errorf("interp: undefined procedure %q", s.Proc)
+		}
+		args := make([]lsl.Value, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = m.reg(f, a)
+		}
+		rets, err := m.Call(s.Proc, args...)
+		if err != nil {
+			return signal{}, err
+		}
+		if len(s.Rets) > len(callee.Results) {
+			return signal{}, fmt.Errorf("interp: call to %s wants %d results, has %d",
+				s.Proc, len(s.Rets), len(callee.Results))
+		}
+		for i, r := range s.Rets {
+			f.env[r] = rets[i]
+		}
+		return signal{}, nil
+
+	case *lsl.BlockStmt:
+		for {
+			sig, err := m.exec(s.Body, f)
+			if err != nil {
+				return signal{}, err
+			}
+			switch {
+			case sig.kind == sigNone:
+				return signal{}, nil
+			case sig.tag == s.Tag && sig.kind == sigBreak:
+				return signal{}, nil
+			case sig.tag == s.Tag && sig.kind == sigContinue:
+				if s.Loop == lsl.NotLoop {
+					return signal{}, fmt.Errorf("interp: continue on non-loop block %q", s.Tag)
+				}
+				continue
+			default:
+				return sig, nil // propagate to enclosing block
+			}
+		}
+
+	case *lsl.BreakStmt:
+		t, err := m.cond(f, s.Cond, "break condition")
+		if err != nil {
+			return signal{}, err
+		}
+		if t {
+			return signal{kind: sigBreak, tag: s.Tag}, nil
+		}
+		return signal{}, nil
+
+	case *lsl.ContinueStmt:
+		t, err := m.cond(f, s.Cond, "continue condition")
+		if err != nil {
+			return signal{}, err
+		}
+		if t {
+			return signal{kind: sigContinue, tag: s.Tag}, nil
+		}
+		return signal{}, nil
+
+	case *lsl.AssertStmt:
+		t, err := m.cond(f, s.Cond, "assertion")
+		if err != nil {
+			return signal{}, err
+		}
+		if !t {
+			return signal{}, &RuntimeError{Msg: "assertion failed: " + s.Msg}
+		}
+		return signal{}, nil
+
+	case *lsl.AssumeStmt:
+		t, err := m.cond(f, s.Cond, "assumption")
+		if err != nil {
+			return signal{}, err
+		}
+		if !t {
+			return signal{}, ErrAssumeFailed
+		}
+		return signal{}, nil
+
+	case *lsl.HavocStmt:
+		f.env[s.Dst] = lsl.Int(m.Oracle(s.Bits))
+		return signal{}, nil
+
+	case *lsl.AllocStmt:
+		base := m.nextBase
+		m.nextBase++
+		f.env[s.Dst] = lsl.Ptr(base)
+		return signal{}, nil
+
+	case *lsl.OverflowStmt:
+		// Executing an overflow marker means the unrolling bound was
+		// insufficient for this path.
+		return signal{}, fmt.Errorf("interp: loop bound overflow (loop #%d)", s.LoopID)
+	}
+	return signal{}, fmt.Errorf("interp: unsupported statement %T", s)
+}
+
+func (m *Machine) applyOp(s *lsl.OpStmt, f *frame) (lsl.Value, error) {
+	get := func(i int) lsl.Value { return m.reg(f, s.Args[i]) }
+
+	switch s.Op {
+	case lsl.OpIdent:
+		return get(0), nil
+	case lsl.OpEq, lsl.OpNe:
+		a, b := get(0), get(1)
+		if a.Kind == lsl.KindUndef || b.Kind == lsl.KindUndef {
+			return lsl.Undef(), &RuntimeError{Msg: "undefined value used in comparison"}
+		}
+		eq := a.Equal(b)
+		if s.Op == lsl.OpNe {
+			eq = !eq
+		}
+		return lsl.Bool(eq), nil
+	case lsl.OpField:
+		a := get(0)
+		if a.Kind != lsl.KindPtr {
+			return lsl.Undef(), &RuntimeError{Msg: fmt.Sprintf("field access on %v", a)}
+		}
+		v, err := a.Field(s.Imm)
+		if err != nil {
+			return lsl.Undef(), &RuntimeError{Msg: err.Error()}
+		}
+		return v, nil
+	case lsl.OpIndex:
+		a, idx := get(0), get(1)
+		if a.Kind != lsl.KindPtr {
+			return lsl.Undef(), &RuntimeError{Msg: fmt.Sprintf("index on %v", a)}
+		}
+		if idx.Kind != lsl.KindInt {
+			return lsl.Undef(), &RuntimeError{Msg: fmt.Sprintf("non-integer index %v", idx)}
+		}
+		v, err := a.Field(idx.Int)
+		if err != nil {
+			return lsl.Undef(), &RuntimeError{Msg: err.Error()}
+		}
+		return v, nil
+	case lsl.OpSelect:
+		c := get(0)
+		t, ok := c.IsTruthy()
+		if !ok {
+			return lsl.Undef(), &RuntimeError{Msg: "undefined value used in select"}
+		}
+		if t {
+			return get(1), nil
+		}
+		return get(2), nil
+	case lsl.OpBool, lsl.OpNot:
+		a := get(0)
+		t, ok := a.IsTruthy()
+		if !ok {
+			return lsl.Undef(), &RuntimeError{Msg: "undefined value used in condition"}
+		}
+		if s.Op == lsl.OpNot {
+			t = !t
+		}
+		return lsl.Bool(t), nil
+	case lsl.OpNeg:
+		a := get(0)
+		if a.Kind != lsl.KindInt {
+			return lsl.Undef(), &RuntimeError{Msg: fmt.Sprintf("negation of %v", a)}
+		}
+		return lsl.Int(-a.Int), nil
+	}
+
+	// Remaining operators are integer arithmetic/relational.
+	a, b := get(0), get(1)
+	if a.Kind != lsl.KindInt || b.Kind != lsl.KindInt {
+		return lsl.Undef(), &RuntimeError{
+			Msg: fmt.Sprintf("%v applied to non-integers %v, %v", s.Op, a, b)}
+	}
+	x, y := a.Int, b.Int
+	switch s.Op {
+	case lsl.OpAdd:
+		return lsl.Int(x + y), nil
+	case lsl.OpSub:
+		return lsl.Int(x - y), nil
+	case lsl.OpMul:
+		return lsl.Int(x * y), nil
+	case lsl.OpLt:
+		return lsl.Bool(x < y), nil
+	case lsl.OpLe:
+		return lsl.Bool(x <= y), nil
+	case lsl.OpGt:
+		return lsl.Bool(x > y), nil
+	case lsl.OpGe:
+		return lsl.Bool(x >= y), nil
+	case lsl.OpAnd:
+		return lsl.Bool(x != 0 && y != 0), nil
+	case lsl.OpOr:
+		return lsl.Bool(x != 0 || y != 0), nil
+	case lsl.OpXor:
+		return lsl.Int(x ^ y), nil
+	}
+	return lsl.Undef(), fmt.Errorf("interp: unsupported op %v", s.Op)
+}

@@ -1,0 +1,208 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"checkfence/internal/lsl"
+)
+
+func machine() *Machine {
+	p := lsl.NewProgram()
+	p.AddGlobal("g", 1)
+	p.AddProc(&lsl.Proc{
+		Name: "inc", Params: []lsl.Reg{"a"}, Results: []lsl.Reg{"r"},
+		Body: []lsl.Stmt{
+			&lsl.ConstStmt{Dst: "one", Val: lsl.Int(1)},
+			&lsl.OpStmt{Dst: "r", Op: lsl.OpAdd, Args: []lsl.Reg{"a", "one"}},
+		},
+	})
+	return NewMachine(p)
+}
+
+func TestCallAndReturn(t *testing.T) {
+	m := machine()
+	res, err := m.Call("inc", lsl.Int(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || !res[0].Equal(lsl.Int(42)) {
+		t.Errorf("inc(41) = %v", res)
+	}
+	if _, err := m.Call("nosuch"); err == nil {
+		t.Error("unknown procedure must fail")
+	}
+	if _, err := m.Call("inc"); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestMemoryAndClone(t *testing.T) {
+	m := machine()
+	env, err := m.RunBody([]lsl.Stmt{
+		&lsl.ConstStmt{Dst: "p", Val: lsl.Ptr(0)},
+		&lsl.ConstStmt{Dst: "v", Val: lsl.Int(7)},
+		&lsl.StoreStmt{Addr: "p", Src: "v"},
+		&lsl.LoadStmt{Dst: "r", Addr: "p"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env["r"].Equal(lsl.Int(7)) {
+		t.Errorf("r = %v", env["r"])
+	}
+	clone := m.Clone()
+	_, err = clone.RunBody([]lsl.Stmt{
+		&lsl.ConstStmt{Dst: "p", Val: lsl.Ptr(0)},
+		&lsl.ConstStmt{Dst: "v", Val: lsl.Int(9)},
+		&lsl.StoreStmt{Addr: "p", Src: "v"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Mem[lsl.LocOf(lsl.Ptr(0))].Equal(lsl.Int(7)) {
+		t.Error("clone must not share memory")
+	}
+}
+
+func TestLoadUninitializedIsUndef(t *testing.T) {
+	m := machine()
+	env, err := m.RunBody([]lsl.Stmt{
+		&lsl.ConstStmt{Dst: "p", Val: lsl.Ptr(0)},
+		&lsl.LoadStmt{Dst: "r", Addr: "p"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env["r"].IsDefined() {
+		t.Errorf("r = %v, want undefined", env["r"])
+	}
+}
+
+func TestBlocksBreakContinue(t *testing.T) {
+	m := machine()
+	// Loop: c starts 0; continue while c < 3.
+	env, err := m.RunBody([]lsl.Stmt{
+		&lsl.ConstStmt{Dst: "c", Val: lsl.Int(0)},
+		&lsl.ConstStmt{Dst: "one", Val: lsl.Int(1)},
+		&lsl.ConstStmt{Dst: "three", Val: lsl.Int(3)},
+		&lsl.BlockStmt{Tag: "L", Loop: lsl.BoundedLoop, Body: []lsl.Stmt{
+			&lsl.OpStmt{Dst: "c", Op: lsl.OpAdd, Args: []lsl.Reg{"c", "one"}},
+			&lsl.OpStmt{Dst: "again", Op: lsl.OpLt, Args: []lsl.Reg{"c", "three"}},
+			&lsl.ContinueStmt{Cond: "again", Tag: "L"},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env["c"].Equal(lsl.Int(3)) {
+		t.Errorf("c = %v, want 3", env["c"])
+	}
+}
+
+func TestBreakOutOfNestedBlocks(t *testing.T) {
+	m := machine()
+	env, err := m.RunBody([]lsl.Stmt{
+		&lsl.ConstStmt{Dst: "t", Val: lsl.Int(1)},
+		&lsl.ConstStmt{Dst: "r", Val: lsl.Int(0)},
+		&lsl.BlockStmt{Tag: "outer", Body: []lsl.Stmt{
+			&lsl.BlockStmt{Tag: "inner", Body: []lsl.Stmt{
+				&lsl.BreakStmt{Cond: "t", Tag: "outer"},
+			}},
+			&lsl.ConstStmt{Dst: "r", Val: lsl.Int(1)}, // skipped
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env["r"].Equal(lsl.Int(0)) {
+		t.Error("break must skip the rest of the outer block")
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	m := machine()
+	m.Fuel = 100
+	_, err := m.RunBody([]lsl.Stmt{
+		&lsl.ConstStmt{Dst: "t", Val: lsl.Int(1)},
+		&lsl.BlockStmt{Tag: "L", Loop: lsl.BoundedLoop, Body: []lsl.Stmt{
+			&lsl.ContinueStmt{Cond: "t", Tag: "L"},
+		}},
+	})
+	if !errors.Is(err, ErrFuel) {
+		t.Errorf("expected ErrFuel, got %v", err)
+	}
+}
+
+func TestUndefUseErrors(t *testing.T) {
+	cases := [][]lsl.Stmt{
+		{ // branch on undefined
+			&lsl.BlockStmt{Tag: "B", Body: []lsl.Stmt{
+				&lsl.BreakStmt{Cond: "never", Tag: "B"},
+			}},
+		},
+		{ // arithmetic on undefined
+			&lsl.ConstStmt{Dst: "one", Val: lsl.Int(1)},
+			&lsl.OpStmt{Dst: "x", Op: lsl.OpAdd, Args: []lsl.Reg{"never", "one"}},
+		},
+		{ // load through undefined pointer
+			&lsl.LoadStmt{Dst: "x", Addr: "never"},
+		},
+		{ // store through integer
+			&lsl.ConstStmt{Dst: "i", Val: lsl.Int(3)},
+			&lsl.StoreStmt{Addr: "i", Src: "i"},
+		},
+	}
+	for i, body := range cases {
+		m := machine()
+		_, err := m.RunBody(body)
+		var rte *RuntimeError
+		if !errors.As(err, &rte) {
+			t.Errorf("case %d: expected RuntimeError, got %v", i, err)
+		}
+	}
+}
+
+func TestHavocUsesOracle(t *testing.T) {
+	m := machine()
+	m.Oracle = func(bits int) int64 { return 1 }
+	env, err := m.RunBody([]lsl.Stmt{&lsl.HavocStmt{Dst: "h", Bits: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env["h"].Equal(lsl.Int(1)) {
+		t.Errorf("h = %v", env["h"])
+	}
+}
+
+func TestAtomicIsTransparentSequentially(t *testing.T) {
+	m := machine()
+	env, err := m.RunBody([]lsl.Stmt{
+		&lsl.AtomicStmt{Body: []lsl.Stmt{
+			&lsl.ConstStmt{Dst: "x", Val: lsl.Int(5)},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env["x"].Equal(lsl.Int(5)) {
+		t.Errorf("x = %v", env["x"])
+	}
+}
+
+func TestAllocDistinct(t *testing.T) {
+	m := machine()
+	env, err := m.RunBody([]lsl.Stmt{
+		&lsl.AllocStmt{Dst: "a", Site: "s"},
+		&lsl.AllocStmt{Dst: "b", Site: "s"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env["a"].Equal(env["b"]) {
+		t.Error("allocations must differ")
+	}
+	if env["a"].Kind != lsl.KindPtr {
+		t.Error("alloc must return a pointer")
+	}
+}

@@ -1,0 +1,44 @@
+package litmus
+
+import (
+	"testing"
+
+	"checkfence/internal/memmodel"
+)
+
+// TestAllLitmusOutcomes runs every litmus test on both hardware
+// models and checks the observability verdicts against the expected
+// table (the paper's Fig. 2 IRIW among them).
+func TestAllLitmusOutcomes(t *testing.T) {
+	models := []memmodel.Model{memmodel.SequentialConsistency, memmodel.TSO, memmodel.PSO, memmodel.Relaxed}
+	for _, lt := range Tests() {
+		lt := lt
+		t.Run(lt.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, m := range models {
+				observable, err := lt.Observable(m)
+				if err != nil {
+					t.Fatalf("%s on %s: %v", lt.Name, m, err)
+				}
+				if observable != lt.AllowedOn[m] {
+					t.Errorf("%s on %s: observable=%v, expected %v",
+						lt.Name, m, observable, lt.AllowedOn[m])
+				}
+			}
+		})
+	}
+}
+
+// TestSerialForbidsEverything: all the listed outcomes are
+// non-serializable, so the Serial model forbids them too.
+func TestSerialForbidsRelaxedOutcomes(t *testing.T) {
+	for _, lt := range Tests() {
+		observable, err := lt.Observable(memmodel.Serial)
+		if err != nil {
+			t.Fatalf("%s: %v", lt.Name, err)
+		}
+		if observable {
+			t.Errorf("%s: outcome observable under Serial", lt.Name)
+		}
+	}
+}

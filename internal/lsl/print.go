@@ -1,0 +1,119 @@
+package lsl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders a statement in a compact single-line-per-statement
+// form used by traces, tests, and the -dump-lsl debugging flag.
+func (s *ConstStmt) String() string { return fmt.Sprintf("%s = %s", s.Dst, s.Val) }
+
+func (s *OpStmt) String() string {
+	args := make([]string, len(s.Args))
+	for i, a := range s.Args {
+		args[i] = string(a)
+	}
+	if s.Op == OpField {
+		return fmt.Sprintf("%s = field(%s, %d)", s.Dst, args[0], s.Imm)
+	}
+	return fmt.Sprintf("%s = %s(%s)", s.Dst, s.Op, strings.Join(args, ", "))
+}
+
+func (s *StoreStmt) String() string { return fmt.Sprintf("*%s = %s", s.Addr, s.Src) }
+func (s *LoadStmt) String() string  { return fmt.Sprintf("%s = *%s", s.Dst, s.Addr) }
+func (s *FenceStmt) String() string { return fmt.Sprintf("fence %s", s.Kind) }
+
+func (s *AtomicStmt) String() string {
+	return fmt.Sprintf("atomic { %d stmts }", len(s.Body))
+}
+
+func (s *CallStmt) String() string {
+	args := make([]string, len(s.Args))
+	for i, a := range s.Args {
+		args[i] = string(a)
+	}
+	rets := make([]string, len(s.Rets))
+	for i, r := range s.Rets {
+		rets[i] = string(r)
+	}
+	call := fmt.Sprintf("%s(%s)", s.Proc, strings.Join(args, ", "))
+	if len(rets) == 0 {
+		return call
+	}
+	return strings.Join(rets, ", ") + " = " + call
+}
+
+func (s *BlockStmt) String() string {
+	return fmt.Sprintf("%s %s { %d stmts }", s.Loop, s.Tag, len(s.Body))
+}
+
+func (s *BreakStmt) String() string    { return fmt.Sprintf("if (%s) break %s", s.Cond, s.Tag) }
+func (s *ContinueStmt) String() string { return fmt.Sprintf("if (%s) continue %s", s.Cond, s.Tag) }
+func (s *AssertStmt) String() string   { return fmt.Sprintf("assert(%s) // %s", s.Cond, s.Msg) }
+func (s *AssumeStmt) String() string   { return fmt.Sprintf("assume(%s)", s.Cond) }
+func (s *HavocStmt) String() string    { return fmt.Sprintf("%s = havoc(%d bits)", s.Dst, s.Bits) }
+func (s *AllocStmt) String() string    { return fmt.Sprintf("%s = alloc %s", s.Dst, s.Site) }
+func (s *OverflowStmt) String() string { return fmt.Sprintf("overflow loop#%d", s.LoopID) }
+
+// Format renders a statement list with nesting, for debugging dumps.
+func Format(stmts []Stmt) string {
+	var sb strings.Builder
+	formatInto(&sb, stmts, 0)
+	return sb.String()
+}
+
+func formatInto(sb *strings.Builder, stmts []Stmt, indent int) {
+	pad := strings.Repeat("  ", indent)
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *BlockStmt:
+			fmt.Fprintf(sb, "%s%s %s {\n", pad, s.Loop, s.Tag)
+			formatInto(sb, s.Body, indent+1)
+			fmt.Fprintf(sb, "%s}\n", pad)
+		case *AtomicStmt:
+			fmt.Fprintf(sb, "%satomic {\n", pad)
+			formatInto(sb, s.Body, indent+1)
+			fmt.Fprintf(sb, "%s}\n", pad)
+		default:
+			fmt.Fprintf(sb, "%s%s\n", pad, s)
+		}
+	}
+}
+
+// CountStmts returns the number of non-block statements in a statement
+// tree. It is the "instrs" metric of the paper's Fig. 10 table.
+func CountStmts(stmts []Stmt) int {
+	n := 0
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *BlockStmt:
+			n += CountStmts(s.Body)
+		case *AtomicStmt:
+			n += CountStmts(s.Body)
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// CountAccesses returns the number of loads and stores in a statement
+// tree.
+func CountAccesses(stmts []Stmt) (loads, stores int) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *BlockStmt:
+			l, st := CountAccesses(s.Body)
+			loads, stores = loads+l, stores+st
+		case *AtomicStmt:
+			l, st := CountAccesses(s.Body)
+			loads, stores = loads+l, stores+st
+		case *LoadStmt:
+			loads++
+		case *StoreStmt:
+			stores++
+		}
+	}
+	return loads, stores
+}

@@ -1,0 +1,215 @@
+package lsl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	if Undef().IsDefined() {
+		t.Error("Undef reported defined")
+	}
+	if !Int(3).IsDefined() || !Ptr(1, 2).IsDefined() {
+		t.Error("defined values reported undefined")
+	}
+	if Int(1).Kind != KindInt || Ptr(0).Kind != KindPtr {
+		t.Error("wrong kinds")
+	}
+}
+
+func TestValueTruthiness(t *testing.T) {
+	cases := []struct {
+		v      Value
+		truthy bool
+		ok     bool
+	}{
+		{Int(0), false, true},
+		{Int(1), true, true},
+		{Int(-7), true, true},
+		{Ptr(0), true, true},
+		{Ptr(3, 1), true, true},
+		{Undef(), false, false},
+	}
+	for _, c := range cases {
+		truthy, ok := c.v.IsTruthy()
+		if truthy != c.truthy || ok != c.ok {
+			t.Errorf("IsTruthy(%v) = %v,%v want %v,%v", c.v, truthy, ok, c.truthy, c.ok)
+		}
+	}
+}
+
+func TestValueEqualCrossKind(t *testing.T) {
+	// The untyped semantics: a null pointer is the integer 0, and a
+	// real pointer never equals an integer.
+	if Ptr(0).Equal(Int(0)) {
+		t.Error("pointer [0] must not equal integer 0")
+	}
+	if Int(0).Equal(Undef()) || Undef().Equal(Int(0)) {
+		t.Error("undef must not equal int")
+	}
+	if !Undef().Equal(Undef()) {
+		t.Error("undef equals undef")
+	}
+}
+
+func TestValueEqualPointers(t *testing.T) {
+	if !Ptr(1, 2, 3).Equal(Ptr(1, 2, 3)) {
+		t.Error("identical pointers unequal")
+	}
+	if Ptr(1, 2).Equal(Ptr(1, 2, 0)) {
+		t.Error("pointers of different depth must be unequal")
+	}
+	if Ptr(1, 2).Equal(Ptr(1, 3)) {
+		t.Error("pointers with different offsets must be unequal")
+	}
+}
+
+func TestValueField(t *testing.T) {
+	p := Ptr(5)
+	q, err := p.Field(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Equal(Ptr(5, 2)) {
+		t.Errorf("Field: got %v", q)
+	}
+	if _, err := Int(1).Field(0); err == nil {
+		t.Error("Field on integer must fail")
+	}
+	deep := Ptr(1, 1, 1, 1)
+	if _, err := deep.Field(0); err == nil {
+		t.Error("Field beyond MaxPtrDepth must fail")
+	}
+	// Field must not alias the receiver's backing array.
+	r, _ := p.Field(7)
+	s, _ := p.Field(9)
+	if r.Ptr[1] != 7 || s.Ptr[1] != 9 {
+		t.Error("Field shares backing storage between results")
+	}
+}
+
+func TestLocOf(t *testing.T) {
+	if LocOf(Ptr(1, 2, 3)) != Loc("1.2.3") {
+		t.Errorf("LocOf = %q", LocOf(Ptr(1, 2, 3)))
+	}
+	if LocOf(Ptr(12)) == LocOf(Ptr(1, 2)) {
+		t.Error("LocOf must be injective")
+	}
+}
+
+func TestLocOfInjectiveQuick(t *testing.T) {
+	f := func(a, b int8, c, d int8) bool {
+		p := Ptr(int64(a), int64(b))
+		q := Ptr(int64(c), int64(d))
+		return p.Equal(q) == (LocOf(p) == LocOf(q))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualSymmetricQuick(t *testing.T) {
+	gen := func(sel uint8, n int8, b int8, c int8) Value {
+		switch sel % 3 {
+		case 0:
+			return Undef()
+		case 1:
+			return Int(int64(n))
+		default:
+			return Ptr(int64(b), int64(c))
+		}
+	}
+	f := func(s1 uint8, n1, b1, c1 int8, s2 uint8, n2, b2, c2 int8) bool {
+		v := gen(s1, n1, b1, c1)
+		w := gen(s2, n2, b2, c2)
+		return v.Equal(w) == w.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFenceKindOrdering(t *testing.T) {
+	// Each X-Y fence orders X-type accesses before it and Y-type after.
+	type row struct {
+		k                       FenceKind
+		loadBefore, storeBefore bool
+		loadAfter, storeAfter   bool
+	}
+	rows := []row{
+		{FenceLoadLoad, true, false, true, false},
+		{FenceLoadStore, true, false, false, true},
+		{FenceStoreLoad, false, true, true, false},
+		{FenceStoreStore, false, true, false, true},
+	}
+	for _, r := range rows {
+		if r.k.OrdersBefore(true) != r.loadBefore ||
+			r.k.OrdersBefore(false) != r.storeBefore ||
+			r.k.OrdersAfter(true) != r.loadAfter ||
+			r.k.OrdersAfter(false) != r.storeAfter {
+			t.Errorf("fence %v ordering predicate wrong", r.k)
+		}
+	}
+}
+
+func TestParseFenceKind(t *testing.T) {
+	for _, k := range []FenceKind{FenceLoadLoad, FenceLoadStore, FenceStoreLoad, FenceStoreStore} {
+		got, err := ParseFenceKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("round trip %v: got %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseFenceKind("full"); err == nil {
+		t.Error("ParseFenceKind must reject unknown names")
+	}
+}
+
+func TestCountStmtsAndAccesses(t *testing.T) {
+	body := []Stmt{
+		&ConstStmt{Dst: "r1", Val: Int(0)},
+		&BlockStmt{Tag: "t", Body: []Stmt{
+			&LoadStmt{Dst: "r2", Addr: "r1"},
+			&AtomicStmt{Body: []Stmt{
+				&LoadStmt{Dst: "r3", Addr: "r1"},
+				&StoreStmt{Addr: "r1", Src: "r3"},
+			}},
+		}},
+		&StoreStmt{Addr: "r1", Src: "r2"},
+	}
+	if n := CountStmts(body); n != 5 {
+		t.Errorf("CountStmts = %d, want 5", n)
+	}
+	loads, stores := CountAccesses(body)
+	if loads != 2 || stores != 2 {
+		t.Errorf("CountAccesses = %d,%d want 2,2", loads, stores)
+	}
+}
+
+func TestProgramGlobals(t *testing.T) {
+	p := NewProgram()
+	g1 := p.AddGlobal("x", 1)
+	g2 := p.AddGlobal("y", 3)
+	if g1.Base == g2.Base {
+		t.Error("globals must get distinct bases")
+	}
+	got, ok := p.GlobalByName("y")
+	if !ok || got.Base != g2.Base || got.Size != 3 {
+		t.Errorf("GlobalByName(y) = %+v, %v", got, ok)
+	}
+	if _, ok := p.GlobalByName("z"); ok {
+		t.Error("GlobalByName must fail for unknown names")
+	}
+}
+
+func TestFormatNesting(t *testing.T) {
+	body := []Stmt{
+		&BlockStmt{Tag: "outer", Loop: BoundedLoop, Body: []Stmt{
+			&BreakStmt{Cond: "c", Tag: "outer"},
+		}},
+	}
+	s := Format(body)
+	want := "loop outer {\n  if (c) break outer\n}\n"
+	if s != want {
+		t.Errorf("Format = %q, want %q", s, want)
+	}
+}

@@ -1,0 +1,107 @@
+// Package memmodel defines the memory consistency models CheckFence
+// checks against (paper §2.3).
+//
+// Three models are supported:
+//
+//   - SequentialConsistency: Lamport's classic model. The memory order
+//     must extend program order, and each load reads the latest store
+//     to its address in memory order.
+//
+//   - Relaxed: the paper's common conservative approximation of SPARC
+//     TSO/PSO/RMO, Alpha, and IBM 370/390/z. It permits reordering of
+//     accesses to different addresses, store buffering with local
+//     forwarding, reordering of loads to the same address, and
+//     reordering of dependent instructions. Program order is enforced
+//     only from an access to a *later store to the same address*, by
+//     memory ordering fences, and inside atomic blocks.
+//
+//   - Serial: the specification-side "model" used for mining: a single
+//     processor interleaves the threads and operations execute
+//     atomically (sequential consistency plus operation contiguity).
+//
+// The axioms themselves are encoded in package encode; this package
+// carries the identity, ordering-strength relation, and parsing.
+package memmodel
+
+import "fmt"
+
+// Model identifies a memory consistency model.
+type Model uint8
+
+// The supported models. TSO and PSO are extensions beyond the paper's
+// two hardware models: they instantiate the same axiomatic framework
+// for the stronger SPARC models the paper names in §2.3.3, making the
+// §4.2 observation checkable ("on some architectures, such as Sun
+// TSO, these fences are automatic and the algorithm works without
+// inserting any fences").
+const (
+	SequentialConsistency Model = iota
+	Relaxed
+	Serial
+	// TSO (total store order): only store→load program order is
+	// relaxed (FIFO store buffer with local forwarding).
+	TSO
+	// PSO (partial store order): additionally relaxes store→store to
+	// different addresses (non-FIFO store buffer); loads stay ordered.
+	PSO
+)
+
+func (m Model) String() string {
+	switch m {
+	case SequentialConsistency:
+		return "sc"
+	case Relaxed:
+		return "relaxed"
+	case Serial:
+		return "serial"
+	case TSO:
+		return "tso"
+	case PSO:
+		return "pso"
+	default:
+		return fmt.Sprintf("Model(%d)", uint8(m))
+	}
+}
+
+// Parse converts a model name to a Model.
+func Parse(s string) (Model, error) {
+	switch s {
+	case "sc", "sequential", "sequential-consistency":
+		return SequentialConsistency, nil
+	case "relaxed", "rmo":
+		return Relaxed, nil
+	case "serial", "atomic":
+		return Serial, nil
+	case "tso":
+		return TSO, nil
+	case "pso":
+		return PSO, nil
+	}
+	return 0, fmt.Errorf("memmodel: unknown model %q", s)
+}
+
+// StrongerThan reports whether every execution trace allowed by m is
+// also allowed by other (paper §2.3.3: seriality > sequential
+// consistency > TSO > PSO > Relaxed).
+func (m Model) StrongerThan(other Model) bool {
+	rank := func(x Model) int {
+		switch x {
+		case Serial:
+			return 4
+		case SequentialConsistency:
+			return 3
+		case TSO:
+			return 2
+		case PSO:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return rank(m) >= rank(other)
+}
+
+// All lists the supported models in decreasing strength.
+func All() []Model {
+	return []Model{Serial, SequentialConsistency, TSO, PSO, Relaxed}
+}

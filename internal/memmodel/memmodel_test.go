@@ -1,0 +1,39 @@
+package memmodel
+
+import "testing"
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, m := range All() {
+		got, err := Parse(m.String())
+		if err != nil || got != m {
+			t.Errorf("Parse(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := Parse("itanium"); err == nil {
+		t.Error("unknown model must fail")
+	}
+	if m, err := Parse("rmo"); err != nil || m != Relaxed {
+		t.Errorf("rmo alias: %v, %v", m, err)
+	}
+}
+
+func TestStrength(t *testing.T) {
+	// Seriality > SC > TSO > PSO > Relaxed (paper §2.3.3 plus the
+	// SPARC models it names).
+	order := All()
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if !order[i].StrongerThan(order[j]) {
+				t.Errorf("%v must be stronger than %v", order[i], order[j])
+			}
+			if order[j].StrongerThan(order[i]) {
+				t.Errorf("%v must not be stronger than %v", order[j], order[i])
+			}
+		}
+	}
+	for _, m := range All() {
+		if !m.StrongerThan(m) {
+			t.Errorf("%v must be as strong as itself", m)
+		}
+	}
+}

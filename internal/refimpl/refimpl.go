@@ -1,0 +1,363 @@
+// Package refimpl provides small, fast reference implementations of
+// the three abstract data types of the study set (queue, set, deque)
+// and a serial-execution enumerator over them.
+//
+// This is the paper's "refset" path (Fig. 11a): instead of mining the
+// observation set from the concurrent C implementation with the SAT
+// solver, the set is computed by explicitly enumerating all atomic
+// interleavings of the test's operations against a trivially correct
+// sequential implementation. Both paths must produce identical sets —
+// the test suite checks this, which differentially validates the SAT
+// encoder and the C translation.
+package refimpl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"checkfence/internal/harness"
+	"checkfence/internal/lsl"
+	"checkfence/internal/spec"
+)
+
+// Machine is a sequential abstract data type instance.
+type Machine interface {
+	// Apply executes one operation. arg is ignored when the operation
+	// takes no argument. ret and out follow the harness observation
+	// conventions: ret is Int(0/1) (or Undef when the operation has no
+	// return value, in which case it is not observed), out is the
+	// produced value or Undef.
+	Apply(op string, arg int64) (ret, out lsl.Value)
+	// Key renders the state canonically, for memoization.
+	Key() string
+	// Clone copies the machine.
+	Clone() Machine
+}
+
+// Queue is a FIFO queue of small integers.
+type Queue struct{ items []int64 }
+
+// Apply implements Machine.
+func (q *Queue) Apply(op string, arg int64) (lsl.Value, lsl.Value) {
+	switch op {
+	case "e":
+		q.items = append(q.items, arg)
+		return lsl.Undef(), lsl.Undef()
+	case "d":
+		if len(q.items) == 0 {
+			return lsl.Int(0), lsl.Undef()
+		}
+		v := q.items[0]
+		q.items = q.items[1:]
+		return lsl.Int(1), lsl.Int(v)
+	}
+	panic("refimpl: unknown queue op " + op)
+}
+
+// Key implements Machine.
+func (q *Queue) Key() string { return fmt.Sprint(q.items) }
+
+// Clone implements Machine.
+func (q *Queue) Clone() Machine { return &Queue{items: append([]int64(nil), q.items...)} }
+
+// Set is a set of small integers.
+type Set struct{ member map[int64]bool }
+
+// NewSet returns an empty set.
+func NewSet() *Set { return &Set{member: map[int64]bool{}} }
+
+// Apply implements Machine.
+func (s *Set) Apply(op string, arg int64) (lsl.Value, lsl.Value) {
+	switch op {
+	case "a":
+		if s.member[arg] {
+			return lsl.Int(0), lsl.Undef()
+		}
+		s.member[arg] = true
+		return lsl.Int(1), lsl.Undef()
+	case "c":
+		return lsl.Bool(s.member[arg]), lsl.Undef()
+	case "r":
+		if !s.member[arg] {
+			return lsl.Int(0), lsl.Undef()
+		}
+		delete(s.member, arg)
+		return lsl.Int(1), lsl.Undef()
+	}
+	panic("refimpl: unknown set op " + op)
+}
+
+// Key implements Machine.
+func (s *Set) Key() string {
+	keys := make([]int64, 0, len(s.member))
+	for k := range s.member {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return fmt.Sprint(keys)
+}
+
+// Clone implements Machine.
+func (s *Set) Clone() Machine {
+	m := map[int64]bool{}
+	for k, v := range s.member {
+		m[k] = v
+	}
+	return &Set{member: m}
+}
+
+// Deque is a double-ended queue of small integers.
+type Deque struct{ items []int64 }
+
+// Apply implements Machine.
+func (d *Deque) Apply(op string, arg int64) (lsl.Value, lsl.Value) {
+	switch op {
+	case "al":
+		d.items = append([]int64{arg}, d.items...)
+		return lsl.Undef(), lsl.Undef()
+	case "ar":
+		d.items = append(d.items, arg)
+		return lsl.Undef(), lsl.Undef()
+	case "rl":
+		if len(d.items) == 0 {
+			return lsl.Int(0), lsl.Undef()
+		}
+		v := d.items[0]
+		d.items = d.items[1:]
+		return lsl.Int(1), lsl.Int(v)
+	case "rr":
+		if len(d.items) == 0 {
+			return lsl.Int(0), lsl.Undef()
+		}
+		v := d.items[len(d.items)-1]
+		d.items = d.items[:len(d.items)-1]
+		return lsl.Int(1), lsl.Int(v)
+	}
+	panic("refimpl: unknown deque op " + op)
+}
+
+// Key implements Machine.
+func (d *Deque) Key() string { return fmt.Sprint(d.items) }
+
+// Clone implements Machine.
+func (d *Deque) Clone() Machine { return &Deque{items: append([]int64(nil), d.items...)} }
+
+// NewMachine creates the reference machine for a data type kind.
+func NewMachine(kind string) (Machine, error) {
+	switch kind {
+	case "queue":
+		return &Queue{}, nil
+	case "set":
+		return NewSet(), nil
+	case "deque":
+		return &Deque{}, nil
+	}
+	return nil, fmt.Errorf("refimpl: unknown kind %q", kind)
+}
+
+// opSlot describes where one operation's observation values live in
+// the flat observation vector.
+type opSlot struct {
+	op        harness.OpSig
+	argIdx    int // index of the argument entry, -1 if none
+	retIdx    int
+	outIdx    int
+	argValues int // number of argument entries (0 or 1)
+}
+
+// layout computes, in the harness's canonical entry order, the slots
+// of every operation: init ops first, then threads in order.
+func layout(impl *harness.Impl, test *harness.Test) (slots [][]opSlot, initSlots []opSlot, total int, err error) {
+	next := 0
+	mk := func(inv harness.Invocation) (opSlot, error) {
+		op, ok := impl.OpByMnemonic(inv.Op)
+		if !ok {
+			return opSlot{}, fmt.Errorf("refimpl: unknown op %q", inv.Op)
+		}
+		s := opSlot{op: op, argIdx: -1, retIdx: -1, outIdx: -1}
+		if op.NumArgs > 0 {
+			s.argIdx = next
+			s.argValues = op.NumArgs
+			next += op.NumArgs
+		}
+		if op.HasRet {
+			s.retIdx = next
+			next++
+		}
+		if op.HasOut {
+			s.outIdx = next
+			next++
+		}
+		return s, nil
+	}
+	for _, inv := range test.Init {
+		s, err := mk(inv)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		initSlots = append(initSlots, s)
+	}
+	for _, th := range test.Threads {
+		var ts []opSlot
+		for _, inv := range th {
+			s, err := mk(inv)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			ts = append(ts, s)
+		}
+		slots = append(slots, ts)
+	}
+	return slots, initSlots, next, nil
+}
+
+// Enumerate computes the serial observation set of a test by
+// exhaustive enumeration: all argument assignments from {0,1} and all
+// atomic interleavings of the threads' operations. Suffix observation
+// sets are memoized on (machine state, thread positions), which keeps
+// the larger Fig. 8 tests tractable.
+func Enumerate(impl *harness.Impl, test *harness.Test) (*spec.Set, error) {
+	threadSlots, initSlots, total, err := layout(impl, test)
+	if err != nil {
+		return nil, err
+	}
+	base, err := NewMachine(impl.Kind)
+	if err != nil {
+		return nil, err
+	}
+
+	// Enumerate the argument assignment for every operation that
+	// takes one: flatten all arg slots.
+	var argSlots []*opSlot
+	for i := range initSlots {
+		if initSlots[i].argIdx >= 0 {
+			argSlots = append(argSlots, &initSlots[i])
+		}
+	}
+	for ti := range threadSlots {
+		for i := range threadSlots[ti] {
+			if threadSlots[ti][i].argIdx >= 0 {
+				argSlots = append(argSlots, &threadSlots[ti][i])
+			}
+		}
+	}
+	if len(argSlots) > 20 {
+		return nil, fmt.Errorf("refimpl: too many arguments (%d)", len(argSlots))
+	}
+
+	result := spec.NewSet()
+	args := make(map[*opSlot]int64, len(argSlots))
+	for mask := 0; mask < 1<<uint(len(argSlots)); mask++ {
+		for i, s := range argSlots {
+			args[s] = int64(mask >> uint(i) & 1)
+		}
+		obs := make(spec.Observation, total)
+		for i := range obs {
+			obs[i] = lsl.Undef()
+		}
+		m := base.Clone()
+		// Serial init prefix.
+		for i := range initSlots {
+			applySlot(m, &initSlots[i], args, obs)
+		}
+		e := &enumerator{slots: threadSlots, args: args, memo: map[string][]partial{}}
+		pos := make([]int, len(threadSlots))
+		for _, suffix := range e.run(m, pos) {
+			full := append(spec.Observation(nil), obs...)
+			for _, kv := range suffix {
+				full[kv.idx] = kv.val
+			}
+			result.Add(full)
+		}
+	}
+	return result, nil
+}
+
+type kv struct {
+	idx int
+	val lsl.Value
+}
+
+// partial is a suffix observation: values for the entries of
+// operations executed from some (state, positions) point on.
+type partial []kv
+
+type enumerator struct {
+	slots [][]opSlot
+	args  map[*opSlot]int64
+	memo  map[string][]partial
+}
+
+func applySlot(m Machine, s *opSlot, args map[*opSlot]int64, obs spec.Observation) []kv {
+	arg := int64(0)
+	var out []kv
+	if s.argIdx >= 0 {
+		arg = args[s]
+		if obs != nil {
+			obs[s.argIdx] = lsl.Int(arg)
+		}
+		out = append(out, kv{s.argIdx, lsl.Int(arg)})
+	}
+	ret, outV := m.Apply(s.op.Mnemonic, arg)
+	if s.retIdx >= 0 {
+		if obs != nil {
+			obs[s.retIdx] = ret
+		}
+		out = append(out, kv{s.retIdx, ret})
+	}
+	if s.outIdx >= 0 {
+		if obs != nil {
+			obs[s.outIdx] = outV
+		}
+		out = append(out, kv{s.outIdx, outV})
+	}
+	return out
+}
+
+func (e *enumerator) run(m Machine, pos []int) []partial {
+	done := true
+	for ti, p := range pos {
+		if p < len(e.slots[ti]) {
+			done = false
+			_ = ti
+			break
+		}
+	}
+	if done {
+		return []partial{nil}
+	}
+	key := m.Key() + "|" + fmt.Sprint(pos)
+	if cached, ok := e.memo[key]; ok {
+		return cached
+	}
+	var results []partial
+	for ti := range e.slots {
+		if pos[ti] >= len(e.slots[ti]) {
+			continue
+		}
+		slot := &e.slots[ti][pos[ti]]
+		m2 := m.Clone()
+		prefix := applySlot(m2, slot, e.args, nil)
+		pos2 := append([]int(nil), pos...)
+		pos2[ti]++
+		for _, suffix := range e.run(m2, pos2) {
+			p := make(partial, 0, len(prefix)+len(suffix))
+			p = append(p, prefix...)
+			p = append(p, suffix...)
+			results = append(results, p)
+		}
+	}
+	e.memo[key] = results
+	return results
+}
+
+// FormatSet renders an observation set compactly for debugging.
+func FormatSet(s *spec.Set) string {
+	var sb strings.Builder
+	for _, o := range s.All() {
+		sb.WriteString(o.Key())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

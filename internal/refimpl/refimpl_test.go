@@ -1,0 +1,173 @@
+package refimpl
+
+import (
+	"testing"
+
+	"checkfence/internal/harness"
+	"checkfence/internal/lsl"
+)
+
+func TestQueueSemantics(t *testing.T) {
+	q := &Queue{}
+	if ret, _ := q.Apply("d", 0); !ret.Equal(lsl.Int(0)) {
+		t.Error("dequeue on empty must return false")
+	}
+	q.Apply("e", 1)
+	q.Apply("e", 0)
+	ret, out := q.Apply("d", 0)
+	if !ret.Equal(lsl.Int(1)) || !out.Equal(lsl.Int(1)) {
+		t.Errorf("first dequeue = %v, %v", ret, out)
+	}
+	ret, out = q.Apply("d", 0)
+	if !ret.Equal(lsl.Int(1)) || !out.Equal(lsl.Int(0)) {
+		t.Errorf("second dequeue = %v, %v (FIFO)", ret, out)
+	}
+}
+
+func TestSetSemantics(t *testing.T) {
+	s := NewSet()
+	if ret, _ := s.Apply("c", 1); !ret.Equal(lsl.Int(0)) {
+		t.Error("contains on empty must be false")
+	}
+	if ret, _ := s.Apply("a", 1); !ret.Equal(lsl.Int(1)) {
+		t.Error("first add must succeed")
+	}
+	if ret, _ := s.Apply("a", 1); !ret.Equal(lsl.Int(0)) {
+		t.Error("second add must fail")
+	}
+	if ret, _ := s.Apply("c", 1); !ret.Equal(lsl.Int(1)) {
+		t.Error("contains must now be true")
+	}
+	if ret, _ := s.Apply("r", 1); !ret.Equal(lsl.Int(1)) {
+		t.Error("remove must succeed")
+	}
+	if ret, _ := s.Apply("r", 1); !ret.Equal(lsl.Int(0)) {
+		t.Error("second remove must fail")
+	}
+}
+
+func TestDequeSemantics(t *testing.T) {
+	d := &Deque{}
+	d.Apply("al", 1) // [1]
+	d.Apply("ar", 0) // [1 0]
+	d.Apply("al", 0) // [0 1 0]
+	if ret, out := d.Apply("rr", 0); !ret.Equal(lsl.Int(1)) || !out.Equal(lsl.Int(0)) {
+		t.Errorf("popRight = %v, %v", ret, out)
+	}
+	if ret, out := d.Apply("rl", 0); !ret.Equal(lsl.Int(1)) || !out.Equal(lsl.Int(0)) {
+		t.Errorf("popLeft = %v, %v", ret, out)
+	}
+	if ret, out := d.Apply("rl", 0); !ret.Equal(lsl.Int(1)) || !out.Equal(lsl.Int(1)) {
+		t.Errorf("popLeft = %v, %v", ret, out)
+	}
+	if ret, _ := d.Apply("rr", 0); !ret.Equal(lsl.Int(0)) {
+		t.Error("deque must now be empty")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := &Queue{}
+	q.Apply("e", 1)
+	q2 := q.Clone()
+	q2.Apply("d", 0)
+	if ret, _ := q.Apply("d", 0); !ret.Equal(lsl.Int(1)) {
+		t.Error("clone must not share state")
+	}
+	s := NewSet()
+	s.Apply("a", 1)
+	s2 := s.Clone()
+	s2.Apply("r", 1)
+	if ret, _ := s.Apply("c", 1); !ret.Equal(lsl.Int(1)) {
+		t.Error("set clone must not share state")
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	a := NewSet()
+	a.Apply("a", 1)
+	a.Apply("a", 0)
+	b := NewSet()
+	b.Apply("a", 0)
+	b.Apply("a", 1)
+	if a.Key() != b.Key() {
+		t.Errorf("set keys must be order independent: %q vs %q", a.Key(), b.Key())
+	}
+}
+
+func enumerate(t *testing.T, implName, testName string) int {
+	t.Helper()
+	impl, err := harness.Get(implName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := harness.GetTest(impl, testName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := Enumerate(impl, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set.Len()
+}
+
+func TestEnumerateT0(t *testing.T) {
+	// T0 = (e | d): arg A in {0,1}; dequeue either misses (false,
+	// undef) or gets A. 2 args x 2 outcomes = 4 observations.
+	if n := enumerate(t, "msn", "T0"); n != 4 {
+		t.Errorf("T0 observations = %d, want 4", n)
+	}
+}
+
+func TestEnumerateTpc2(t *testing.T) {
+	// Tpc2 = (ee | dd): known small set (paper: sets are small).
+	n := enumerate(t, "msn", "Tpc2")
+	if n == 0 || n > 64 {
+		t.Errorf("Tpc2 observations = %d, implausible", n)
+	}
+	// FIFO sanity: enumerate by hand for fixed args (1,0):
+	// dd sees: (miss,miss), (1,miss), (1,0) — never 0 before 1.
+	impl, _ := harness.Get("msn")
+	test, _ := harness.GetTest(impl, "Tpc2")
+	set, err := Enumerate(impl, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range set.All() {
+		// layout: e.arg, e.arg, d.ret, d.out, d.ret, d.out
+		a1, a2 := o[0], o[1]
+		r1, v1 := o[2], o[3]
+		r2, v2 := o[4], o[5]
+		if a1.Equal(lsl.Int(1)) && a2.Equal(lsl.Int(0)) &&
+			r1.Equal(lsl.Int(1)) && r2.Equal(lsl.Int(1)) {
+			if !v1.Equal(lsl.Int(1)) || !v2.Equal(lsl.Int(0)) {
+				t.Errorf("FIFO violated in refimpl enumeration: %v", o.Key())
+			}
+		}
+	}
+}
+
+func TestEnumerateDq(t *testing.T) {
+	// Dq is the deep 8-thread deque test; the memoized enumeration
+	// must handle it.
+	n := enumerate(t, "snark", "Dq")
+	if n == 0 {
+		t.Error("Dq must have observations")
+	}
+	t.Logf("Dq observation set: %d", n)
+}
+
+func TestEnumerateInitSequence(t *testing.T) {
+	// Sacr2 = aar (a | c | r): the init ops' returns are observed and
+	// deterministic per argument assignment.
+	n := enumerate(t, "lazylist", "Sacr2")
+	if n == 0 {
+		t.Error("Sacr2 must have observations")
+	}
+}
+
+func TestNewMachineUnknownKind(t *testing.T) {
+	if _, err := NewMachine("tree"); err == nil {
+		t.Error("unknown kind must fail")
+	}
+}

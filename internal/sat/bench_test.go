@@ -1,0 +1,65 @@
+package sat
+
+import "testing"
+
+// pigeonholeInstance builds the PHP(n+1, n) UNSAT instance.
+func pigeonholeInstance(s *Solver, n int) {
+	p := make([][]int, n+1)
+	for i := range p {
+		p[i] = make([]int, n)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i <= n; i++ {
+		lits := make([]Lit, n)
+		for j := 0; j < n; j++ {
+			lits[j] = Pos(p[i][j])
+		}
+		s.AddClause(lits...)
+	}
+	for j := 0; j < n; j++ {
+		for i1 := 0; i1 <= n; i1++ {
+			for i2 := i1 + 1; i2 <= n; i2++ {
+				s.AddClause(Neg(p[i1][j]), Neg(p[i2][j]))
+			}
+		}
+	}
+}
+
+// BenchmarkRestartPolicy is the solver-level ablation: Glucose-style
+// LBD restarts vs. the classic Luby schedule on a hard UNSAT family.
+func BenchmarkRestartPolicy(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		policy RestartPolicy
+	}{
+		{"glucose", RestartGlucose},
+		{"luby", RestartLuby},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var conflicts int64
+			for i := 0; i < b.N; i++ {
+				s := New()
+				s.SetRestartPolicy(tc.policy)
+				pigeonholeInstance(s, 8)
+				if s.Solve() != Unsat {
+					b.Fatal("pigeonhole must be UNSAT")
+				}
+				conflicts = s.Stats().Conflicts
+			}
+			b.ReportMetric(float64(conflicts), "conflicts")
+		})
+	}
+}
+
+func TestRestartPoliciesAgree(t *testing.T) {
+	for _, p := range []RestartPolicy{RestartGlucose, RestartLuby} {
+		s := New()
+		s.SetRestartPolicy(p)
+		pigeonholeInstance(s, 6)
+		if s.Solve() != Unsat {
+			t.Errorf("policy %v: pigeonhole must be UNSAT", p)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package trace decodes satisfying assignments of the inclusion check
+// into human-readable counterexample traces: the executed memory
+// accesses of every thread, annotated with their values and sorted by
+// the memory order the SAT solver chose.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"checkfence/internal/encode"
+	"checkfence/internal/harness"
+	"checkfence/internal/lsl"
+	"checkfence/internal/memmodel"
+	"checkfence/internal/spec"
+)
+
+// Event is one executed memory access in the counterexample.
+type Event struct {
+	MemOrder   int // position in the memory order <M
+	Thread     int
+	ThreadName string
+	IsLoad     bool
+	Addr       lsl.Value
+	AddrName   string // symbolic rendering of the address
+	Val        lsl.Value
+	Desc       string // source form of the instruction
+}
+
+// Trace is a decoded counterexample.
+type Trace struct {
+	Model       memmodel.Model
+	Events      []Event
+	Observation spec.Observation
+	Entries     []spec.Entry
+	IsErr       bool
+	ErrMsg      string
+}
+
+// Build extracts a trace from an encoder whose solver holds a
+// counterexample model.
+func Build(enc *encode.Encoder, built *harness.Built, unrolled *harness.Unrolled,
+	cex *spec.Counterexample) *Trace {
+
+	names := map[int64]string{}
+	for _, g := range built.Unit.Prog.Globals {
+		names[g.Base] = g.Name
+	}
+	for base, site := range unrolled.Allocs {
+		names[base] = shortSite(site, base)
+	}
+
+	t := &Trace{
+		Model:       enc.Model,
+		Observation: cex.Obs,
+		Entries:     built.Entries,
+		IsErr:       cex.IsErr,
+		ErrMsg:      cex.Err,
+	}
+
+	type ordered struct {
+		ev     Event
+		before int // number of accesses ordered before it
+	}
+	var evs []ordered
+	for i, a := range enc.Accesses {
+		if !enc.B.Eval(a.Exec) {
+			continue
+		}
+		before := 0
+		for j := range enc.Accesses {
+			if j == i || !enc.B.Eval(enc.Accesses[j].Exec) {
+				continue
+			}
+			if enc.MemOrderBefore(j, i) {
+				before++
+			}
+		}
+		addr := enc.EvalVal(a.Addr)
+		name := ""
+		tname := "init"
+		if a.Thread > 0 && a.Thread < len(unrolled.Threads) {
+			tname = unrolled.Threads[a.Thread].Name
+		}
+		if addr.Kind == lsl.KindPtr {
+			name = renderAddr(addr, names)
+		}
+		evs = append(evs, ordered{
+			ev: Event{
+				Thread: a.Thread, ThreadName: tname, IsLoad: a.IsLoad,
+				Addr: addr, AddrName: name, Val: enc.EvalVal(a.Val),
+				Desc: a.Desc,
+			},
+			before: before,
+		})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].before < evs[j].before })
+	for i, o := range evs {
+		o.ev.MemOrder = i
+		t.Events = append(t.Events, o.ev)
+	}
+	return t
+}
+
+func shortSite(site string, base int64) string {
+	// Site keys look like "t1.s0/0:enqueue/new"; keep the function
+	// and number the object by base for readability.
+	parts := strings.Split(site, "/")
+	fn := parts[len(parts)-1]
+	if len(parts) >= 2 {
+		seg := parts[len(parts)-2]
+		if i := strings.Index(seg, ":"); i >= 0 {
+			fn = seg[i+1:]
+		}
+	}
+	return fmt.Sprintf("node%d(%s)", base, fn)
+}
+
+func renderAddr(addr lsl.Value, names map[int64]string) string {
+	base := addr.Ptr[0]
+	name, ok := names[base]
+	if !ok {
+		name = fmt.Sprintf("obj%d", base)
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	for _, off := range addr.Ptr[1:] {
+		fmt.Fprintf(&sb, ".%d", off)
+	}
+	return sb.String()
+}
+
+// String renders the trace.
+func (t *Trace) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "counterexample on model %s\n", t.Model)
+	if t.IsErr {
+		fmt.Fprintf(&sb, "runtime error: %s\n", t.ErrMsg)
+	}
+	fmt.Fprintf(&sb, "observation: %s\n", t.Observation.Format(t.Entries))
+	fmt.Fprintf(&sb, "memory order (%d accesses):\n", len(t.Events))
+	for _, ev := range t.Events {
+		kind := "store"
+		if ev.IsLoad {
+			kind = "load "
+		}
+		addr := ev.AddrName
+		if addr == "" {
+			addr = ev.Addr.String()
+		}
+		fmt.Fprintf(&sb, "  %3d  [%-8s] %s %-18s = %-10s ; %s\n",
+			ev.MemOrder, ev.ThreadName, kind, addr, ev.Val, ev.Desc)
+	}
+	return sb.String()
+}

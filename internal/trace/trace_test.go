@@ -1,0 +1,65 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"checkfence/internal/core"
+	"checkfence/internal/memmodel"
+)
+
+// TestTraceRendering builds a real counterexample (unfenced msn on
+// Relaxed) and checks the decoded trace.
+func TestTraceRendering(t *testing.T) {
+	res, err := core.Check("msn-nofence", "T0", core.Options{Model: memmodel.Relaxed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass || res.Cex == nil {
+		t.Fatal("expected a counterexample")
+	}
+	tr := res.Cex
+	if len(tr.Events) == 0 {
+		t.Fatal("trace has no events")
+	}
+	// Events are sorted by memory order.
+	for i, ev := range tr.Events {
+		if ev.MemOrder != i {
+			t.Errorf("event %d has MemOrder %d", i, ev.MemOrder)
+		}
+	}
+	// The initialization stores come first (ordered before all).
+	if tr.Events[0].ThreadName != "init" {
+		t.Errorf("first event thread = %q, want init", tr.Events[0].ThreadName)
+	}
+	// Addresses are rendered symbolically: the queue global and node
+	// objects must appear.
+	s := tr.String()
+	if !strings.Contains(s, "counterexample on model relaxed") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(s, "q.") && !strings.Contains(s, "node") {
+		t.Errorf("no symbolic addresses in trace:\n%s", s)
+	}
+	if !strings.Contains(s, "observation:") {
+		t.Error("missing observation line")
+	}
+}
+
+// TestSeqBugTraceRendering: sequential bugs decode against the Serial
+// encoder.
+func TestSeqBugTraceRendering(t *testing.T) {
+	res, err := core.Check("lazylist-bug", "Sac", core.Options{Model: memmodel.SequentialConsistency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass || res.Cex == nil {
+		t.Fatal("expected a counterexample")
+	}
+	if !res.Cex.IsErr {
+		t.Error("lazylist-bug manifests as a runtime error")
+	}
+	if !strings.Contains(res.Cex.String(), "runtime error") {
+		t.Error("error must be rendered")
+	}
+}

@@ -1,0 +1,99 @@
+package unroll
+
+import (
+	"math/rand"
+	"testing"
+
+	"checkfence/internal/interp"
+	"checkfence/internal/lsl"
+)
+
+// genLoopProgram builds a random program with a counted loop (at most
+// maxIter iterations), conditional breaks, and memory traffic. The
+// interpreter can run it directly (real loops) and after unrolling
+// (bounded); with a sufficient bound both must agree.
+func genLoopProgram(rng *rand.Rand, maxIter int64) []lsl.Stmt {
+	regs := []lsl.Reg{"a", "b", "c"}
+	var body []lsl.Stmt
+	body = append(body,
+		&lsl.ConstStmt{Dst: "p", Val: lsl.Ptr(0)},
+		&lsl.ConstStmt{Dst: "one", Val: lsl.Int(1)},
+		&lsl.ConstStmt{Dst: "zero", Val: lsl.Int(0)},
+		&lsl.ConstStmt{Dst: "n", Val: lsl.Int(1 + rng.Int63n(maxIter))},
+		&lsl.ConstStmt{Dst: "a", Val: lsl.Int(rng.Int63n(4))},
+		&lsl.ConstStmt{Dst: "b", Val: lsl.Int(rng.Int63n(4))},
+		&lsl.ConstStmt{Dst: "c", Val: lsl.Int(0)},
+		&lsl.StoreStmt{Addr: "p", Src: "a"},
+	)
+	var loopBody []lsl.Stmt
+	loopBody = append(loopBody,
+		&lsl.OpStmt{Dst: "done", Op: lsl.OpLe, Args: []lsl.Reg{"n", "zero"}},
+		&lsl.BreakStmt{Cond: "done", Tag: "L"},
+		&lsl.OpStmt{Dst: "n", Op: lsl.OpSub, Args: []lsl.Reg{"n", "one"}},
+	)
+	for i := 0; i < 2+rng.Intn(4); i++ {
+		dst := regs[rng.Intn(3)]
+		switch rng.Intn(4) {
+		case 0:
+			loopBody = append(loopBody, &lsl.OpStmt{
+				Dst: dst, Op: lsl.OpAdd, Args: []lsl.Reg{regs[rng.Intn(3)], "one"}})
+		case 1:
+			loopBody = append(loopBody, &lsl.StoreStmt{Addr: "p", Src: dst})
+		case 2:
+			loopBody = append(loopBody, &lsl.LoadStmt{Dst: dst, Addr: "p"})
+		default:
+			// Conditional early exit on a data value.
+			loopBody = append(loopBody,
+				&lsl.OpStmt{Dst: "esc", Op: lsl.OpGt, Args: []lsl.Reg{dst, "bigK"}},
+				&lsl.BreakStmt{Cond: "esc", Tag: "L"})
+		}
+	}
+	loopBody = append(loopBody, &lsl.ContinueStmt{Cond: "one", Tag: "L"})
+	body = append(body,
+		&lsl.ConstStmt{Dst: "bigK", Val: lsl.Int(6)},
+		&lsl.BlockStmt{Tag: "L", Loop: lsl.BoundedLoop, Body: loopBody},
+	)
+	return body
+}
+
+// TestUnrollPreservesSemantics: interpreting the unrolled program (at
+// a bound covering the loop) gives the same final registers and memory
+// as interpreting the original.
+func TestUnrollPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const maxIter = 3
+	for iter := 0; iter < 120; iter++ {
+		body := genLoopProgram(rng, maxIter)
+		p := lsl.NewProgram()
+		p.AddGlobal("g", 1)
+
+		direct := interp.NewMachine(p)
+		dEnv, dErr := direct.RunBody(body)
+
+		u := New(p, Options{DefaultBound: maxIter + 1})
+		res, err := u.Expand(body, "t")
+		if err != nil {
+			t.Fatalf("iter %d: unroll: %v", iter, err)
+		}
+		unrolledM := interp.NewMachine(p)
+		uEnv, uErr := unrolledM.RunBody(res.Body)
+
+		if (dErr == nil) != (uErr == nil) {
+			t.Fatalf("iter %d: direct err=%v unrolled err=%v", iter, dErr, uErr)
+		}
+		if dErr != nil {
+			continue
+		}
+		for _, r := range []lsl.Reg{"a", "b", "c", "n"} {
+			dv, uv := dEnv[r], uEnv["t/"+r]
+			if !dv.Equal(uv) {
+				t.Fatalf("iter %d: register %s: direct %v, unrolled %v", iter, r, dv, uv)
+			}
+		}
+		loc := lsl.LocOf(lsl.Ptr(0))
+		if !direct.Mem[loc].Equal(unrolledM.Mem[loc]) {
+			t.Fatalf("iter %d: memory: direct %v, unrolled %v",
+				iter, direct.Mem[loc], unrolledM.Mem[loc])
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package unroll implements the back-end's first transformation
+// (paper §3.2-3.3): it inlines all operation calls and unrolls all
+// loops, producing loop-free, call-free statement trees whose only
+// remaining control flow is forward conditional breaks out of tagged
+// blocks.
+//
+// Loop bounds are supplied per loop *instance* (identified by a
+// stable hierarchical key, so growing one loop's bound does not
+// renumber the others). Where a bound is exhausted the unroller
+// plants either an overflow marker (the lazy-bound probe of §3.3
+// checks whether any marker is reachable) or, for spin loops and
+// primed operations, an assumption that the loop exits within the
+// bound.
+package unroll
+
+import (
+	"fmt"
+
+	"checkfence/internal/lsl"
+)
+
+// Options configures unrolling.
+type Options struct {
+	// Bounds overrides the unrolling bound for specific loop
+	// instances; missing entries use DefaultBound.
+	Bounds map[string]int
+	// DefaultBound is the initial bound for every loop (the paper
+	// starts with one iteration).
+	DefaultBound int
+	// MaxCallDepth bounds inlining recursion.
+	MaxCallDepth int
+}
+
+// LoopInfo describes one unrolled loop instance.
+type LoopInfo struct {
+	ID    int
+	Key   string // stable hierarchical key
+	Bound int    // bound used in this unrolling
+	Spin  bool   // true if the overflow was converted to an assumption
+}
+
+// Result is the unrolled form of one code body.
+type Result struct {
+	Body   []lsl.Stmt
+	Loops  []LoopInfo
+	Allocs map[int64]string // base address -> allocation site key
+}
+
+// Unroller expands bodies against a program. A single Unroller should
+// be used for all threads of a test so allocation bases stay globally
+// unique.
+type Unroller struct {
+	prog     *lsl.Program
+	opts     Options
+	nextBase int64
+	nextLoop int
+}
+
+// New creates an Unroller. Allocation bases start after the program's
+// globals.
+func New(prog *lsl.Program, opts Options) *Unroller {
+	if opts.DefaultBound <= 0 {
+		opts.DefaultBound = 1
+	}
+	if opts.MaxCallDepth <= 0 {
+		opts.MaxCallDepth = 32
+	}
+	return &Unroller{prog: prog, opts: opts, nextBase: prog.NextBase}
+}
+
+// NextBase returns the next unused allocation base address.
+func (u *Unroller) NextBase() int64 { return u.nextBase }
+
+type uctx struct {
+	prefix  string // instance path for register/tag renaming
+	key     string // hierarchical key for loop identities
+	depth   int
+	noRetry bool
+	// tagMap maps original (renamed) tags of loops being unrolled to
+	// their (exitTag, iterationTag) pair.
+	breakMap map[string]string // source tag -> target break tag
+	contMap  map[string]string // source tag -> target break tag for continue
+}
+
+func (c *uctx) child() *uctx {
+	bm := make(map[string]string, len(c.breakMap))
+	for k, v := range c.breakMap {
+		bm[k] = v
+	}
+	cm := make(map[string]string, len(c.contMap))
+	for k, v := range c.contMap {
+		cm[k] = v
+	}
+	return &uctx{prefix: c.prefix, key: c.key, depth: c.depth,
+		noRetry: c.noRetry, breakMap: bm, contMap: cm}
+}
+
+// Expand unrolls one body (e.g. a thread's test code).
+func (u *Unroller) Expand(body []lsl.Stmt, name string) (*Result, error) {
+	res := &Result{Allocs: map[int64]string{}}
+	ctx := &uctx{prefix: name, key: name,
+		breakMap: map[string]string{}, contMap: map[string]string{}}
+	out, err := u.stmts(body, ctx, res)
+	if err != nil {
+		return nil, err
+	}
+	res.Body = out
+	return res, nil
+}
+
+func (u *Unroller) rename(ctx *uctx, r lsl.Reg) lsl.Reg {
+	if r == "" {
+		return r
+	}
+	return lsl.Reg(ctx.prefix + "/" + string(r))
+}
+
+func (u *Unroller) renameAll(ctx *uctx, rs []lsl.Reg) []lsl.Reg {
+	out := make([]lsl.Reg, len(rs))
+	for i, r := range rs {
+		out[i] = u.rename(ctx, r)
+	}
+	return out
+}
+
+func (u *Unroller) stmts(in []lsl.Stmt, ctx *uctx, res *Result) ([]lsl.Stmt, error) {
+	var out []lsl.Stmt
+	for i, s := range in {
+		o, err := u.stmt(s, i, ctx, res)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o...)
+	}
+	return out, nil
+}
+
+func (u *Unroller) stmt(s lsl.Stmt, idx int, ctx *uctx, res *Result) ([]lsl.Stmt, error) {
+	switch s := s.(type) {
+	case *lsl.ConstStmt:
+		return []lsl.Stmt{&lsl.ConstStmt{Dst: u.rename(ctx, s.Dst), Val: s.Val}}, nil
+
+	case *lsl.OpStmt:
+		return []lsl.Stmt{&lsl.OpStmt{
+			Dst: u.rename(ctx, s.Dst), Op: s.Op,
+			Args: u.renameAll(ctx, s.Args), Imm: s.Imm,
+		}}, nil
+
+	case *lsl.LoadStmt:
+		return []lsl.Stmt{&lsl.LoadStmt{
+			Dst: u.rename(ctx, s.Dst), Addr: u.rename(ctx, s.Addr)}}, nil
+
+	case *lsl.StoreStmt:
+		return []lsl.Stmt{&lsl.StoreStmt{
+			Addr: u.rename(ctx, s.Addr), Src: u.rename(ctx, s.Src)}}, nil
+
+	case *lsl.FenceStmt:
+		return []lsl.Stmt{&lsl.FenceStmt{Kind: s.Kind}}, nil
+
+	case *lsl.AssertStmt:
+		return []lsl.Stmt{&lsl.AssertStmt{Cond: u.rename(ctx, s.Cond), Msg: s.Msg}}, nil
+
+	case *lsl.AssumeStmt:
+		return []lsl.Stmt{&lsl.AssumeStmt{Cond: u.rename(ctx, s.Cond)}}, nil
+
+	case *lsl.HavocStmt:
+		return []lsl.Stmt{&lsl.HavocStmt{Dst: u.rename(ctx, s.Dst), Bits: s.Bits}}, nil
+
+	case *lsl.AllocStmt:
+		base := u.nextBase
+		u.nextBase++
+		res.Allocs[base] = ctx.key + "/" + s.Site
+		// Allocation is deterministic in the bounded model: lower it
+		// to a constant pointer assignment.
+		return []lsl.Stmt{&lsl.ConstStmt{Dst: u.rename(ctx, s.Dst), Val: lsl.Ptr(base)}}, nil
+
+	case *lsl.AtomicStmt:
+		body, err := u.stmts(s.Body, ctx, res)
+		if err != nil {
+			return nil, err
+		}
+		return []lsl.Stmt{&lsl.AtomicStmt{Body: body}}, nil
+
+	case *lsl.BreakStmt:
+		tag := ctx.prefix + "/" + s.Tag
+		if t, ok := ctx.breakMap[s.Tag]; ok {
+			tag = t
+		}
+		return []lsl.Stmt{&lsl.BreakStmt{Cond: u.rename(ctx, s.Cond), Tag: tag}}, nil
+
+	case *lsl.ContinueStmt:
+		t, ok := ctx.contMap[s.Tag]
+		if !ok {
+			return nil, fmt.Errorf("unroll: continue targets unknown loop %q", s.Tag)
+		}
+		return []lsl.Stmt{&lsl.BreakStmt{Cond: u.rename(ctx, s.Cond), Tag: t}}, nil
+
+	case *lsl.CallStmt:
+		return u.inline(s, idx, ctx, res)
+
+	case *lsl.BlockStmt:
+		if s.Loop == lsl.NotLoop {
+			inner := ctx.child()
+			inner.breakMap[s.Tag] = ctx.prefix + "/" + s.Tag
+			body, err := u.stmts(s.Body, inner, res)
+			if err != nil {
+				return nil, err
+			}
+			return []lsl.Stmt{&lsl.BlockStmt{Tag: ctx.prefix + "/" + s.Tag, Body: body}}, nil
+		}
+		return u.unrollLoop(s, ctx, res)
+
+	case *lsl.OverflowStmt:
+		return []lsl.Stmt{s}, nil
+	}
+	return nil, fmt.Errorf("unroll: unsupported statement %T", s)
+}
+
+func (u *Unroller) unrollLoop(s *lsl.BlockStmt, ctx *uctx, res *Result) ([]lsl.Stmt, error) {
+	key := ctx.key + "/" + s.Tag
+	bound := u.opts.DefaultBound
+	if b, ok := u.opts.Bounds[key]; ok {
+		bound = b
+	}
+	spin := s.Loop == lsl.SpinLoop || ctx.noRetry
+	if spin {
+		bound = 1
+		if b, ok := u.opts.Bounds[key]; ok {
+			bound = b
+		}
+	}
+	id := u.nextLoop
+	u.nextLoop++
+	res.Loops = append(res.Loops, LoopInfo{ID: id, Key: key, Bound: bound, Spin: spin})
+
+	exitTag := ctx.prefix + "/" + s.Tag
+	var outer []lsl.Stmt
+	for i := 0; i < bound; i++ {
+		iterTag := fmt.Sprintf("%s@%d", exitTag, i)
+		inner := ctx.child()
+		inner.key = fmt.Sprintf("%s@%d", key, i)
+		inner.breakMap[s.Tag] = exitTag
+		inner.contMap[s.Tag] = iterTag
+		body, err := u.stmts(s.Body, inner, res)
+		if err != nil {
+			return nil, err
+		}
+		// Falling out of the body exits the loop.
+		tr := lsl.Reg(fmt.Sprintf("%s.exit%d", exitTag, i))
+		body = append(body,
+			&lsl.ConstStmt{Dst: tr, Val: lsl.Int(1)},
+			&lsl.BreakStmt{Cond: tr, Tag: exitTag})
+		outer = append(outer, &lsl.BlockStmt{Tag: iterTag, Body: body})
+	}
+	// Reaching this point means a continue was taken in the last
+	// permitted iteration.
+	if spin {
+		fr := lsl.Reg(exitTag + ".spinexit")
+		outer = append(outer,
+			&lsl.ConstStmt{Dst: fr, Val: lsl.Int(0)},
+			&lsl.AssumeStmt{Cond: fr})
+	} else {
+		outer = append(outer, &lsl.OverflowStmt{LoopID: id})
+	}
+	return []lsl.Stmt{&lsl.BlockStmt{Tag: exitTag, Body: outer}}, nil
+}
+
+func (u *Unroller) inline(s *lsl.CallStmt, idx int, ctx *uctx, res *Result) ([]lsl.Stmt, error) {
+	callee, ok := u.prog.Procs[s.Proc]
+	if !ok {
+		return nil, fmt.Errorf("unroll: call to undefined procedure %q", s.Proc)
+	}
+	if ctx.depth >= u.opts.MaxCallDepth {
+		return nil, fmt.Errorf("unroll: call depth limit exceeded inlining %q", s.Proc)
+	}
+	if len(s.Args) != len(callee.Params) {
+		return nil, fmt.Errorf("unroll: %s expects %d args, got %d",
+			s.Proc, len(callee.Params), len(s.Args))
+	}
+	if len(s.Rets) > len(callee.Results) {
+		return nil, fmt.Errorf("unroll: %s returns %d values, caller wants %d",
+			s.Proc, len(callee.Results), len(s.Rets))
+	}
+
+	// The call instance is identified by its lexical position (the
+	// statement index within the enclosing body), which is stable
+	// across re-unrollings with different loop bounds.
+	instance := fmt.Sprintf("%d:%s", idx, s.Proc)
+	inner := &uctx{
+		prefix:   ctx.prefix + "/" + instance,
+		key:      ctx.key + "/" + instance,
+		depth:    ctx.depth + 1,
+		noRetry:  ctx.noRetry || s.NoRetry,
+		breakMap: map[string]string{},
+		contMap:  map[string]string{},
+	}
+
+	var out []lsl.Stmt
+	// Bind parameters.
+	for i, p := range callee.Params {
+		out = append(out, &lsl.OpStmt{
+			Dst: u.rename(inner, p), Op: lsl.OpIdent,
+			Args: []lsl.Reg{u.rename(ctx, s.Args[i])},
+		})
+	}
+	body, err := u.stmts(callee.Body, inner, res)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, body...)
+	// Bind results.
+	for i, r := range s.Rets {
+		out = append(out, &lsl.OpStmt{
+			Dst: u.rename(ctx, r), Op: lsl.OpIdent,
+			Args: []lsl.Reg{u.rename(inner, callee.Results[i])},
+		})
+	}
+	return out, nil
+}

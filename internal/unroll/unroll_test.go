@@ -1,0 +1,319 @@
+package unroll
+
+import (
+	"errors"
+	"testing"
+
+	"checkfence/internal/interp"
+	"checkfence/internal/lsl"
+)
+
+// prog builds a program with one procedure "f" around the body.
+func prog(procs ...*lsl.Proc) *lsl.Program {
+	p := lsl.NewProgram()
+	p.AddGlobal("g", 1)
+	for _, pr := range procs {
+		p.AddProc(pr)
+	}
+	return p
+}
+
+// runUnrolled interprets an unrolled body and returns the register
+// environment.
+func runUnrolled(t *testing.T, p *lsl.Program, body []lsl.Stmt) map[lsl.Reg]lsl.Value {
+	t.Helper()
+	m := interp.NewMachine(p)
+	env, err := m.RunBody(body)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return env
+}
+
+func TestInlineSimpleCall(t *testing.T) {
+	add := &lsl.Proc{
+		Name:    "add",
+		Params:  []lsl.Reg{"a", "b"},
+		Results: []lsl.Reg{"r"},
+		Body: []lsl.Stmt{
+			&lsl.OpStmt{Dst: "r", Op: lsl.OpAdd, Args: []lsl.Reg{"a", "b"}},
+		},
+	}
+	p := prog(add)
+	body := []lsl.Stmt{
+		&lsl.ConstStmt{Dst: "x", Val: lsl.Int(2)},
+		&lsl.ConstStmt{Dst: "y", Val: lsl.Int(3)},
+		&lsl.CallStmt{Proc: "add", Args: []lsl.Reg{"x", "y"}, Rets: []lsl.Reg{"z"}},
+	}
+	u := New(p, Options{})
+	res, err := u.Expand(body, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Body {
+		if _, ok := s.(*lsl.CallStmt); ok {
+			t.Fatal("call survived inlining")
+		}
+	}
+	env := runUnrolled(t, p, res.Body)
+	if v := env["t/z"]; !v.Equal(lsl.Int(5)) {
+		t.Errorf("z = %v, want 5", v)
+	}
+}
+
+func TestInlineTwoCallsDistinct(t *testing.T) {
+	id := &lsl.Proc{
+		Name: "id", Params: []lsl.Reg{"a"}, Results: []lsl.Reg{"r"},
+		Body: []lsl.Stmt{&lsl.OpStmt{Dst: "r", Op: lsl.OpIdent, Args: []lsl.Reg{"a"}}},
+	}
+	p := prog(id)
+	body := []lsl.Stmt{
+		&lsl.ConstStmt{Dst: "x", Val: lsl.Int(1)},
+		&lsl.ConstStmt{Dst: "y", Val: lsl.Int(2)},
+		&lsl.CallStmt{Proc: "id", Args: []lsl.Reg{"x"}, Rets: []lsl.Reg{"r1"}},
+		&lsl.CallStmt{Proc: "id", Args: []lsl.Reg{"y"}, Rets: []lsl.Reg{"r2"}},
+	}
+	u := New(p, Options{})
+	res, err := u.Expand(body, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := runUnrolled(t, p, res.Body)
+	if !env["t/r1"].Equal(lsl.Int(1)) || !env["t/r2"].Equal(lsl.Int(2)) {
+		t.Errorf("r1=%v r2=%v", env["t/r1"], env["t/r2"])
+	}
+}
+
+// loopProc counts down from its argument (needs `n` iterations).
+func loopProc() *lsl.Proc {
+	return &lsl.Proc{
+		Name: "count", Params: []lsl.Reg{"n"}, Results: []lsl.Reg{"c"},
+		Body: []lsl.Stmt{
+			&lsl.ConstStmt{Dst: "c", Val: lsl.Int(0)},
+			&lsl.ConstStmt{Dst: "one", Val: lsl.Int(1)},
+			&lsl.BlockStmt{Tag: "L", Loop: lsl.BoundedLoop, Body: []lsl.Stmt{
+				&lsl.OpStmt{Dst: "done", Op: lsl.OpLe, Args: []lsl.Reg{"n", "zero"}},
+				&lsl.BreakStmt{Cond: "done", Tag: "L"},
+				&lsl.OpStmt{Dst: "n", Op: lsl.OpSub, Args: []lsl.Reg{"n", "one"}},
+				&lsl.OpStmt{Dst: "c", Op: lsl.OpAdd, Args: []lsl.Reg{"c", "one"}},
+				&lsl.ContinueStmt{Cond: "one", Tag: "L"},
+			}},
+		},
+	}
+}
+
+func TestUnrollLoopWithinBounds(t *testing.T) {
+	p := prog(loopProc())
+	body := []lsl.Stmt{
+		&lsl.ConstStmt{Dst: "zero", Val: lsl.Int(0)},
+		&lsl.ConstStmt{Dst: "k", Val: lsl.Int(2)},
+		&lsl.CallStmt{Proc: "count", Args: []lsl.Reg{"k"}, Rets: []lsl.Reg{"c"}},
+	}
+	// The callee references the caller-scope register "zero"; bind it
+	// inside the proc instead for a well-formed test.
+	p.Procs["count"].Body = append([]lsl.Stmt{
+		&lsl.ConstStmt{Dst: "zero", Val: lsl.Int(0)},
+	}, p.Procs["count"].Body...)
+
+	u := New(p, Options{})
+	res, err := u.Expand(body, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Loops) != 1 {
+		t.Fatalf("loops = %d", len(res.Loops))
+	}
+	if res.Loops[0].Bound != 1 {
+		t.Errorf("default bound = %d, want 1", res.Loops[0].Bound)
+	}
+	// With bound 1 and k=2, the interpreter hits the overflow marker.
+	m := interp.NewMachine(p)
+	_, err = m.RunBody(res.Body)
+	if err == nil || !containsOverflow(err) {
+		t.Errorf("expected overflow, got %v", err)
+	}
+
+	// Growing the bound makes the execution complete.
+	u2 := New(p, Options{Bounds: map[string]int{res.Loops[0].Key: 3}})
+	res2, err := u2.Expand(body, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := runUnrolled(t, p, res2.Body)
+	if v := env["t/c"]; !v.Equal(lsl.Int(2)) {
+		t.Errorf("c = %v, want 2", v)
+	}
+}
+
+func containsOverflow(err error) bool {
+	return err != nil && (errors.Is(err, interp.ErrAssumeFailed) ||
+		// overflow markers interpret as explicit errors
+		errStr(err, "overflow"))
+}
+
+func errStr(err error, sub string) bool {
+	s := err.Error()
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLoopKeyStability(t *testing.T) {
+	p := prog(loopProc())
+	p.Procs["count"].Body = append([]lsl.Stmt{
+		&lsl.ConstStmt{Dst: "zero", Val: lsl.Int(0)},
+	}, p.Procs["count"].Body...)
+	body := []lsl.Stmt{
+		&lsl.ConstStmt{Dst: "k", Val: lsl.Int(1)},
+		&lsl.CallStmt{Proc: "count", Args: []lsl.Reg{"k"}, Rets: []lsl.Reg{"c1"}},
+		&lsl.CallStmt{Proc: "count", Args: []lsl.Reg{"k"}, Rets: []lsl.Reg{"c2"}},
+	}
+	u1 := New(p, Options{})
+	r1, err := u1.Expand(body, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Loops) != 2 {
+		t.Fatalf("loops = %d", len(r1.Loops))
+	}
+	if r1.Loops[0].Key == r1.Loops[1].Key {
+		t.Fatal("distinct call sites must give distinct loop keys")
+	}
+	// Growing the first loop's bound must keep the second loop's key.
+	u2 := New(p, Options{Bounds: map[string]int{r1.Loops[0].Key: 4}})
+	r2, err := u2.Expand(body, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]int{}
+	for _, li := range r2.Loops {
+		keys[li.Key] = li.Bound
+	}
+	if keys[r1.Loops[0].Key] != 4 {
+		t.Errorf("first loop bound = %d, want 4", keys[r1.Loops[0].Key])
+	}
+	if _, ok := keys[r1.Loops[1].Key]; !ok {
+		t.Errorf("second loop key changed: %v", keys)
+	}
+}
+
+func TestSpinLoopBecomesAssumption(t *testing.T) {
+	p := prog()
+	body := []lsl.Stmt{
+		&lsl.ConstStmt{Dst: "go", Val: lsl.Int(1)},
+		&lsl.BlockStmt{Tag: "S", Loop: lsl.SpinLoop, Body: []lsl.Stmt{
+			&lsl.ContinueStmt{Cond: "go", Tag: "S"},
+		}},
+	}
+	u := New(p, Options{})
+	res, err := u.Expand(body, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasOverflow := false
+	hasAssume := false
+	var walk func([]lsl.Stmt)
+	walk = func(stmts []lsl.Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *lsl.OverflowStmt:
+				hasOverflow = true
+			case *lsl.AssumeStmt:
+				hasAssume = true
+			case *lsl.BlockStmt:
+				walk(s.Body)
+			}
+		}
+	}
+	walk(res.Body)
+	if hasOverflow {
+		t.Error("spin loops must not emit overflow markers")
+	}
+	if !hasAssume {
+		t.Error("spin loops must emit the exit assumption")
+	}
+	if !res.Loops[0].Spin {
+		t.Error("loop must be recorded as spin")
+	}
+}
+
+func TestNoRetryCallRestrictsLoops(t *testing.T) {
+	p := prog(loopProc())
+	p.Procs["count"].Body = append([]lsl.Stmt{
+		&lsl.ConstStmt{Dst: "zero", Val: lsl.Int(0)},
+	}, p.Procs["count"].Body...)
+	body := []lsl.Stmt{
+		&lsl.ConstStmt{Dst: "k", Val: lsl.Int(5)},
+		&lsl.CallStmt{Proc: "count", Args: []lsl.Reg{"k"}, Rets: []lsl.Reg{"c"}, NoRetry: true},
+	}
+	u := New(p, Options{})
+	res, err := u.Expand(body, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Loops[0].Spin || res.Loops[0].Bound != 1 {
+		t.Errorf("NoRetry loop = %+v, want spin bound 1", res.Loops[0])
+	}
+	// The execution requiring 5 iterations is infeasible, not an
+	// error.
+	m := interp.NewMachine(p)
+	_, err = m.RunBody(res.Body)
+	if !errors.Is(err, interp.ErrAssumeFailed) {
+		t.Errorf("expected infeasible, got %v", err)
+	}
+}
+
+func TestAllocAssignsDistinctBases(t *testing.T) {
+	p := prog()
+	body := []lsl.Stmt{
+		&lsl.AllocStmt{Dst: "p1", Site: "s"},
+		&lsl.AllocStmt{Dst: "p2", Site: "s"},
+	}
+	u := New(p, Options{})
+	res, err := u.Expand(body, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := runUnrolled(t, p, res.Body)
+	if env["t/p1"].Equal(env["t/p2"]) {
+		t.Error("allocations must return distinct bases")
+	}
+	if len(res.Allocs) != 2 {
+		t.Errorf("allocs = %d", len(res.Allocs))
+	}
+	for base := range res.Allocs {
+		if base < p.NextBase {
+			t.Errorf("allocation base %d collides with globals", base)
+		}
+	}
+}
+
+func TestUnrollErrors(t *testing.T) {
+	p := prog()
+	u := New(p, Options{})
+	if _, err := u.Expand([]lsl.Stmt{
+		&lsl.CallStmt{Proc: "nosuch"},
+	}, "t"); err == nil {
+		t.Error("call to undefined procedure must fail")
+	}
+	if _, err := u.Expand([]lsl.Stmt{
+		&lsl.ContinueStmt{Cond: "c", Tag: "nowhere"},
+	}, "t"); err == nil {
+		t.Error("continue to unknown loop must fail")
+	}
+}
+
+func TestRecursionLimited(t *testing.T) {
+	rec := &lsl.Proc{
+		Name: "rec",
+		Body: []lsl.Stmt{&lsl.CallStmt{Proc: "rec"}},
+	}
+	p := prog(rec)
+	u := New(p, Options{MaxCallDepth: 5})
+	if _, err := u.Expand([]lsl.Stmt{&lsl.CallStmt{Proc: "rec"}}, "t"); err == nil {
+		t.Error("unbounded recursion must be rejected")
+	}
+}
