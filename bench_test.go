@@ -9,7 +9,11 @@
 package checkfence_test
 
 import (
+	"encoding/json"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"checkfence"
 	"checkfence/internal/commit"
@@ -180,6 +184,134 @@ func BenchmarkFig2IRIW(b *testing.B) {
 		if observable {
 			b.Fatal("IRIW must be forbidden on Relaxed")
 		}
+	}
+}
+
+// suiteJobs is the quick suite used by the scheduler benchmarks: one
+// small test per Table 1 implementation, each checked under all four
+// memory models (the spec is model-independent, so each run mines five
+// sets regardless of parallelism).
+func suiteJobs() []checkfence.Job {
+	pairs := []struct{ impl, test string }{
+		{"ms2", "T0"},
+		{"msn", "T0"},
+		{"lazylist", "Sac"},
+		{"harris", "Sac"},
+		{"snark", "D0"},
+	}
+	models := []checkfence.Model{
+		checkfence.SequentialConsistency, checkfence.TSO,
+		checkfence.PSO, checkfence.Relaxed,
+	}
+	var jobs []checkfence.Job
+	for _, p := range pairs {
+		for _, m := range models {
+			jobs = append(jobs, checkfence.Job{Impl: p.impl, Test: p.test,
+				Opts: checkfence.Options{Model: m}})
+		}
+	}
+	return jobs
+}
+
+// runSuiteBench runs the quick suite once at the given parallelism
+// (each run gets a fresh spec cache, so mining work is identical) and
+// fails the benchmark on any job error.
+func runSuiteBench(b *testing.B, parallelism int) []checkfence.SuiteResult {
+	b.Helper()
+	results := checkfence.CheckSuite(suiteJobs(), checkfence.SuiteOptions{
+		Parallelism: parallelism,
+	})
+	for i, r := range results {
+		if r.Err != nil {
+			b.Fatalf("job %d (%s/%s): %v", i, r.Job.Impl, r.Job.Test, r.Err)
+		}
+	}
+	return results
+}
+
+// BenchmarkSuiteSerial is the baseline: the quick suite on one worker.
+func BenchmarkSuiteSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSuiteBench(b, 1)
+	}
+}
+
+// BenchmarkSuiteParallel runs the same suite on GOMAXPROCS workers,
+// verifies every verdict and observation set matches the serial run
+// exactly, and writes the serial-vs-parallel comparison to
+// BENCH_suite.json. Wall-clock speedup tracks core count; on a single
+// core the value is near 1.
+func BenchmarkSuiteParallel(b *testing.B) {
+	b.StopTimer()
+	serialStart := time.Now()
+	serial := runSuiteBench(b, 1)
+	serialTime := time.Since(serialStart)
+	b.StartTimer()
+
+	var parallel []checkfence.SuiteResult
+	parallelStart := time.Now()
+	for i := 0; i < b.N; i++ {
+		parallel = runSuiteBench(b, 0) // 0 = GOMAXPROCS
+	}
+	parallelTime := time.Since(parallelStart) / time.Duration(b.N)
+
+	// The parallel engine must be a pure scheduling change: identical
+	// verdicts and identical observation sets, job for job.
+	for i := range serial {
+		s, p := serial[i].Res, parallel[i].Res
+		if s.Pass != p.Pass || s.SeqBug != p.SeqBug {
+			b.Fatalf("job %d (%s/%s on %v): serial pass=%v/seqbug=%v, parallel pass=%v/seqbug=%v",
+				i, serial[i].Job.Impl, serial[i].Job.Test, serial[i].Job.Opts.Model,
+				s.Pass, s.SeqBug, p.Pass, p.SeqBug)
+		}
+		if !s.Spec.Equal(p.Spec) {
+			b.Fatalf("job %d: observation sets differ between serial and parallel", i)
+		}
+	}
+
+	speedup := serialTime.Seconds() / parallelTime.Seconds()
+	b.ReportMetric(speedup, "speedup")
+	writeSuiteArtifact(b, serial, serialTime, parallelTime, speedup)
+}
+
+// writeSuiteArtifact records the serial/parallel comparison in
+// BENCH_suite.json (the CI benchmark artifact).
+func writeSuiteArtifact(b *testing.B, results []checkfence.SuiteResult,
+	serialTime, parallelTime time.Duration, speedup float64) {
+	b.Helper()
+	type jobRecord struct {
+		Impl, Test, Model string
+		Pass, SeqBug      bool
+		ObsSet            int
+	}
+	records := make([]jobRecord, len(results))
+	for i, r := range results {
+		records[i] = jobRecord{
+			Impl: r.Job.Impl, Test: r.Job.Test, Model: r.Job.Opts.Model.String(),
+			Pass: r.Res.Pass, SeqBug: r.Res.SeqBug, ObsSet: r.Res.Stats.ObsSetSize,
+		}
+	}
+	artifact := struct {
+		Jobs            int
+		GOMAXPROCS      int
+		SerialSeconds   float64
+		ParallelSeconds float64
+		Speedup         float64
+		Results         []jobRecord
+	}{
+		Jobs:            len(results),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		SerialSeconds:   serialTime.Seconds(),
+		ParallelSeconds: parallelTime.Seconds(),
+		Speedup:         speedup,
+		Results:         records,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_suite.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

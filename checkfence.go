@@ -118,6 +118,37 @@ func Check(impl, test string, opts Options) (*Result, error) {
 	return core.Check(impl, test, opts)
 }
 
+// Job is one check of a suite: an implementation name, a test name,
+// and the per-check options.
+type Job = core.Job
+
+// SuiteResult pairs a suite job with its outcome.
+type SuiteResult = core.SuiteResult
+
+// SuiteOptions configures CheckSuite (parallelism, cancellation
+// context, spec cache sharing, completion callback).
+type SuiteOptions = core.SuiteOptions
+
+// SpecCache memoizes mined observation sets across checks. The
+// specification is model-independent (paper §3.2), so a suite checking
+// one (implementation, test) pair under several memory models mines
+// once. Safe for concurrent use; reusable across suites.
+type SpecCache = core.SpecCache
+
+// NewSpecCache returns an empty observation-set cache. A non-empty dir
+// enables an on-disk mirror that persists sets across processes.
+func NewSpecCache(dir string) *SpecCache { return core.NewSpecCache(dir) }
+
+// CheckSuite runs many checks on a bounded worker pool (SuiteOptions
+// .Parallelism, default GOMAXPROCS) and returns their results in job
+// order, independent of completion order. Observation sets are mined
+// at most once per (implementation, test, bounds, spec source) via a
+// shared cache. Verdicts and observation sets are identical to running
+// the same jobs serially.
+func CheckSuite(jobs []Job, opts SuiteOptions) []SuiteResult {
+	return core.RunSuite(jobs, opts)
+}
+
 // Operation describes one operation of a custom data type.
 type Operation struct {
 	// Mnemonic is the single- or double-letter shorthand used in test

@@ -2,6 +2,7 @@ package checkfence_test
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"checkfence"
@@ -34,6 +35,58 @@ func TestPublicCheckFailure(t *testing.T) {
 	}
 	if !strings.Contains(res.Cex.String(), "memory order") {
 		t.Error("trace must render the memory order")
+	}
+}
+
+// TestConcurrentChecks locks in that two independent Check calls can
+// run concurrently (the suite scheduler depends on it); run under
+// -race this covers the full pipeline, parser through solver.
+func TestConcurrentChecks(t *testing.T) {
+	var wg sync.WaitGroup
+	run := func(impl, test string, model checkfence.Model, wantPass bool) {
+		defer wg.Done()
+		res, err := checkfence.Check(impl, test, checkfence.Options{Model: model})
+		if err != nil {
+			t.Errorf("%s/%s: %v", impl, test, err)
+			return
+		}
+		if res.Pass != wantPass {
+			t.Errorf("%s/%s on %v: pass = %v, want %v", impl, test, model, res.Pass, wantPass)
+		}
+	}
+	wg.Add(2)
+	go run("ms2", "T0", checkfence.Relaxed, true)
+	go run("msn-nofence", "T0", checkfence.PSO, false)
+	wg.Wait()
+}
+
+// TestPublicCheckSuite exercises the public suite entry point with a
+// shared spec cache.
+func TestPublicCheckSuite(t *testing.T) {
+	jobs := []checkfence.Job{
+		{Impl: "ms2", Test: "T0", Opts: checkfence.Options{Model: checkfence.SequentialConsistency}},
+		{Impl: "ms2", Test: "T0", Opts: checkfence.Options{Model: checkfence.Relaxed}},
+	}
+	results := checkfence.CheckSuite(jobs, checkfence.SuiteOptions{Parallelism: 2})
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	hits, misses := 0, 0
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if !r.Res.Pass {
+			t.Errorf("job %d must pass; cex:\n%v", i, r.Res.Cex)
+		}
+		hits += r.Res.Stats.SpecCacheHits
+		misses += r.Res.Stats.SpecCacheMisses
+	}
+	if misses != 1 || hits != 1 {
+		t.Errorf("spec cache traffic: %d misses, %d hits; want 1 and 1", misses, hits)
+	}
+	if !results[0].Res.Spec.Equal(results[1].Res.Spec) {
+		t.Error("the two jobs must share one observation set")
 	}
 }
 

@@ -32,10 +32,11 @@ func main() {
 		fig    = flag.String("fig", "", "regenerate a figure: 10b, 11a, 11b, 11c, 12, sc-vs-relaxed")
 		quick  = flag.Bool("quick", false, "restrict to small tests (fast)")
 		budget = flag.Duration("budget", 10*time.Minute, "per-check time budget (checks expected to exceed it are skipped)")
+		jobs   = flag.Int("j", 1, "number of checks run concurrently (> 1 disables -budget's early exit)")
 	)
 	flag.Parse()
 
-	r := bench.Runner{Quick: *quick, Budget: *budget, Out: os.Stdout}
+	r := bench.Runner{Quick: *quick, Budget: *budget, Out: os.Stdout, Jobs: *jobs}
 	var err error
 	switch {
 	case *table == "1":

@@ -8,6 +8,11 @@
 // lazylist, harris, snark) plus derived variants (-nofence, -bug,
 // -dropfence<k>); tests are the Fig. 8 names or raw notation such as
 // "e ( ed | de )".
+//
+// -model may be repeated to check several memory models in one run;
+// with -j N the checks run on a worker pool of N workers sharing one
+// observation-set cache (the specification is model-independent, so it
+// is mined once). The exit code is 1 when any check fails.
 package main
 
 import (
@@ -22,17 +27,44 @@ import (
 	"checkfence/internal/memmodel"
 )
 
+// modelList collects repeated -model flags.
+type modelList []memmodel.Model
+
+func (m *modelList) String() string {
+	parts := make([]string, len(*m))
+	for i, mm := range *m {
+		parts[i] = mm.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *modelList) Set(s string) error {
+	// Accept comma-separated values too: -model sc,tso,pso,relaxed.
+	for _, part := range strings.Split(s, ",") {
+		mm, err := memmodel.Parse(strings.TrimSpace(part))
+		if err != nil {
+			return err
+		}
+		*m = append(*m, mm)
+	}
+	return nil
+}
+
 func main() {
+	var models modelList
 	var (
 		implName  = flag.String("impl", "", "implementation to check (see -list)")
 		testName  = flag.String("test", "", "symbolic test name or Fig. 8 notation")
-		modelName = flag.String("model", "relaxed", "memory model: sc, tso, pso, relaxed, serial")
 		specSrc   = flag.String("spec", "sat", "specification source: sat (mine from implementation) or refset")
 		noRanges  = flag.Bool("no-range-analysis", false, "disable the range analysis of paper §3.4")
+		jobs      = flag.Int("j", 1, "number of checks run concurrently (0 = GOMAXPROCS)")
+		portfolio = flag.Int("portfolio", 0, "race this many diversified SAT configurations per inclusion check")
+		cacheDir  = flag.String("spec-cache-dir", "", "persist mined observation sets in this directory")
 		list      = flag.Bool("list", false, "list implementations and tests")
 		showSpec  = flag.Bool("show-spec", false, "print the mined observation set")
 		stats     = flag.Bool("stats", false, "print Fig. 10-style statistics")
 	)
+	flag.Var(&models, "model", "memory model: sc, tso, pso, relaxed, serial (repeatable)")
 	flag.Parse()
 
 	if *list {
@@ -40,39 +72,64 @@ func main() {
 		return
 	}
 	if *implName == "" || *testName == "" {
-		fmt.Fprintln(os.Stderr, "usage: checkfence -impl <name> -test <name> [-model sc|tso|pso|relaxed]")
+		fmt.Fprintln(os.Stderr, "usage: checkfence -impl <name> -test <name> [-model sc|tso|pso|relaxed]... [-j N]")
 		fmt.Fprintln(os.Stderr, "       checkfence -list")
 		os.Exit(2)
 	}
-
-	model, err := memmodel.Parse(*modelName)
-	if err != nil {
-		fatal(err)
-	}
-	opts := core.Options{
-		Model:                model,
-		DisableRangeAnalysis: *noRanges,
-	}
-	if *specSrc == "refset" {
-		opts.SpecSource = core.SpecRef
+	if len(models) == 0 {
+		models = modelList{memmodel.Relaxed}
 	}
 
-	res, err := core.Check(*implName, *testName, opts)
-	if err != nil {
-		fatal(err)
+	suite := make([]core.Job, len(models))
+	for i, model := range models {
+		opts := core.Options{
+			Model:                model,
+			DisableRangeAnalysis: *noRanges,
+			Portfolio:            *portfolio,
+		}
+		if *specSrc == "refset" {
+			opts.SpecSource = core.SpecRef
+		}
+		suite[i] = core.Job{Impl: *implName, Test: *testName, Opts: opts}
 	}
 
-	if *showSpec && res.Spec != nil {
+	results := core.RunSuite(suite, core.SuiteOptions{
+		Parallelism:  *jobs,
+		SpecCacheDir: *cacheDir,
+	})
+
+	exit := 0
+	for i, r := range results {
+		if r.Err != nil {
+			fmt.Fprintln(os.Stderr, "checkfence:", r.Err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if !report(r.Res, *showSpec, *stats) {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// report prints one check result and returns whether it passed.
+func report(res *core.Result, showSpec, stats bool) bool {
+	if showSpec && res.Spec != nil {
 		fmt.Printf("observation set (%d):\n", res.Spec.Len())
 		for _, o := range res.Spec.All() {
 			fmt.Printf("  %s\n", o.Key())
 		}
 	}
-	if *stats {
+	if stats {
 		s := res.Stats
 		fmt.Printf("unrolled: %d instrs, %d loads, %d stores\n", s.Instrs, s.Loads, s.Stores)
 		fmt.Printf("cnf: %d vars, %d clauses\n", s.CNFVars, s.CNFClauses)
 		fmt.Printf("observation set: %d (mined in %d iterations)\n", s.ObsSetSize, s.MineIterations)
+		if s.SpecCacheHits+s.SpecCacheMisses > 0 {
+			fmt.Printf("spec cache: %d hits, %d misses\n", s.SpecCacheHits, s.SpecCacheMisses)
+		}
 		fmt.Printf("times: probe=%v mine=%v encode=%v refute=%v total=%v\n",
 			s.ProbeTime, s.MineTime, s.EncodeTime, s.RefuteTime, s.TotalTime)
 		fmt.Printf("bound rounds: %d\n", s.BoundRounds)
@@ -80,7 +137,7 @@ func main() {
 
 	if res.Pass {
 		fmt.Printf("PASS: %s / %s on %s\n", res.Impl, res.Test, res.Model)
-		return
+		return true
 	}
 	if res.SeqBug {
 		fmt.Printf("FAIL: %s / %s has a sequential bug (independent of the memory model)\n",
@@ -91,7 +148,7 @@ func main() {
 	if res.Cex != nil {
 		fmt.Println(res.Cex)
 	}
-	os.Exit(1)
+	return false
 }
 
 func printList() {
@@ -127,9 +184,4 @@ func printList() {
 			fmt.Printf("    %-8s\n", n)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "checkfence:", err)
-	os.Exit(1)
 }

@@ -21,6 +21,12 @@ type Runner struct {
 	Quick  bool
 	Budget time.Duration
 	Out    io.Writer
+	// Jobs sets the worker-pool width for the suite experiments
+	// (Fig. 10/11): <= 1 runs the checks serially, preserving Budget's
+	// early group exit; > 1 runs them through core.RunSuite with a
+	// shared observation-set cache. Tables are rendered in suite order
+	// either way, so the output is identical up to timing columns.
+	Jobs int
 }
 
 func (r *Runner) printf(format string, args ...interface{}) {
@@ -80,24 +86,61 @@ type Row struct {
 
 // RunFig10 collects the Fig. 10 measurements on the Relaxed model
 // (the paper: "all tests use the memory model Relaxed"). Each row is
-// passed to visit as soon as it is measured so long suites show
-// progress.
+// passed to visit as soon as its turn in suite order comes up, so long
+// suites show progress and serial and parallel runs print identically.
 func (r *Runner) RunFig10(opts core.Options, visit func(Row)) []Row {
-	var rows []Row
-	for _, impl := range Impls {
-		for _, test := range r.TestsFor(impl) {
-			start := time.Now()
-			res, err := core.Check(impl, test, opts)
-			row := Row{Impl: impl, Test: test, Res: res, Err: err}
-			rows = append(rows, row)
-			if visit != nil {
-				visit(row)
-			}
-			if r.Budget > 0 && time.Since(start) > r.Budget {
-				break // remaining tests of this group are larger still
+	if r.Jobs <= 1 {
+		var rows []Row
+		for _, impl := range Impls {
+			for _, test := range r.TestsFor(impl) {
+				start := time.Now()
+				res, err := core.Check(impl, test, opts)
+				row := Row{Impl: impl, Test: test, Res: res, Err: err}
+				rows = append(rows, row)
+				if visit != nil {
+					visit(row)
+				}
+				if r.Budget > 0 && time.Since(start) > r.Budget {
+					break // remaining tests of this group are larger still
+				}
 			}
 		}
+		return rows
 	}
+	var jobs []core.Job
+	for _, impl := range Impls {
+		for _, test := range r.TestsFor(impl) {
+			jobs = append(jobs, core.Job{Impl: impl, Test: test, Opts: opts})
+		}
+	}
+	return r.runSuite(jobs, visit)
+}
+
+// runSuite checks jobs on the Runner's worker pool and returns the
+// rows in job order. visit is called in job order too: completed rows
+// are buffered until their predecessors have been visited (OnResult
+// calls are serialized by RunSuite, so no extra locking is needed).
+func (r *Runner) runSuite(jobs []core.Job, visit func(Row)) []Row {
+	workers := r.Jobs
+	if workers < 1 {
+		workers = 1
+	}
+	rows := make([]Row, len(jobs))
+	ready := make([]bool, len(jobs))
+	next := 0
+	core.RunSuite(jobs, core.SuiteOptions{
+		Parallelism: workers,
+		OnResult: func(i int, sr core.SuiteResult) {
+			rows[i] = Row{Impl: sr.Job.Impl, Test: sr.Job.Test, Res: sr.Res, Err: sr.Err}
+			ready[i] = true
+			for next < len(rows) && ready[next] {
+				if visit != nil {
+					visit(rows[next])
+				}
+				next++
+			}
+		},
+	})
 	return rows
 }
 
@@ -154,35 +197,41 @@ func (r *Runner) Fig11a() error {
 	r.printf("Fig. 11a: specification mining (observation set size vs. enumeration time)\n")
 	r.printf("%-9s %-7s %8s %10s %12s %14s\n",
 		"impl", "test", "obs", "iters", "mine[s]", "refset[s]")
+	var jobs []core.Job
 	for _, impl := range Impls {
 		for _, test := range r.TestsFor(impl) {
-			res, err := core.Check(impl, test, core.Options{Model: memmodel.Serial})
-			if err != nil {
-				r.printf("%-9s %-7s error: %v\n", impl, test, err)
-				continue
-			}
-			im, err := harness.Get(impl)
-			if err != nil {
-				return err
-			}
-			tst, err := harness.GetTest(im, test)
-			if err != nil {
-				return err
-			}
-			refStart := time.Now()
-			refSet, err := refimpl.Enumerate(im, tst)
-			refTime := time.Since(refStart)
-			if err != nil {
-				return err
-			}
-			agree := ""
-			if res.Spec != nil && !res.SeqBug && !res.Spec.Equal(refSet) {
-				agree = " (DISAGREES with refset!)"
-			}
-			r.printf("%-9s %-7s %8d %10d %12.3f %14.4f%s\n",
-				impl, test, res.Stats.ObsSetSize, res.Stats.MineIterations,
-				res.Stats.MineTime.Seconds(), refTime.Seconds(), agree)
+			jobs = append(jobs, core.Job{Impl: impl, Test: test,
+				Opts: core.Options{Model: memmodel.Serial}})
 		}
+	}
+	rows := r.runSuite(jobs, nil)
+	for _, row := range rows {
+		if row.Err != nil {
+			r.printf("%-9s %-7s error: %v\n", row.Impl, row.Test, row.Err)
+			continue
+		}
+		res := row.Res
+		im, err := harness.Get(row.Impl)
+		if err != nil {
+			return err
+		}
+		tst, err := harness.GetTest(im, row.Test)
+		if err != nil {
+			return err
+		}
+		refStart := time.Now()
+		refSet, err := refimpl.Enumerate(im, tst)
+		refTime := time.Since(refStart)
+		if err != nil {
+			return err
+		}
+		agree := ""
+		if res.Spec != nil && !res.SeqBug && !res.Spec.Equal(refSet) {
+			agree = " (DISAGREES with refset!)"
+		}
+		r.printf("%-9s %-7s %8d %10d %12.3f %14.4f%s\n",
+			row.Impl, row.Test, res.Stats.ObsSetSize, res.Stats.MineIterations,
+			res.Stats.MineTime.Seconds(), refTime.Seconds(), agree)
 	}
 	return nil
 }
@@ -220,29 +269,42 @@ func (r *Runner) Fig11b() error {
 func (r *Runner) Fig11c() error {
 	r.printf("Fig. 11c: impact of the range analysis on runtime\n")
 	r.printf("%-9s %-7s %12s %14s %8s\n", "impl", "test", "with[s]", "without[s]", "ratio")
-	var sumRatio float64
-	var count int
+	// Jobs come in (with, without) pairs per test; both run on the
+	// pool, the table is emitted pairwise in suite order. Each job gets
+	// a private spec cache: this experiment times the whole check
+	// including mining, so the suite-wide cache would skew the
+	// comparison.
+	var jobs []core.Job
 	for _, impl := range Impls {
 		for _, test := range r.TestsFor(impl) {
-			with, err := core.Check(impl, test, core.Options{Model: memmodel.Relaxed})
-			if err != nil {
-				r.printf("%-9s %-7s error: %v\n", impl, test, err)
-				continue
-			}
-			without, err := core.Check(impl, test, core.Options{
-				Model: memmodel.Relaxed, DisableRangeAnalysis: true,
-			})
-			if err != nil {
-				r.printf("%-9s %-7s (without) error: %v\n", impl, test, err)
-				continue
-			}
-			ratio := without.Stats.TotalTime.Seconds() / with.Stats.TotalTime.Seconds()
-			sumRatio += ratio
-			count++
-			r.printf("%-9s %-7s %12.3f %14.3f %7.2fx\n",
-				impl, test, with.Stats.TotalTime.Seconds(),
-				without.Stats.TotalTime.Seconds(), ratio)
+			jobs = append(jobs,
+				core.Job{Impl: impl, Test: test,
+					Opts: core.Options{Model: memmodel.Relaxed,
+						SpecCache: core.NewSpecCache("")}},
+				core.Job{Impl: impl, Test: test,
+					Opts: core.Options{Model: memmodel.Relaxed, DisableRangeAnalysis: true,
+						SpecCache: core.NewSpecCache("")}})
 		}
+	}
+	rows := r.runSuite(jobs, nil)
+	var sumRatio float64
+	var count int
+	for i := 0; i+1 < len(rows); i += 2 {
+		with, without := rows[i], rows[i+1]
+		if with.Err != nil {
+			r.printf("%-9s %-7s error: %v\n", with.Impl, with.Test, with.Err)
+			continue
+		}
+		if without.Err != nil {
+			r.printf("%-9s %-7s (without) error: %v\n", without.Impl, without.Test, without.Err)
+			continue
+		}
+		ratio := without.Res.Stats.TotalTime.Seconds() / with.Res.Stats.TotalTime.Seconds()
+		sumRatio += ratio
+		count++
+		r.printf("%-9s %-7s %12.3f %14.3f %7.2fx\n",
+			with.Impl, with.Test, with.Res.Stats.TotalTime.Seconds(),
+			without.Res.Stats.TotalTime.Seconds(), ratio)
 	}
 	if count > 0 {
 		r.printf("average slowdown without range analysis: %.2fx (paper: ~42%% improvement, up to 3x)\n",

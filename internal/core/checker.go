@@ -6,6 +6,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -55,6 +56,23 @@ type Options struct {
 	MaxBoundRounds int
 	// InitialBounds seeds the per-loop-instance unrolling bounds.
 	InitialBounds map[string]int
+	// SpecCache, when non-nil, memoizes mined observation sets keyed
+	// by (implementation source, test, bounds, spec source). The spec
+	// is model-independent (§3.2), so a suite checking several models
+	// mines once per key. RunSuite installs a shared cache
+	// automatically.
+	SpecCache *SpecCache
+	// Portfolio, when > 1, races that many diversified SAT solver
+	// configurations (restart policy, initial phase, branching
+	// permutation) on the inclusion check, each over an independently
+	// built formula; the first definitive verdict cancels the rest.
+	// Worth it for the hardest checks (snark, harris); overhead for
+	// easy ones.
+	Portfolio int
+	// Cancel, when non-nil and closed, aborts the check: SAT solves
+	// stop at their next check point and the check returns an error
+	// wrapping spec.ErrSolverUnknown. RunSuite wires its context here.
+	Cancel <-chan struct{}
 }
 
 // Stats quantifies one check, mirroring the columns of the paper's
@@ -70,6 +88,12 @@ type Stats struct {
 	ObsSetSize     int
 	MineIterations int
 	BoundRounds    int
+
+	// Spec-cache traffic of this check: how many of its mining
+	// requests were served from Options.SpecCache vs. mined fresh.
+	// Both stay zero when no cache is configured.
+	SpecCacheHits   int
+	SpecCacheMisses int
 
 	ProbeTime   time.Duration // lazy loop bound probes
 	MineTime    time.Duration // specification mining
@@ -119,6 +143,10 @@ func CheckImpl(impl *harness.Impl, test *harness.Test, opts Options) (*Result, e
 		opts.MaxBoundRounds = 12
 	}
 	res := &Result{Impl: impl.Name, Test: test.Name, Model: opts.Model}
+	// TotalTime is set here, once, so every return path (early
+	// counterexample, bounds-already-sufficient, converged re-check)
+	// reports it consistently.
+	defer func() { res.Stats.TotalTime = time.Since(start) }()
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	defer func() {
@@ -150,7 +178,7 @@ func CheckImpl(impl *harness.Impl, test *harness.Test, opts Options) (*Result, e
 	}
 	info := analysisFor(unrolled, opts)
 	res.Stats.BoundRounds = 1
-	done, err := runCheck(res, impl, test, built, unrolled, info, opts, start)
+	done, err := runCheck(res, impl, test, built, unrolled, info, bounds, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +192,7 @@ func CheckImpl(impl *harness.Impl, test *harness.Test, opts Options) (*Result, e
 			return nil, fmt.Errorf("core: loop bounds did not converge after %d rounds", round)
 		}
 		probeStart := time.Now()
-		grew, err := probeBounds(unrolled, info, probeModel(opts.Model), bounds)
+		grew, err := probeBounds(unrolled, info, probeModel(opts.Model), bounds, opts)
 		res.Stats.ProbeTime += time.Since(probeStart)
 		if err != nil {
 			return nil, err
@@ -181,13 +209,11 @@ func CheckImpl(impl *harness.Impl, test *harness.Test, opts Options) (*Result, e
 		info = analysisFor(unrolled, opts)
 	}
 	if !grewAny {
-		res.Stats.TotalTime = time.Since(start)
 		return res, nil // initial bounds were already sufficient
 	}
-	if _, err := runCheck(res, impl, test, built, unrolled, info, opts, start); err != nil {
+	if _, err := runCheck(res, impl, test, built, unrolled, info, bounds, opts); err != nil {
 		return nil, err
 	}
-	res.Stats.TotalTime = time.Since(start)
 	return res, nil
 }
 
@@ -196,65 +222,105 @@ func CheckImpl(impl *harness.Impl, test *harness.Test, opts Options) (*Result, e
 // sequential bug) was found, in which case bounds need not grow.
 func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 	built *harness.Built, unrolled *harness.Unrolled, info *ranges.Info,
-	opts Options, start time.Time) (bool, error) {
+	bounds map[string]int, opts Options) (bool, error) {
 
 	res.Stats.Instrs = unrolled.Instrs
 	res.Stats.Loads = unrolled.Loads
 	res.Stats.Stores = unrolled.Stores
 
-	// Specification.
+	// Specification. The mining procedure is wrapped in a closure so
+	// the spec cache can single-flight it across concurrent checks;
+	// serialEnc escapes for the sequential-bug trace, and is only ever
+	// set by this check's own invocation (the cache never shares
+	// failures).
 	mineStart := time.Now()
 	theSpec := opts.Spec
 	if theSpec == nil {
-		var err error
-		switch opts.SpecSource {
-		case SpecRef:
-			theSpec, err = refimpl.Enumerate(impl, test)
-			if err != nil {
-				return false, err
-			}
-		default:
-			serialEnc := encode.New(memmodel.Serial, info)
-			if err := serialEnc.Encode(unrolled.Threads); err != nil {
-				return false, err
-			}
-			serialEnc.AssertNoOverflow()
-			mined, stats, err := spec.Mine(serialEnc, built.Entries)
-			if err != nil {
-				if seqBug, ok := err.(*spec.SeqBugError); ok {
-					res.SeqBug = true
-					res.Pass = false
-					cex := &spec.Counterexample{Obs: seqBug.Obs, IsErr: true,
-						Err: "runtime error in serial execution"}
-					res.Cex = trace.Build(serialEnc, built, unrolled, cex)
-					res.Stats.MineTime += time.Since(mineStart)
-					res.Stats.TotalTime = time.Since(start)
-					return true, nil
+		var serialEnc *encode.Encoder
+		mine := func() (*spec.Set, int, error) {
+			switch opts.SpecSource {
+			case SpecRef:
+				set, err := refimpl.Enumerate(impl, test)
+				return set, 0, err
+			default:
+				serialEnc = encode.New(memmodel.Serial, info)
+				applyCancel(serialEnc, opts)
+				if err := serialEnc.Encode(unrolled.Threads); err != nil {
+					return nil, 0, err
 				}
-				return false, err
+				serialEnc.AssertNoOverflow()
+				mined, stats, err := spec.Mine(serialEnc, built.Entries)
+				return mined, stats.Iterations, err
 			}
-			theSpec = mined
-			res.Stats.MineIterations = stats.Iterations
 		}
+		var (
+			mined      *spec.Set
+			iterations int
+			err        error
+		)
+		if opts.SpecCache != nil {
+			var hit bool
+			key := specKey(impl, test, bounds, opts.SpecSource)
+			mined, iterations, hit, err = opts.SpecCache.GetOrMine(key, mine)
+			if hit {
+				res.Stats.SpecCacheHits++
+			} else {
+				res.Stats.SpecCacheMisses++
+			}
+		} else {
+			mined, iterations, err = mine()
+		}
+		if err != nil {
+			if seqBug, ok := err.(*spec.SeqBugError); ok && serialEnc != nil {
+				res.SeqBug = true
+				res.Pass = false
+				cex := &spec.Counterexample{Obs: seqBug.Obs, IsErr: true,
+					Err: "runtime error in serial execution"}
+				res.Cex = trace.Build(serialEnc, built, unrolled, cex)
+				res.Stats.MineTime += time.Since(mineStart)
+				return true, nil
+			}
+			return false, err
+		}
+		theSpec = mined
+		res.Stats.MineIterations = iterations
 	}
 	res.Spec = theSpec
 	res.Stats.ObsSetSize = theSpec.Len()
 	res.Stats.MineTime += time.Since(mineStart)
 
-	// Inclusion check.
-	encodeStart := time.Now()
-	enc := encode.New(opts.Model, info)
-	if err := enc.Encode(unrolled.Threads); err != nil {
-		return false, err
-	}
-	enc.AssertNoOverflow()
-	res.Stats.EncodeTime += time.Since(encodeStart)
+	// Inclusion check: either a single encoder + solve, or a
+	// portfolio racing diversified configurations over independently
+	// built formulas.
+	var (
+		enc *encode.Encoder
+		cex *spec.Counterexample
+		err error
+	)
+	if opts.Portfolio > 1 {
+		var encodeT, refuteT time.Duration
+		cex, enc, encodeT, refuteT, err = portfolioInclusion(unrolled, built, info, theSpec, opts)
+		res.Stats.EncodeTime += encodeT
+		res.Stats.RefuteTime += refuteT
+		if err != nil {
+			return false, err
+		}
+	} else {
+		encodeStart := time.Now()
+		enc = encode.New(opts.Model, info)
+		applyCancel(enc, opts)
+		if err := enc.Encode(unrolled.Threads); err != nil {
+			return false, err
+		}
+		enc.AssertNoOverflow()
+		res.Stats.EncodeTime += time.Since(encodeStart)
 
-	refuteStart := time.Now()
-	cex, err := spec.CheckInclusion(enc, built.Entries, theSpec)
-	res.Stats.RefuteTime += time.Since(refuteStart)
-	if err != nil {
-		return false, err
+		refuteStart := time.Now()
+		cex, err = spec.CheckInclusion(enc, built.Entries, theSpec)
+		res.Stats.RefuteTime += time.Since(refuteStart)
+		if err != nil {
+			return false, err
+		}
 	}
 	st := enc.S.Stats()
 	res.Stats.CNFVars = st.Vars
@@ -263,13 +329,84 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 
 	if cex == nil {
 		res.Pass = true
-		res.Stats.TotalTime = time.Since(start)
 		return false, nil // passed at these bounds; caller probes
 	}
 	res.Pass = false
 	res.Cex = trace.Build(enc, built, unrolled, cex)
-	res.Stats.TotalTime = time.Since(start)
 	return true, nil
+}
+
+// applyCancel wires Options.Cancel into an encoder's solver as a stop
+// predicate, making long solves abort promptly on suite cancellation.
+func applyCancel(e *encode.Encoder, opts Options) {
+	cancel := opts.Cancel
+	if cancel == nil {
+		return
+	}
+	e.S.SetStop(func() bool {
+		select {
+		case <-cancel:
+			return true
+		default:
+			return false
+		}
+	})
+}
+
+// portfolioInclusion runs the inclusion check as a portfolio race
+// (§3.2's check is one NP-hard SAT query; diversified configurations
+// have wildly different runtimes on the hard instances, and the first
+// verdict wins). Each member builds its own formula, so members share
+// nothing and the winner's solver holds a usable model. Returns the
+// winner's counterexample (nil = pass), its encoder for trace
+// extraction and CNF stats, and its encode/solve durations.
+func portfolioInclusion(unrolled *harness.Unrolled, built *harness.Built,
+	info *ranges.Info, theSpec *spec.Set, opts Options) (
+	*spec.Counterexample, *encode.Encoder, time.Duration, time.Duration, error) {
+
+	configs := sat.PortfolioConfigs(opts.Portfolio)
+	type member struct {
+		enc     *encode.Encoder
+		cex     *spec.Counterexample
+		err     error
+		encodeT time.Duration
+		refuteT time.Duration
+	}
+	members := make([]member, len(configs))
+	winner := sat.Race(configs, func(i int, cfg sat.Config) (*sat.Solver, func() bool) {
+		m := &members[i]
+		encodeStart := time.Now()
+		e := encode.New(opts.Model, info)
+		applyCancel(e, opts)
+		if err := e.Encode(unrolled.Threads); err != nil {
+			// Encoding failures are deterministic across members;
+			// surfacing the first one as definitive is correct and
+			// stops the rest.
+			m.err = err
+			return nil, func() bool { return true }
+		}
+		e.AssertNoOverflow()
+		cfg.Apply(e.S)
+		m.enc = e
+		m.encodeT = time.Since(encodeStart)
+		return e.S, func() bool {
+			refuteStart := time.Now()
+			m.cex, m.err = spec.CheckInclusion(e, built.Entries, theSpec)
+			m.refuteT = time.Since(refuteStart)
+			return !errors.Is(m.err, spec.ErrSolverUnknown)
+		}
+	})
+	if winner < 0 {
+		// Every member was interrupted (external cancellation).
+		for _, m := range members {
+			if m.err != nil {
+				return nil, nil, 0, 0, m.err
+			}
+		}
+		return nil, nil, 0, 0, fmt.Errorf("core: portfolio produced no verdict")
+	}
+	m := members[winner]
+	return m.cex, m.enc, m.encodeT, m.refuteT, m.err
 }
 
 func analysisFor(unrolled *harness.Unrolled, opts Options) *ranges.Info {
@@ -302,7 +439,8 @@ func probeModel(m memmodel.Model) memmodel.Model {
 // under the given model; if so it increments those bounds and reports
 // growth.
 func probeBounds(unrolled *harness.Unrolled,
-	info *ranges.Info, model memmodel.Model, bounds map[string]int) (bool, error) {
+	info *ranges.Info, model memmodel.Model, bounds map[string]int,
+	opts Options) (bool, error) {
 
 	hasMarkers := false
 	for _, li := range unrolled.Loops {
@@ -315,12 +453,17 @@ func probeBounds(unrolled *harness.Unrolled,
 		return false, nil
 	}
 	probe := encode.New(model, info)
+	applyCancel(probe, opts)
 	if err := probe.Encode(unrolled.Threads); err != nil {
 		return false, err
 	}
 	probe.AssertSomeOverflow()
-	if probe.S.Solve() != sat.Sat {
+	switch probe.S.Solve() {
+	case sat.Sat:
+	case sat.Unsat:
 		return false, nil
+	default:
+		return false, fmt.Errorf("core: bound probe: %w", spec.ErrSolverUnknown)
 	}
 	grew := false
 	for _, id := range probe.OverflowingLoops() {

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"checkfence/internal/harness"
+	"checkfence/internal/spec"
+)
+
+// SpecCache memoizes mined observation sets across checks. The paper
+// (§3.2) notes the specification is model-independent: S(T,I) is
+// defined by serial executions only, so a suite that checks the same
+// (implementation, test) pair under sc, tso, pso, and relaxed needs
+// to mine once, not four times. The cache is concurrency-safe and
+// single-flight: when several suite workers need the same set, one
+// mines and the rest wait for it.
+//
+// Keys cover everything mining depends on: the implementation source,
+// the test structure, the loop unrolling bounds, and the spec source
+// (SAT mining vs. reference enumeration). An optional directory
+// mirrors the sets on disk (spec.Set serialization), so they survive
+// the process and are reused across runs.
+type SpecCache struct {
+	mu      sync.Mutex
+	entries map[string]*specEntry
+	dir     string
+}
+
+type specEntry struct {
+	done       chan struct{}
+	set        *spec.Set
+	iterations int
+	ok         bool
+}
+
+// NewSpecCache returns an empty cache. dir, when non-empty, enables
+// the on-disk mirror (the directory is created on first store).
+func NewSpecCache(dir string) *SpecCache {
+	return &SpecCache{entries: map[string]*specEntry{}, dir: dir}
+}
+
+// GetOrMine returns the set for key, mining it with mine on a miss.
+// Concurrent callers with the same key block until the first
+// completes. Mining errors are never cached: the failing caller gets
+// its own error (it may need live solver state to build a trace, as
+// the sequential-bug path does), waiters re-mine for themselves, and
+// the key becomes free again.
+func (c *SpecCache) GetOrMine(key string, mine func() (*spec.Set, int, error)) (set *spec.Set, iterations int, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		if e.ok {
+			return e.set, e.iterations, true, nil
+		}
+		// The miner failed; every caller needs its own failure
+		// context, so mine uncached.
+		set, iterations, err = mine()
+		return set, iterations, false, err
+	}
+	e := &specEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	if diskSet, ok := c.loadDisk(key); ok {
+		e.set, e.ok = diskSet, true
+		close(e.done)
+		return diskSet, 0, true, nil
+	}
+
+	set, iterations, err = mine()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+		close(e.done)
+		return nil, iterations, false, err
+	}
+	e.set, e.iterations, e.ok = set, iterations, true
+	close(e.done)
+	c.storeDisk(key, set)
+	return set, iterations, false, nil
+}
+
+// Len returns the number of cached sets (for tests and stats).
+func (c *SpecCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *SpecCache) diskPath(key string) string {
+	return filepath.Join(c.dir, key+".obs")
+}
+
+func (c *SpecCache) loadDisk(key string) (*spec.Set, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	f, err := os.Open(c.diskPath(key))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	set, err := spec.ReadSet(f)
+	if err != nil {
+		// A corrupt file is treated as a miss; mining overwrites it.
+		return nil, false
+	}
+	return set, true
+}
+
+func (c *SpecCache) storeDisk(key string, set *spec.Set) {
+	if c.dir == "" {
+		return
+	}
+	// Disk mirroring is best-effort: a failure costs re-mining in a
+	// later process, never correctness.
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := set.WriteTo(tmp)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.diskPath(key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// specKey derives the cache key for one mining problem. It hashes the
+// implementation source (not just the name: variants and custom data
+// types share names at times), the full test structure, the unrolling
+// bounds, and the spec source.
+func specKey(impl *harness.Impl, test *harness.Test, bounds map[string]int, src SpecSource) string {
+	h := sha256.New()
+	io.WriteString(h, impl.Name)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, impl.InitFunc)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, impl.Obj)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, impl.Source)
+	io.WriteString(h, "\x00")
+	fmt.Fprintf(h, "%v\x00%v\x00", impl.Ops, test.Init)
+	fmt.Fprintf(h, "%v\x00", test.Threads)
+	keys := make([]string, 0, len(bounds))
+	for k := range bounds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%d\x00", k, bounds[k])
+	}
+	fmt.Fprintf(h, "src=%d", src)
+	return hex.EncodeToString(h.Sum(nil))
+}

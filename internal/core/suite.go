@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Job is one check of a suite: an implementation, a test, and the
+// per-check options (model, spec source, portfolio width, ...).
+type Job struct {
+	Impl string
+	Test string
+	Opts Options
+}
+
+// SuiteResult pairs a job with its outcome. Exactly one of Res/Err is
+// meaningful: Err is non-nil when the check failed to run (not when
+// it found a counterexample — that is a successful check with
+// Res.Pass == false).
+type SuiteResult struct {
+	Job Job
+	Res *Result
+	Err error
+}
+
+// SuiteOptions configures RunSuite.
+type SuiteOptions struct {
+	// Parallelism bounds the number of concurrently running checks;
+	// <= 0 means GOMAXPROCS.
+	Parallelism int
+	// Context, when non-nil, cancels the suite: queued jobs are not
+	// started and in-flight SAT solves stop at their next check
+	// point, both reporting ctx.Err().
+	Context context.Context
+	// SpecCache shares mined observation sets across the suite's
+	// jobs (and, if the caller reuses it, across suites). When nil, a
+	// fresh cache is created per suite, rooted at SpecCacheDir.
+	SpecCache *SpecCache
+	// SpecCacheDir enables the on-disk observation-set mirror of the
+	// implicitly created cache. Ignored when SpecCache is non-nil.
+	SpecCacheDir string
+	// OnResult, when non-nil, is invoked as each job finishes, with
+	// the job's index. Calls are serialized but arrive in completion
+	// order, not job order.
+	OnResult func(index int, r SuiteResult)
+}
+
+// RunSuite checks all jobs on a bounded worker pool and returns their
+// results with deterministic ordering: results[i] corresponds to
+// jobs[i] regardless of completion order. Observation sets are mined
+// at most once per (implementation, test, bounds, spec source) via
+// the shared spec cache; per-check Stats report the cache traffic.
+func RunSuite(jobs []Job, opts SuiteOptions) []SuiteResult {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cache := opts.SpecCache
+	if cache == nil {
+		cache = NewSpecCache(opts.SpecCacheDir)
+	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	results := make([]SuiteResult, len(jobs))
+	var next atomic.Int64
+	next.Store(-1)
+	var cbMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(jobs) {
+					return
+				}
+				job := jobs[i]
+				r := SuiteResult{Job: job}
+				if err := ctx.Err(); err != nil {
+					r.Err = err
+				} else {
+					jopts := job.Opts
+					if jopts.SpecCache == nil {
+						jopts.SpecCache = cache
+					}
+					if jopts.Cancel == nil {
+						jopts.Cancel = ctx.Done()
+					}
+					r.Res, r.Err = Check(job.Impl, job.Test, jopts)
+					if r.Err != nil && ctx.Err() != nil {
+						// An interrupted solve surfaces as a solver
+						// error; report the cancellation itself.
+						r.Err = ctx.Err()
+					}
+				}
+				results[i] = r
+				if opts.OnResult != nil {
+					cbMu.Lock()
+					opts.OnResult(i, r)
+					cbMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

@@ -11,6 +11,10 @@ type Parser struct {
 	toks     []Token
 	pos      int
 	typedefs map[string]bool
+	// anonCounter numbers anonymous struct/enum tags. Per-parser (not
+	// package-level) so concurrent parses are race-free and a given
+	// source always produces the same tags.
+	anonCounter int
 }
 
 // Parse parses a translation unit.
@@ -117,8 +121,6 @@ func isIntKeyword(s string) bool {
 	return false
 }
 
-var anonCounter int
-
 func (p *Parser) parseStructRef(aux *[]Decl) (Type, error) {
 	tag := ""
 	if p.at(TokIdent, "") {
@@ -126,8 +128,8 @@ func (p *Parser) parseStructRef(aux *[]Decl) (Type, error) {
 	}
 	if p.accept(TokPunct, "{") {
 		if tag == "" {
-			anonCounter++
-			tag = fmt.Sprintf("$anon%d", anonCounter)
+			p.anonCounter++
+			tag = fmt.Sprintf("$anon%d", p.anonCounter)
 		}
 		var fields []Field
 		for !p.accept(TokPunct, "}") {
@@ -172,8 +174,8 @@ func (p *Parser) parseEnumRef(aux *[]Decl) (Type, error) {
 	}
 	if p.accept(TokPunct, "{") {
 		if tag == "" {
-			anonCounter++
-			tag = fmt.Sprintf("$anonenum%d", anonCounter)
+			p.anonCounter++
+			tag = fmt.Sprintf("$anonenum%d", p.anonCounter)
 		}
 		var names []string
 		for !p.accept(TokPunct, "}") {

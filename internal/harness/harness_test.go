@@ -2,6 +2,7 @@ package harness
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"checkfence/internal/lsl"
@@ -261,5 +262,40 @@ func TestUnrollBoundsGrowth(t *testing.T) {
 	}
 	if !found {
 		t.Error("bound override not applied")
+	}
+}
+
+// TestRegistryConcurrentReaders locks in that the implementation and
+// test registries are safe for concurrent readers (run under -race).
+func TestRegistryConcurrentReaders(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			impls := Implementations()
+			if len(impls) == 0 {
+				t.Error("empty registry")
+				return
+			}
+			im, err := Get("msn")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := TestsFor(im); err != nil {
+				t.Error(err)
+			}
+			if _, err := Get("msn-dropfence1"); err != nil {
+				t.Error(err)
+			}
+			// Mutating the returned map must not affect the shared
+			// registry.
+			delete(impls, "msn")
+		}(i)
+	}
+	wg.Wait()
+	if _, err := Get("msn"); err != nil {
+		t.Fatalf("registry damaged by concurrent readers: %v", err)
 	}
 }

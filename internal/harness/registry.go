@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"regexp"
 	"strings"
+	"sync"
 )
 
 //go:embed testdata/*.c
@@ -87,6 +88,19 @@ var dequeOps = []OpSig{
 	{Mnemonic: "rr", Func: "popRight", HasRet: true, HasOut: true},
 }
 
+// registry is the immutable-after-init implementation table, built
+// exactly once. The *Impl values are shared and must be treated as
+// read-only; the suite scheduler reads them from many goroutines.
+var (
+	registryOnce sync.Once
+	registry     map[string]*Impl
+)
+
+func implRegistry() map[string]*Impl {
+	registryOnce.Do(func() { registry = buildImplementations() })
+	return registry
+}
+
 // Implementations returns the study set of paper Table 1, keyed by
 // mnemonic name. Variants:
 //
@@ -94,7 +108,20 @@ var dequeOps = []OpSig{
 //	<name>-nofence  all memory ordering fences removed
 //	lazylist-bug    the published pseudocode's missing initialization
 //	snark           the algorithm as published, i.e. with its bugs
+//
+// The registry is built once and shared; the returned map is a fresh
+// copy (safe for callers to mutate) but the *Impl values are shared
+// read-only structures, safe for concurrent readers.
 func Implementations() map[string]*Impl {
+	reg := implRegistry()
+	out := make(map[string]*Impl, len(reg))
+	for k, v := range reg {
+		out[k] = v
+	}
+	return out
+}
+
+func buildImplementations() map[string]*Impl {
 	syncSrc := mustRead("sync.c")
 	m := map[string]*Impl{}
 
@@ -241,9 +268,10 @@ func RemoveBugLines(src string) string {
 }
 
 // Get looks up an implementation variant, including dynamic
-// "-dropfence<k>" forms.
+// "-dropfence<k>" forms. The returned *Impl is shared and read-only;
+// Get is safe for concurrent use.
 func Get(name string) (*Impl, error) {
-	impls := Implementations()
+	impls := implRegistry()
 	if im, ok := impls[name]; ok {
 		return im, nil
 	}

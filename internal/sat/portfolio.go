@@ -1,0 +1,167 @@
+package sat
+
+// This file implements portfolio solving: race K diversified solver
+// configurations on separate goroutines over independently built
+// copies of the same problem; the first definitive verdict cancels
+// the rest via Interrupt. CheckFence's hardest inclusion checks
+// (snark, harris) are single NP-hard queries whose runtime varies by
+// orders of magnitude with the restart schedule, initial phase, and
+// branching order, so a small portfolio buys robustness that no
+// single configuration can.
+
+import "sync"
+
+// Config is one diversified solver configuration of a portfolio. The
+// zero value is the solver's default (Glucose restarts, false initial
+// phase, zero initial activities).
+type Config struct {
+	Restart RestartPolicy
+	// InvertPhase flips the initial saved phase of every variable.
+	InvertPhase bool
+	// ActivitySeed, when nonzero, seeds a deterministic permutation
+	// of the initial VSIDS branching order.
+	ActivitySeed int64
+}
+
+// Apply configures a freshly built solver. Call after the formula is
+// loaded (the knobs touch per-variable state) and before solving.
+func (c Config) Apply(s *Solver) {
+	s.SetRestartPolicy(c.Restart)
+	if c.InvertPhase {
+		s.SetDefaultPhase(true)
+	}
+	if c.ActivitySeed != 0 {
+		s.RandomizeActivity(c.ActivitySeed)
+	}
+}
+
+// PortfolioConfigs returns k diversified configurations. The first is
+// always the default configuration, so a portfolio is never slower
+// than the default solver by more than scheduling overhead.
+func PortfolioConfigs(k int) []Config {
+	if k < 1 {
+		k = 1
+	}
+	out := make([]Config, 0, k)
+	for i := 0; i < k; i++ {
+		cfg := Config{}
+		if i%2 == 1 {
+			cfg.Restart = RestartLuby
+		}
+		if i >= 2 {
+			cfg.InvertPhase = i%4 >= 2
+			cfg.ActivitySeed = int64(i)
+		}
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// Race runs one portfolio member per configuration on its own
+// goroutine. member builds the instance (formula + solver, applying
+// cfg) and returns the solver together with a run function; run
+// reports whether it reached a definitive verdict (as opposed to
+// being interrupted or failing for a retryable reason). The first
+// definitive member interrupts all others and becomes the winner.
+// Race blocks until every member returns, so the winner's solver
+// state (model, learned clauses) is quiescent when it does; it
+// returns the winning index, or -1 if no member was definitive.
+//
+// A member may return a nil solver (e.g. its build failed); its run
+// is still called so it can record the error, and a definitive return
+// still wins the race.
+func Race(configs []Config, member func(i int, cfg Config) (*Solver, func() bool)) int {
+	if len(configs) == 1 {
+		_, run := member(0, configs[0])
+		if run() {
+			return 0
+		}
+		return -1
+	}
+
+	var (
+		mu      sync.Mutex
+		solvers = make([]*Solver, len(configs))
+		winner  = -1
+		decided = false
+		wg      sync.WaitGroup
+	)
+	for i, cfg := range configs {
+		wg.Add(1)
+		go func(i int, cfg Config) {
+			defer wg.Done()
+			s, run := member(i, cfg)
+			mu.Lock()
+			solvers[i] = s
+			lost := decided
+			mu.Unlock()
+			if lost && s != nil {
+				// The race ended while this member was still
+				// building; stop it before the first Solve.
+				s.Interrupt()
+			}
+			if !run() {
+				return
+			}
+			mu.Lock()
+			if !decided {
+				decided = true
+				winner = i
+				for j, other := range solvers {
+					if j != i && other != nil {
+						other.Interrupt()
+					}
+				}
+			}
+			mu.Unlock()
+		}(i, cfg)
+	}
+	wg.Wait()
+	return winner
+}
+
+// Portfolio races plain Solve calls over independently built
+// formulas. build is invoked once per configuration (concurrently)
+// and must return a fresh solver loaded with the formula; Apply is
+// called on it before solving. Solve returns the winner's status and
+// solver (positioned at its model when Sat), or Unknown if every
+// member was interrupted or failed to build.
+type Portfolio struct {
+	// Configs lists the member configurations; when empty, a default
+	// 4-way portfolio is used.
+	Configs []Config
+}
+
+// Solve races the portfolio. The assumptions are shared by all
+// members.
+func (p *Portfolio) Solve(build func(Config) (*Solver, error), assumptions ...Lit) (Status, *Solver, error) {
+	configs := p.Configs
+	if len(configs) == 0 {
+		configs = PortfolioConfigs(4)
+	}
+	statuses := make([]Status, len(configs))
+	solvers := make([]*Solver, len(configs))
+	errs := make([]error, len(configs))
+	winner := Race(configs, func(i int, cfg Config) (*Solver, func() bool) {
+		s, err := build(cfg)
+		if err != nil {
+			errs[i] = err
+			return nil, func() bool { return false }
+		}
+		cfg.Apply(s)
+		solvers[i] = s
+		return s, func() bool {
+			statuses[i] = s.Solve(assumptions...)
+			return statuses[i] != Unknown
+		}
+	})
+	if winner < 0 {
+		for _, err := range errs {
+			if err != nil {
+				return Unknown, nil, err
+			}
+		}
+		return Unknown, nil, nil
+	}
+	return statuses[winner], solvers[winner], nil
+}

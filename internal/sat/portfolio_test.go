@@ -1,0 +1,139 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPortfolioConfigsDiversified(t *testing.T) {
+	configs := PortfolioConfigs(4)
+	if len(configs) != 4 {
+		t.Fatalf("got %d configs, want 4", len(configs))
+	}
+	if configs[0] != (Config{}) {
+		t.Errorf("config 0 must be the default, got %+v", configs[0])
+	}
+	seen := map[Config]bool{}
+	for _, c := range configs {
+		if seen[c] {
+			t.Errorf("duplicate config %+v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestPortfolioUnsat(t *testing.T) {
+	p := Portfolio{Configs: PortfolioConfigs(3)}
+	st, winner, err := p.Solve(func(Config) (*Solver, error) {
+		s := New()
+		pigeonholeInstance(s, 7)
+		return s, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unsat {
+		t.Fatalf("portfolio verdict = %v, want Unsat", st)
+	}
+	if winner == nil {
+		t.Fatal("no winning solver returned")
+	}
+}
+
+func TestPortfolioSatModel(t *testing.T) {
+	// A satisfiable random instance; every configuration must agree,
+	// and the winner's model must satisfy all clauses.
+	rng := rand.New(rand.NewSource(7))
+	const numVars = 40
+	var clauses [][]Lit
+	assignment := make([]bool, numVars) // planted solution
+	for v := range assignment {
+		assignment[v] = rng.Intn(2) == 0
+	}
+	for i := 0; i < 160; i++ {
+		c := make([]Lit, 3)
+		for j := range c {
+			v := rng.Intn(numVars)
+			c[j] = MkLit(v, rng.Intn(2) == 0)
+		}
+		// Force at least one literal true under the planted solution.
+		v := c[0].Var()
+		c[0] = MkLit(v, !assignment[v])
+		clauses = append(clauses, c)
+	}
+	p := Portfolio{}
+	st, winner, err := p.Solve(func(Config) (*Solver, error) {
+		s := New()
+		for v := 0; v < numVars; v++ {
+			s.NewVar()
+		}
+		for _, c := range clauses {
+			s.AddClause(c...)
+		}
+		return s, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Sat {
+		t.Fatalf("portfolio verdict = %v, want Sat", st)
+	}
+	for ci, c := range clauses {
+		ok := false
+		for _, l := range c {
+			if winner.ValueLit(l) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("winner model does not satisfy clause %d", ci)
+		}
+	}
+}
+
+// TestRaceCancelsLosers races one trivially fast member against
+// members stuck on a hard instance; the fast verdict must interrupt
+// the others (otherwise this test takes minutes instead of
+// milliseconds).
+func TestRaceCancelsLosers(t *testing.T) {
+	configs := PortfolioConfigs(3)
+	statuses := make([]Status, len(configs))
+	winner := Race(configs, func(i int, cfg Config) (*Solver, func() bool) {
+		s := New()
+		if i == 0 {
+			v := s.NewVar()
+			s.AddClause(Pos(v))
+		} else {
+			pigeonholeInstance(s, 10)
+		}
+		cfg.Apply(s)
+		return s, func() bool {
+			statuses[i] = s.Solve()
+			return statuses[i] != Unknown
+		}
+	})
+	if winner != 0 {
+		// Losing to a PHP(10) member is theoretically possible but
+		// indicates cancellation is broken in practice.
+		t.Fatalf("winner = %d, want 0", winner)
+	}
+	if statuses[0] != Sat {
+		t.Fatalf("winner status = %v, want Sat", statuses[0])
+	}
+}
+
+// TestRaceNoDefinitiveMember: all members interrupted before solving.
+func TestRaceNoDefinitiveMember(t *testing.T) {
+	configs := PortfolioConfigs(2)
+	winner := Race(configs, func(i int, cfg Config) (*Solver, func() bool) {
+		s := New()
+		v := s.NewVar()
+		s.AddClause(Pos(v))
+		s.Interrupt()
+		return s, func() bool { return s.Solve() != Unknown }
+	})
+	if winner != -1 {
+		t.Fatalf("winner = %d, want -1", winner)
+	}
+}

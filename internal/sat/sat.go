@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Lit is a literal: variable index shifted left once, low bit set for
@@ -182,6 +183,13 @@ func (o *varOrder) pop() int {
 
 func (o *varOrder) empty() bool { return len(o.heap) == 0 }
 
+// rebuild re-heapifies after a bulk activity rewrite.
+func (o *varOrder) rebuild() {
+	for i := len(o.heap)/2 - 1; i >= 0; i-- {
+		o.down(i)
+	}
+}
+
 // Stats reports solver work counters.
 type Stats struct {
 	Vars         int
@@ -218,6 +226,19 @@ type Solver struct {
 	seen     []bool
 	analyzeT []Lit // temporary for minimization
 
+	// lbdStamp/lbdGen implement the reusable stamp array of
+	// computeLBD: lbdStamp[level] == lbdGen marks a decision level as
+	// counted for the current clause, avoiding a map allocation per
+	// learnt clause.
+	lbdStamp []int64
+	lbdGen   int64
+
+	// interrupted is the asynchronous stop flag set by Interrupt();
+	// stop is an optional external stop predicate (e.g. a context
+	// check). Both are polled in the solve loop.
+	interrupted atomic.Bool
+	stop        func() bool
+
 	maxLearnts   float64
 	learntGrowth float64
 
@@ -241,6 +262,35 @@ const (
 
 // SetRestartPolicy selects the restart schedule (ablation knob).
 func (s *Solver) SetRestartPolicy(p RestartPolicy) { s.restartPolicy = p }
+
+// SetDefaultPhase sets the saved phase of every current variable, so
+// the first decision on a variable assigns it this polarity. The
+// default is false; inverting it is one of the portfolio
+// diversification axes. Call after the formula is built and before
+// Solve (phase saving overwrites it as search proceeds).
+func (s *Solver) SetDefaultPhase(polarity bool) {
+	for i := range s.phase {
+		s.phase[i] = polarity
+	}
+}
+
+// RandomizeActivity assigns each variable a small pseudo-random
+// initial VSIDS activity (deterministic in seed), permuting the
+// initial branching order without outweighing real conflict activity.
+// A second portfolio diversification axis.
+func (s *Solver) RandomizeActivity(seed int64) {
+	// xorshift64*; any nonzero state works.
+	x := uint64(seed)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	for v := range s.order.activity {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		// Scale into [0, 1e-3): far below the first conflict bump
+		// (varInc starts at 1.0), so it only breaks ties.
+		s.order.activity[v] = float64(x>>11) / float64(1<<53) * 1e-3
+	}
+	s.order.rebuild()
+}
 
 // New returns an empty solver.
 func New() *Solver {
@@ -286,6 +336,29 @@ func (s *Solver) Stats() Stats {
 // SetBudget limits the number of conflicts a single Solve may use
 // (0 = unlimited). When exhausted, Solve returns Unknown.
 func (s *Solver) SetBudget(conflicts int64) { s.budget = conflicts }
+
+// Interrupt asynchronously stops the current (and any subsequent)
+// Solve, which returns Unknown at its next check point. It is safe to
+// call from another goroutine while Solve runs; the flag is sticky
+// until ClearInterrupt, so a multi-Solve procedure (mining, the
+// two-phase inclusion check) stops as a whole. All clauses learned
+// before the interruption remain attached and sound.
+func (s *Solver) Interrupt() { s.interrupted.Store(true) }
+
+// ClearInterrupt re-arms the solver after an Interrupt; following
+// Solve calls run normally.
+func (s *Solver) ClearInterrupt() { s.interrupted.Store(false) }
+
+// Interrupted reports whether Interrupt has been called without a
+// matching ClearInterrupt.
+func (s *Solver) Interrupted() bool { return s.interrupted.Load() }
+
+// SetStop installs an external stop predicate polled periodically in
+// the solve loop (every few hundred iterations, so it may be modestly
+// expensive, e.g. a context or deadline check). A true return makes
+// Solve return Unknown. nil removes the predicate. Unlike Interrupt,
+// the predicate is consulted fresh on every Solve.
+func (s *Solver) SetStop(stop func() bool) { s.stop = stop }
 
 func (s *Solver) value(l Lit) lbool {
 	v := s.assigns[l.Var()]
@@ -603,12 +676,25 @@ func (s *Solver) litRedundant(l Lit, levels uint64) bool {
 	return true
 }
 
+// computeLBD counts the distinct decision levels among lits (the
+// "literal block distance" of Glucose). It runs on every conflict, so
+// it stamps levels in a reusable array instead of allocating a set.
 func (s *Solver) computeLBD(lits []Lit) int {
-	marks := map[int]struct{}{}
-	for _, l := range lits {
-		marks[s.levels[l.Var()]] = struct{}{}
+	if n := len(s.assigns) + 1; len(s.lbdStamp) < n {
+		grown := make([]int64, n)
+		copy(grown, s.lbdStamp)
+		s.lbdStamp = grown
 	}
-	return len(marks)
+	s.lbdGen++
+	lbd := 0
+	for _, l := range lits {
+		lv := s.levels[l.Var()]
+		if s.lbdStamp[lv] != s.lbdGen {
+			s.lbdStamp[lv] = s.lbdGen
+			lbd++
+		}
+	}
+	return lbd
 }
 
 func (s *Solver) record(lits []Lit) {
@@ -708,8 +794,17 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	sinceRestart := int64(0)
 	lubyIdx := int64(1)
 	lubyLimit := luby(lubyIdx) * 100
+	var ticks int64
 
 	for {
+		// Interruption check points: the atomic flag every iteration
+		// (one load), the external predicate every 128 iterations (it
+		// may be a deadline or context check).
+		ticks++
+		if s.interrupted.Load() || (s.stop != nil && ticks&127 == 0 && s.stop()) {
+			s.cancelUntil(0)
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != nil {
 			conflicts++

@@ -1,0 +1,123 @@
+package spec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"checkfence/internal/lsl"
+)
+
+// Textual observation-set format, used by the on-disk spec cache so
+// mined sets can be reused across processes:
+//
+//	checkfence-obs 1
+//	<count>
+//	<observation>        one per line, Observation.Key() form
+//
+// Value syntax matches lsl.Value.String(): "undefined", a decimal
+// integer, or "[ b o1 o2 ]" for a pointer; observation fields are
+// comma-separated.
+
+const setFormatHeader = "checkfence-obs 1"
+
+// WriteTo serializes the set in deterministic (sorted key) order.
+func (s *Set) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "%s\n%d\n", setFormatHeader, s.Len())); err != nil {
+		return n, err
+	}
+	for _, o := range s.All() {
+		if err := count(fmt.Fprintln(bw, o.Key())); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadSet parses a set previously written with WriteTo.
+func ReadSet(r io.Reader) (*Set, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("spec: empty observation-set stream")
+	}
+	if got := sc.Text(); got != setFormatHeader {
+		return nil, fmt.Errorf("spec: bad observation-set header %q", got)
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("spec: observation-set stream missing count")
+	}
+	want, err := strconv.Atoi(strings.TrimSpace(sc.Text()))
+	if err != nil || want < 0 {
+		return nil, fmt.Errorf("spec: bad observation count %q", sc.Text())
+	}
+	set := NewSet()
+	for i := 0; i < want; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("spec: observation-set stream truncated at %d/%d", i, want)
+		}
+		obs, err := ParseObservation(sc.Text())
+		if err != nil {
+			return nil, err
+		}
+		set.Add(obs)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if set.Len() != want {
+		return nil, fmt.Errorf("spec: observation-set stream has duplicates (%d distinct of %d)",
+			set.Len(), want)
+	}
+	return set, nil
+}
+
+// ParseObservation parses the Observation.Key() form.
+func ParseObservation(line string) (Observation, error) {
+	fields := strings.Split(line, ",")
+	obs := make(Observation, len(fields))
+	for i, f := range fields {
+		v, err := parseValue(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("spec: observation %q: %w", line, err)
+		}
+		obs[i] = v
+	}
+	return obs, nil
+}
+
+// parseValue inverts lsl.Value.String().
+func parseValue(s string) (lsl.Value, error) {
+	switch {
+	case s == "undefined":
+		return lsl.Undef(), nil
+	case strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]"):
+		parts := strings.Fields(s[1 : len(s)-1])
+		if len(parts) == 0 {
+			return lsl.Value{}, fmt.Errorf("empty pointer value %q", s)
+		}
+		comps := make([]int64, len(parts))
+		for i, p := range parts {
+			n, err := strconv.ParseInt(p, 10, 64)
+			if err != nil {
+				return lsl.Value{}, fmt.Errorf("bad pointer component %q in %q", p, s)
+			}
+			comps[i] = n
+		}
+		return lsl.PtrFromComponents(comps), nil
+	default:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return lsl.Value{}, fmt.Errorf("bad value %q", s)
+		}
+		return lsl.Int(n), nil
+	}
+}

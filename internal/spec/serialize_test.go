@@ -1,0 +1,73 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"checkfence/internal/lsl"
+)
+
+func sampleSet() *Set {
+	s := NewSet()
+	s.Add(Observation{lsl.Int(0), lsl.Int(1), lsl.Undef()})
+	s.Add(Observation{lsl.Int(1), lsl.Int(-3), lsl.Ptr(40, 2)})
+	s.Add(Observation{lsl.Undef(), lsl.Ptr(7), lsl.Int(0)})
+	return s
+}
+
+func TestSetRoundTrip(t *testing.T) {
+	want := sampleSet()
+	var sb strings.Builder
+	if _, err := want.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSet(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadSet: %v\ninput:\n%s", err, sb.String())
+	}
+	if !got.Equal(want) {
+		t.Fatalf("round trip mismatch:\nwant %v\ngot  %v", want.All(), got.All())
+	}
+}
+
+func TestWriteToDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if _, err := sampleSet().WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sampleSet().WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("serialization not deterministic:\n%q\n%q", a.String(), b.String())
+	}
+}
+
+func TestReadSetRejectsCorruption(t *testing.T) {
+	var sb strings.Builder
+	if _, err := sampleSet().WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	good := sb.String()
+	for name, input := range map[string]string{
+		"empty":      "",
+		"bad header": "nonsense\n" + good,
+		"truncated":  good[:len(good)-len("0,1,undefined\n")-1],
+		"bad value":  strings.Replace(good, "undefined", "undefinable", 1),
+	} {
+		if _, err := ReadSet(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: ReadSet accepted corrupt input", name)
+		}
+	}
+}
+
+func TestParseObservationValues(t *testing.T) {
+	obs, err := ParseObservation("42,undefined,[ 16 0 3 ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Observation{lsl.Int(42), lsl.Undef(), lsl.Ptr(16, 0, 3)}
+	if obs.Key() != want.Key() {
+		t.Fatalf("parsed %q, want %q", obs.Key(), want.Key())
+	}
+}

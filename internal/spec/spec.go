@@ -10,6 +10,7 @@
 package spec
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,6 +20,12 @@ import (
 	"checkfence/internal/lsl"
 	"checkfence/internal/sat"
 )
+
+// ErrSolverUnknown is wrapped by Mine and CheckInclusion when the SAT
+// solver stops without a verdict (interrupted or budget-exhausted).
+// Portfolio racing uses it to tell a cancelled member from a
+// definitive one.
+var ErrSolverUnknown = errors.New("spec: solver stopped without a verdict")
 
 // Entry identifies one observed value: a register of a thread
 // (post-unrolling name) with a human-readable label such as "A" or
@@ -169,12 +176,16 @@ func Mine(e *encode.Encoder, entries []Entry) (*Set, MineStats, error) {
 
 	// Sequential bug check: is any erroneous serial execution
 	// possible?
-	if st := e.S.Solve(errLit); st == sat.Sat {
+	switch st := e.S.Solve(errLit); st {
+	case sat.Sat:
 		obs := make(Observation, len(svs))
 		for i, sv := range svs {
 			obs[i] = e.EvalVal(sv)
 		}
 		return nil, MineStats{}, &SeqBugError{Obs: obs}
+	case sat.Unsat:
+	default:
+		return nil, MineStats{}, fmt.Errorf("%w during sequential bug check (status %v)", ErrSolverUnknown, st)
 	}
 
 	// Enumerate error-free serial observations.
@@ -193,7 +204,7 @@ func Mine(e *encode.Encoder, entries []Entry) (*Set, MineStats, error) {
 			return set, stats, nil
 		}
 		if st != sat.Sat {
-			return nil, stats, fmt.Errorf("spec: solver returned %v during mining", st)
+			return nil, stats, fmt.Errorf("%w during mining (status %v)", ErrSolverUnknown, st)
 		}
 		stats.Iterations++
 		obs := make(Observation, len(svs))
@@ -242,7 +253,8 @@ func CheckInclusion(e *encode.Encoder, entries []Entry, set *Set) (*Counterexamp
 	errLit := e.B.Lit(e.ErrorNode())
 
 	// Phase 1: any execution with a runtime error is a counterexample.
-	if st := e.S.Solve(errLit); st == sat.Sat {
+	switch st := e.S.Solve(errLit); st {
+	case sat.Sat:
 		obs := make(Observation, len(svs))
 		for i, sv := range svs {
 			obs[i] = e.EvalVal(sv)
@@ -255,6 +267,9 @@ func CheckInclusion(e *encode.Encoder, entries []Entry, set *Set) (*Counterexamp
 			}
 		}
 		return &Counterexample{Obs: obs, IsErr: true, Err: msg}, nil
+	case sat.Unsat:
+	default:
+		return nil, fmt.Errorf("%w during error check (status %v)", ErrSolverUnknown, st)
 	}
 
 	// Phase 2: exclude the specification's observations and solve.
@@ -275,7 +290,7 @@ func CheckInclusion(e *encode.Encoder, entries []Entry, set *Set) (*Counterexamp
 		}
 		return &Counterexample{Obs: obs}, nil
 	default:
-		return nil, fmt.Errorf("spec: solver returned %v during inclusion check", st)
+		return nil, fmt.Errorf("%w during inclusion check (status %v)", ErrSolverUnknown, st)
 	}
 }
 
