@@ -10,6 +10,7 @@
 //	benchtab -fig 12           Fig. 12: observation-set vs. commit-point method
 //	benchtab -table fences     §4.2: fence sufficiency/necessity matrix
 //	benchtab -fig sc-vs-relaxed §4.4: model choice impact on runtime
+//	benchtab -fig encode       formula minimization on/off (writes BENCH_encode.json)
 //
 // Absolute times differ from the paper's 2007 testbed; the shapes
 // (growth trends, ratios, who wins) are the reproduction target. Use
@@ -28,11 +29,12 @@ import (
 
 func main() {
 	var (
-		table  = flag.String("table", "", "regenerate a table: 1, 10a, fences")
-		fig    = flag.String("fig", "", "regenerate a figure: 10b, 11a, 11b, 11c, 12, sc-vs-relaxed")
-		quick  = flag.Bool("quick", false, "restrict to small tests (fast)")
-		budget = flag.Duration("budget", 10*time.Minute, "per-check time budget (checks expected to exceed it are skipped)")
-		jobs   = flag.Int("j", 1, "number of checks run concurrently (> 1 disables -budget's early exit)")
+		table   = flag.String("table", "", "regenerate a table: 1, 10a, fences")
+		fig     = flag.String("fig", "", "regenerate a figure: 10b, 11a, 11b, 11c, 12, sc-vs-relaxed")
+		quick   = flag.Bool("quick", false, "restrict to small tests (fast)")
+		budget  = flag.Duration("budget", 10*time.Minute, "per-check time budget (checks expected to exceed it are skipped)")
+		jobs    = flag.Int("j", 1, "number of checks run concurrently (> 1 disables -budget's early exit)")
+		encJSON = flag.String("encode-json", "BENCH_encode.json", "artifact path for -fig encode (\"\" = print only)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,8 @@ func main() {
 		err = r.Fig12()
 	case *fig == "sc-vs-relaxed":
 		err = r.ModelChoice()
+	case *fig == "encode":
+		err = r.EncodeReport(*encJSON)
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -63,6 +63,8 @@ func main() {
 		list      = flag.Bool("list", false, "list implementations and tests")
 		showSpec  = flag.Bool("show-spec", false, "print the mined observation set")
 		stats     = flag.Bool("stats", false, "print Fig. 10-style statistics")
+		simplify  = flag.Int("simplify", 0, "circuit simplification: 0 = full (default), 1/2 = AIG rewriting level, -1 = off (classic Tseitin)")
+		noPreproc = flag.Bool("no-preprocess", false, "disable SatELite-style CNF preprocessing before solving")
 	)
 	flag.Var(&models, "model", "memory model: sc, tso, pso, relaxed, serial (repeatable)")
 	flag.Parse()
@@ -86,6 +88,8 @@ func main() {
 			Model:                model,
 			DisableRangeAnalysis: *noRanges,
 			Portfolio:            *portfolio,
+			SimplifyLevel:        *simplify,
+			NoPreprocess:         *noPreproc,
 		}
 		if *specSrc == "refset" {
 			opts.SpecSource = core.SpecRef
@@ -125,7 +129,12 @@ func report(res *core.Result, showSpec, stats bool) bool {
 	if stats {
 		s := res.Stats
 		fmt.Printf("unrolled: %d instrs, %d loads, %d stores\n", s.Instrs, s.Loads, s.Stores)
+		fmt.Printf("circuit: %d gates\n", s.Gates)
 		fmt.Printf("cnf: %d vars, %d clauses\n", s.CNFVars, s.CNFClauses)
+		if s.PreCNFClauses != s.CNFClauses || s.PreCNFVars != s.CNFVars {
+			fmt.Printf("preprocessing: %d -> %d clauses in %v (%d vars eliminated, %d subsumed, %d strengthened)\n",
+				s.PreCNFClauses, s.CNFClauses, s.PreprocessTime, s.VarsEliminated, s.ClausesSubsumed, s.ClausesStrengthened)
+		}
 		fmt.Printf("observation set: %d (mined in %d iterations)\n", s.ObsSetSize, s.MineIterations)
 		if s.SpecCacheHits+s.SpecCacheMisses > 0 {
 			fmt.Printf("spec cache: %d hits, %d misses\n", s.SpecCacheHits, s.SpecCacheMisses)

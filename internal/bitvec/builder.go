@@ -5,10 +5,28 @@
 // The CheckFence encoder compiles the thread-local program semantics
 // (the Δ formulas of the paper) into such circuits: every SSA register
 // becomes a vector of circuit nodes, and guarded assignments become
-// multiplexers. The Tseitin transform then materializes exactly the
-// nodes that the final formula references as SAT variables and
-// clauses, which keeps the CNF polynomial in the unrolled program
-// size as the paper requires.
+// multiplexers. The CNF lowering then materializes exactly the nodes
+// that the final formula references as SAT variables and clauses,
+// which keeps the CNF polynomial in the unrolled program size as the
+// paper requires.
+//
+// Two minimization layers shrink the formula before the solver sees
+// it:
+//
+//   - AIG rewriting: And applies the local one- and two-level
+//     rewriting rules (contradiction, idempotence, subsumption,
+//     substitution, resolution) of Brummayer & Biere, "Local Two-Level
+//     And-Inverter Graph Minimization without Blowup", so structurally
+//     redundant gates are never created. SetRewriteLevel selects how
+//     deep the matching looks.
+//
+//   - Polarity-aware Tseitin (Plaisted–Greenbaum): materialization
+//     tracks which implication direction of each gate's definition the
+//     formula actually references and emits only that direction — one
+//     or two clauses per gate instead of three. A gate first used in
+//     one polarity is soundly promoted to the full encoding if the
+//     other polarity is requested later (e.g. by a blocking clause of
+//     the mining loop), which keeps incremental solving intact.
 package bitvec
 
 import (
@@ -38,36 +56,87 @@ type gate struct {
 	isVar bool
 }
 
+// Polarity bits of a gate's CNF encoding. polPos means the clauses
+// for "gate variable → definition" have been emitted (needed when the
+// gate occurs positively in the formula), polNeg the reverse
+// implication (needed for negative occurrences). Full Tseitin is
+// polBoth.
+const (
+	polNone uint8 = 0
+	polPos  uint8 = 1
+	polNeg  uint8 = 2
+	polBoth uint8 = 3
+)
+
+// flipPol swaps the positive and negative polarity bits (crossing a
+// negation edge flips the occurrence polarity of the cone below it).
+func flipPol(p uint8) uint8 { return (p&polPos)<<1 | (p&polNeg)>>1 }
+
 // Builder constructs circuits and lowers them to CNF in a sat.Solver.
 type Builder struct {
 	gates   []gate
 	hash    map[[2]Node]Node
 	solver  *sat.Solver
-	satVars []int // gate index -> sat variable (-1 if not materialized)
+	satVars []int   // gate index -> sat variable (-1 if not materialized)
+	pols    []uint8 // gate index -> polarity bits already encoded
+
+	rewriteLevel  int  // 0 = hash/consts only, 1 = one-level, 2 = two-level rules
+	polarityAware bool // false = always emit full two-polarity Tseitin
+	rewrites      int64
 }
 
 // NewBuilder returns a Builder that materializes CNF into the given
-// solver.
+// solver. Minimization defaults to fully on: two-level AIG rewriting
+// and polarity-aware encoding.
 func NewBuilder(s *sat.Solver) *Builder {
 	b := &Builder{
-		hash:   make(map[[2]Node]Node),
-		solver: s,
+		hash:          make(map[[2]Node]Node),
+		solver:        s,
+		rewriteLevel:  2,
+		polarityAware: true,
 	}
 	// Gate 0 is the constant true.
 	b.gates = append(b.gates, gate{})
 	b.satVars = append(b.satVars, -1)
+	b.pols = append(b.pols, polNone)
 	return b
 }
+
+// SetRewriteLevel selects the AIG structural rewriting level applied
+// by And: 0 disables rewriting (constant folding and hash-consing
+// only), 1 enables the one-level rules, 2 (the default) additionally
+// the two-level rules. Rewriting is applied at construction time, so
+// the level should be set before building the circuit.
+func (b *Builder) SetRewriteLevel(level int) {
+	if level < 0 {
+		level = 0
+	}
+	if level > 2 {
+		level = 2
+	}
+	b.rewriteLevel = level
+}
+
+// SetPolarityAware selects between Plaisted–Greenbaum polarity-aware
+// encoding (the default) and the classic two-polarity Tseitin
+// transformation. Like SetRewriteLevel it should be set before any
+// node is materialized.
+func (b *Builder) SetPolarityAware(on bool) { b.polarityAware = on }
 
 // NumGates returns the number of structural nodes created (constant
 // and variables included).
 func (b *Builder) NumGates() int { return len(b.gates) }
+
+// Rewrites returns how many And constructions were answered by a
+// structural rewriting rule instead of a new gate.
+func (b *Builder) Rewrites() int64 { return b.rewrites }
 
 // Var introduces a fresh free boolean variable node.
 func (b *Builder) Var() Node {
 	idx := int32(len(b.gates))
 	b.gates = append(b.gates, gate{isVar: true})
 	b.satVars = append(b.satVars, -1)
+	b.pols = append(b.pols, polNone)
 	return Node(idx << 1)
 }
 
@@ -79,9 +148,18 @@ func Const(v bool) Node {
 	return False
 }
 
-// And returns the conjunction of two nodes, with structural hashing
-// and constant folding.
-func (b *Builder) And(x, y Node) Node {
+// And returns the conjunction of two nodes, with constant folding,
+// structural hashing, and (behind SetRewriteLevel) local AIG
+// rewriting.
+func (b *Builder) And(x, y Node) Node { return b.and(x, y, 0) }
+
+// maxRewriteDepth bounds the recursion of the substitution-style
+// rules, which rebuild a conjunction from rewritten pieces. The rules
+// strictly shrink their redexes, but the bound keeps pathological
+// chains linear.
+const maxRewriteDepth = 32
+
+func (b *Builder) and(x, y Node, depth int) Node {
 	// Constant and trivial cases.
 	switch {
 	case x == False || y == False || x == y.Not():
@@ -100,12 +178,122 @@ func (b *Builder) And(x, y Node) Node {
 	if n, ok := b.hash[key]; ok {
 		return n
 	}
+	if b.rewriteLevel >= 1 && depth < maxRewriteDepth {
+		if n, ok := b.rewriteAnd(x, y, depth+1); ok {
+			b.rewrites++
+			return n
+		}
+	}
 	idx := int32(len(b.gates))
 	b.gates = append(b.gates, gate{a: x, b: y})
 	b.satVars = append(b.satVars, -1)
+	b.pols = append(b.pols, polNone)
 	n := Node(idx << 1)
 	b.hash[key] = n
 	return n
+}
+
+// gateOperands returns the AND operands of the gate underlying n
+// (ignoring n's own negation); ok is false for variables and the
+// constant.
+func (b *Builder) gateOperands(n Node) (Node, Node, bool) {
+	idx := n.index()
+	if idx == 0 {
+		return 0, 0, false
+	}
+	g := b.gates[idx]
+	if g.isVar {
+		return 0, 0, false
+	}
+	return g.a, g.b, true
+}
+
+// rewriteAnd applies the Brummayer–Biere local rewriting rules to
+// x ∧ y, reporting whether a rule fired. Level 1 matches one gate
+// operand against the sibling node; level 2 additionally matches two
+// gate operands against each other.
+func (b *Builder) rewriteAnd(x, y Node, depth int) (Node, bool) {
+	// One-level (asymmetric) rules: one side is a gate, the other is
+	// matched against its operands.
+	for _, p := range [2][2]Node{{x, y}, {y, x}} {
+		g, o := p[0], p[1]
+		a, c, ok := b.gateOperands(g)
+		if !ok {
+			continue
+		}
+		if !g.negated() {
+			// g = a ∧ c.
+			if o == a.Not() || o == c.Not() {
+				return False, true // contradiction: (a∧c) ∧ ¬a
+			}
+			if o == a || o == c {
+				return g, true // idempotence: (a∧c) ∧ a = a∧c
+			}
+		} else {
+			// g = ¬(a ∧ c).
+			if o == a.Not() || o == c.Not() {
+				return o, true // subsumption: ¬(a∧c) ∧ ¬a = ¬a
+			}
+			if o == a {
+				return b.and(o, c.Not(), depth), true // substitution: ¬(a∧c) ∧ a = a ∧ ¬c
+			}
+			if o == c {
+				return b.and(o, a.Not(), depth), true
+			}
+		}
+	}
+	if b.rewriteLevel < 2 {
+		return 0, false
+	}
+
+	// Two-level (symmetric) rules: both sides are gates.
+	a, c, okx := b.gateOperands(x)
+	d, e, oky := b.gateOperands(y)
+	if !okx || !oky {
+		return 0, false
+	}
+	switch {
+	case !x.negated() && !y.negated():
+		// (a∧c) ∧ (d∧e).
+		if a == d.Not() || a == e.Not() || c == d.Not() || c == e.Not() {
+			return False, true // contradiction across the pair
+		}
+		// Idempotence over a shared operand: drop the duplicate and
+		// keep the smaller sibling, (a∧c)∧(a∧e) = (a∧c)∧e.
+		if a == d || c == d {
+			return b.and(x, e, depth), true
+		}
+		if a == e || c == e {
+			return b.and(x, d, depth), true
+		}
+	case x.negated() != y.negated():
+		if !x.negated() { // normalize: x is the negated gate
+			x, y = y, x
+			a, c, d, e = d, e, a, c
+		}
+		// ¬(a∧c) ∧ (d∧e).
+		if a == d.Not() || a == e.Not() || c == d.Not() || c == e.Not() {
+			return y, true // subsumption: d∧e already implies ¬(a∧c)
+		}
+		if a == d || a == e {
+			return b.and(y, c.Not(), depth), true // substitution: (d∧e) ∧ ¬c
+		}
+		if c == d || c == e {
+			return b.and(y, a.Not(), depth), true
+		}
+	default:
+		// ¬(a∧c) ∧ ¬(d∧e): resolution. When the gates share one
+		// operand and the other operands are complementary, the
+		// conjunction collapses to the negated shared operand:
+		// ¬(a∧c) ∧ ¬(¬a∧c) = ¬c.
+		if (a == d.Not() && c == e) || (a == e.Not() && c == d) {
+			return c.Not(), true
+		}
+		if (c == d.Not() && a == e) || (c == e.Not() && a == d) {
+			return a.Not(), true
+		}
+	}
+	return 0, false
 }
 
 // Or returns the disjunction of two nodes.
@@ -120,16 +308,34 @@ func (b *Builder) Xor(x, y Node) Node {
 // Iff returns the equivalence of two nodes.
 func (b *Builder) Iff(x, y Node) Node { return b.Xor(x, y).Not() }
 
-// Ite returns if-then-else: c ? t : e.
+// Ite returns if-then-else: c ? t : e, with the standard mux
+// simplifications applied before falling back to the two-gate form.
 func (b *Builder) Ite(c, t, e Node) Node {
-	if c == True {
+	switch {
+	case c == True:
 		return t
-	}
-	if c == False {
+	case c == False:
 		return e
-	}
-	if t == e {
+	case t == e:
 		return t
+	case t == True:
+		return b.Or(c, e) // c ? 1 : e
+	case t == False:
+		return b.And(c.Not(), e) // c ? 0 : e
+	case e == False:
+		return b.And(c, t) // c ? t : 0
+	case e == True:
+		return b.Or(c.Not(), t) // c ? t : 1
+	case c == t:
+		return b.Or(c, e) // c ? c : e
+	case c == t.Not():
+		return b.And(c.Not(), e) // c ? ¬c : e
+	case c == e:
+		return b.And(c, t) // c ? t : c
+	case c == e.Not():
+		return b.Or(c.Not(), t) // c ? t : ¬c
+	case t == e.Not():
+		return b.Iff(c, t) // c ? t : ¬t
 	}
 	return b.Or(b.And(c, t), b.And(c.Not(), e))
 }
@@ -137,36 +343,64 @@ func (b *Builder) Ite(c, t, e Node) Node {
 // Implies returns x -> y.
 func (b *Builder) Implies(x, y Node) Node { return b.Or(x.Not(), y) }
 
-// AndAll folds And over a list (True for the empty list).
-func (b *Builder) AndAll(ns ...Node) Node {
-	acc := True
-	for _, n := range ns {
-		acc = b.And(acc, n)
+// reduceTree folds op over ns as a balanced binary tree, so wide
+// reductions produce logarithmic-depth cones (which hash-cons far
+// better than linear chains across similar reductions).
+func (b *Builder) reduceTree(ns []Node, op func(x, y Node) Node, empty Node) Node {
+	if len(ns) == 0 {
+		return empty
 	}
-	return acc
+	work := make([]Node, len(ns))
+	copy(work, ns)
+	for len(work) > 1 {
+		half := 0
+		for i := 0; i+1 < len(work); i += 2 {
+			work[half] = op(work[i], work[i+1])
+			half++
+		}
+		if len(work)%2 == 1 {
+			work[half] = work[len(work)-1]
+			half++
+		}
+		work = work[:half]
+	}
+	return work[0]
 }
 
-// OrAll folds Or over a list (False for the empty list).
-func (b *Builder) OrAll(ns ...Node) Node {
-	acc := False
-	for _, n := range ns {
-		acc = b.Or(acc, n)
-	}
-	return acc
-}
+// AndAll reduces a list with And as a balanced tree (True for the
+// empty list).
+func (b *Builder) AndAll(ns ...Node) Node { return b.reduceTree(ns, b.And, True) }
+
+// OrAll reduces a list with Or as a balanced tree (False for the
+// empty list).
+func (b *Builder) OrAll(ns ...Node) Node { return b.reduceTree(ns, b.Or, False) }
 
 // Lit materializes the node in the solver and returns the SAT literal
-// representing it. Gates are lowered with the Tseitin transformation;
-// shared subcircuits are materialized once.
-func (b *Builder) Lit(n Node) sat.Lit {
+// representing it. The cone is encoded in both polarities (full
+// Tseitin), so the literal may later appear in clauses with either
+// sign — the mining loop's blocking clauses and solver assumptions
+// need exactly that.
+func (b *Builder) Lit(n Node) sat.Lit { return b.litPol(n, polBoth) }
+
+// litPol materializes n for the given occurrence polarity of the node
+// (polPos = the returned literal appears positively in a clause) and
+// returns its literal. Under polarity-aware encoding only the
+// implication directions the occurrence needs are emitted; previously
+// emitted directions are never duplicated, and missing ones are added
+// incrementally (promotion).
+func (b *Builder) litPol(n Node, occ uint8) sat.Lit {
+	if !b.polarityAware {
+		occ = polBoth
+	}
 	idx := n.index()
 	if idx == 0 {
 		// Constant: use a dedicated always-true variable.
-		v := b.constVar()
-		return sat.MkLit(v, n.negated())
+		return sat.MkLit(b.constVar(), n.negated())
 	}
-	v := b.materialize(idx)
-	return sat.MkLit(v, n.negated())
+	if n.negated() {
+		occ = flipPol(occ)
+	}
+	return sat.MkLit(b.materialize(idx, occ), n.negated())
 }
 
 func (b *Builder) constVar() int {
@@ -179,48 +413,64 @@ func (b *Builder) constVar() int {
 	return v
 }
 
-// materialize returns the SAT variable for gate idx, creating
-// variables and Tseitin clauses for the whole cone as needed. It uses
-// an explicit stack to avoid deep recursion on long mux chains.
-func (b *Builder) materialize(root int32) int {
-	if b.satVars[root] >= 0 {
-		return b.satVars[root]
+// polItem is a pending polarity request for a gate.
+type polItem struct {
+	idx int32
+	pol uint8
+}
+
+// materialize returns the SAT variable for gate root, creating
+// variables for the whole cone and emitting the definitional clauses
+// for the requested polarity bits (and only those). It uses an
+// explicit stack to avoid deep recursion on long mux chains.
+func (b *Builder) materialize(root int32, need uint8) int {
+	if v := b.satVars[root]; v >= 0 && b.pols[root]&need == need {
+		return v
 	}
-	stack := []int32{root}
+	stack := []polItem{{root, need}}
+	var emit []polItem
 	for len(stack) > 0 {
-		idx := stack[len(stack)-1]
-		g := b.gates[idx]
-		if b.satVars[idx] >= 0 {
-			stack = stack[:len(stack)-1]
-			continue
-		}
-		if g.isVar {
-			b.satVars[idx] = b.solver.NewVar()
-			stack = stack[:len(stack)-1]
-			continue
-		}
-		ai, bi := g.a.index(), g.b.index()
-		ready := true
-		if ai != 0 && b.satVars[ai] < 0 {
-			stack = append(stack, ai)
-			ready = false
-		}
-		if bi != 0 && b.satVars[bi] < 0 {
-			stack = append(stack, bi)
-			ready = false
-		}
-		if !ready {
-			continue
-		}
+		it := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		add := it.pol &^ b.pols[it.idx]
+		if b.satVars[it.idx] < 0 {
+			b.satVars[it.idx] = b.solver.NewVar()
+		}
+		if add == 0 {
+			continue
+		}
+		b.pols[it.idx] |= add
+		g := b.gates[it.idx]
+		if g.isVar {
+			continue
+		}
+		emit = append(emit, polItem{it.idx, add})
+		for _, op := range [2]Node{g.a, g.b} {
+			p := add
+			if op.negated() {
+				p = flipPol(p)
+			}
+			if op.index() != 0 {
+				stack = append(stack, polItem{op.index(), p})
+			}
+		}
+	}
+	// Every cone variable now exists; emit the newly requested
+	// implication directions.
+	for _, it := range emit {
+		g := b.gates[it.idx]
+		v := b.satVars[it.idx]
 		la := b.litOfOperand(g.a)
 		lb := b.litOfOperand(g.b)
-		v := b.solver.NewVar()
-		b.satVars[idx] = v
-		// v <-> la & lb
-		b.solver.AddClause(sat.Neg(v), la)
-		b.solver.AddClause(sat.Neg(v), lb)
-		b.solver.AddClause(sat.Pos(v), la.Not(), lb.Not())
+		if it.pol&polPos != 0 {
+			// v -> la & lb
+			b.solver.AddClause(sat.Neg(v), la)
+			b.solver.AddClause(sat.Neg(v), lb)
+		}
+		if it.pol&polNeg != 0 {
+			// la & lb -> v
+			b.solver.AddClause(sat.Pos(v), la.Not(), lb.Not())
+		}
 	}
 	return b.satVars[root]
 }
@@ -233,17 +483,28 @@ func (b *Builder) litOfOperand(n Node) sat.Lit {
 	return sat.MkLit(b.satVars[idx], n.negated())
 }
 
-// Assert adds the clause requiring the node to be true.
+// SatVar returns the SAT variable backing node n, if it has been
+// materialized (the encoder uses it to freeze the memory-order
+// variables against preprocessing).
+func (b *Builder) SatVar(n Node) (int, bool) {
+	v := b.satVars[n.index()]
+	return v, v >= 0
+}
+
+// Assert adds the clause requiring the node to be true. The node
+// occurs positively, so only that polarity of its cone is encoded.
 func (b *Builder) Assert(n Node) {
 	if n == True {
 		return
 	}
-	b.solver.AddClause(b.Lit(n))
+	b.solver.AddClause(b.litPol(n, polPos))
 }
 
 // AssertOr adds a single clause requiring at least one node to hold.
 // This is how blocking clauses and the per-observation exclusion
 // clauses of the inclusion check are emitted without auxiliary gates.
+// Every node occurs positively in the clause, so each cone is encoded
+// for that single polarity.
 func (b *Builder) AssertOr(ns ...Node) {
 	lits := make([]sat.Lit, 0, len(ns))
 	for _, n := range ns {
@@ -253,38 +514,49 @@ func (b *Builder) AssertOr(ns ...Node) {
 		if n == False {
 			continue
 		}
-		lits = append(lits, b.Lit(n))
+		lits = append(lits, b.litPol(n, polPos))
 	}
 	b.solver.AddClause(lits...)
 }
 
 // Eval evaluates the node under the solver's current model
-// (valid after a Sat result). Nodes that were never materialized are
-// evaluated structurally.
+// (valid after a Sat result). The SAT variable of a gate encoded in
+// only one polarity is not constrained to equal its definition, so
+// such gates (and unmaterialized ones) are evaluated structurally
+// from the free-variable assignment; fully encoded gates and
+// variables read the solver model directly.
 func (b *Builder) Eval(n Node) bool {
-	idx := n.index()
-	val := b.evalGate(idx)
+	val := b.evalGate(n.index(), nil)
 	if n.negated() {
 		return !val
 	}
 	return val
 }
 
-func (b *Builder) evalGate(idx int32) bool {
+func (b *Builder) evalGate(idx int32, memo map[int32]bool) bool {
 	if idx == 0 {
 		return true
 	}
-	if v := b.satVars[idx]; v >= 0 {
+	g := b.gates[idx]
+	if v := b.satVars[idx]; v >= 0 && (g.isVar || b.pols[idx] == polBoth) {
 		return b.solver.Value(v)
 	}
-	g := b.gates[idx]
 	if g.isVar {
 		// Unmaterialized free variable: unconstrained, treat as false.
 		return false
 	}
-	av := b.evalGate(g.a.index()) != g.a.negated()
-	if !av {
-		return false
+	if val, ok := memo[idx]; ok {
+		return val
 	}
-	return b.evalGate(g.b.index()) != g.b.negated()
+	if memo == nil {
+		// Allocated only when a structural descent actually happens;
+		// it keeps the walk linear in the cone despite DAG sharing.
+		memo = map[int32]bool{}
+	}
+	val := false
+	if b.evalGate(g.a.index(), memo) != g.a.negated() {
+		val = b.evalGate(g.b.index(), memo) != g.b.negated()
+	}
+	memo[idx] = val
+	return val
 }

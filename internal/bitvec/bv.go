@@ -65,11 +65,11 @@ func matchWidths(x, y BV) (BV, BV) {
 // (after zero extension to matching widths).
 func (b *Builder) EqBV(x, y BV) Node {
 	x, y = matchWidths(x, y)
-	acc := True
+	bits := make([]Node, len(x))
 	for i := range x {
-		acc = b.And(acc, b.Iff(x[i], y[i]))
+		bits[i] = b.Iff(x[i], y[i])
 	}
-	return acc
+	return b.AndAll(bits...)
 }
 
 // AddBV returns x + y (ripple carry, result width = max input width,
@@ -164,11 +164,11 @@ func (b *Builder) MuxBV(c Node, t, e BV) BV {
 
 // IsZero returns a node true iff every bit is zero.
 func (b *Builder) IsZero(x BV) Node {
-	acc := True
-	for _, n := range x {
-		acc = b.And(acc, n.Not())
+	bits := make([]Node, len(x))
+	for i, n := range x {
+		bits[i] = n.Not()
 	}
-	return acc
+	return b.AndAll(bits...)
 }
 
 // EvalBV evaluates the bitvector under the current model.

@@ -73,6 +73,33 @@ type Options struct {
 	// stop at their next check point and the check returns an error
 	// wrapping spec.ErrSolverUnknown. RunSuite wires its context here.
 	Cancel <-chan struct{}
+	// SimplifyLevel selects the circuit-level minimization applied
+	// while encoding: 0 (the default) uses the full pipeline
+	// (two-level AIG rewriting plus polarity-aware CNF encoding), 1
+	// and 2 select the rewriting level explicitly, and -1 disables
+	// both rewriting and polarity-aware encoding (classic two-polarity
+	// Tseitin), for comparisons.
+	SimplifyLevel int
+	// NoPreprocess disables the SatELite-style CNF preprocessing
+	// (variable elimination, subsumption, self-subsuming resolution)
+	// that otherwise runs before the first solve of mining and of the
+	// inclusion check.
+	NoPreprocess bool
+}
+
+// encodeConfig maps the simplification options onto the encoder's
+// minimization configuration.
+func (o Options) encodeConfig() encode.Config {
+	cfg := encode.DefaultConfig()
+	switch o.SimplifyLevel {
+	case -1:
+		cfg.RewriteLevel = 0
+		cfg.PolarityAware = false
+	case 1, 2:
+		cfg.RewriteLevel = o.SimplifyLevel
+	}
+	cfg.Preprocess = !o.NoPreprocess
+	return cfg
 }
 
 // Stats quantifies one check, mirroring the columns of the paper's
@@ -82,8 +109,20 @@ type Stats struct {
 	Loads  int
 	Stores int
 
-	CNFVars    int // final inclusion-check formula size
+	CNFVars    int // final inclusion-check formula size (post-minimization)
 	CNFClauses int
+
+	// Formula-minimization measurements of the inclusion check: gate
+	// count of the circuit, CNF size before preprocessing, and what
+	// each preprocessing technique removed. Pre* equal the final
+	// counts when preprocessing is disabled.
+	Gates               int
+	PreCNFVars          int
+	PreCNFClauses       int
+	VarsEliminated      int
+	ClausesSubsumed     int
+	ClausesStrengthened int
+	PreprocessTime      time.Duration // included in RefuteTime
 
 	ObsSetSize     int
 	MineIterations int
@@ -243,7 +282,7 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 				set, err := refimpl.Enumerate(impl, test)
 				return set, 0, err
 			default:
-				serialEnc = encode.New(memmodel.Serial, info)
+				serialEnc = encode.NewWithConfig(memmodel.Serial, info, opts.encodeConfig())
 				applyCancel(serialEnc, opts)
 				if err := serialEnc.Encode(unrolled.Threads); err != nil {
 					return nil, 0, err
@@ -307,7 +346,7 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 		}
 	} else {
 		encodeStart := time.Now()
-		enc = encode.New(opts.Model, info)
+		enc = encode.NewWithConfig(opts.Model, info, opts.encodeConfig())
 		applyCancel(enc, opts)
 		if err := enc.Encode(unrolled.Threads); err != nil {
 			return false, err
@@ -326,6 +365,19 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 	res.Stats.CNFVars = st.Vars
 	res.Stats.CNFClauses = st.Clauses
 	res.Stats.SolverStats = st
+	res.Stats.Gates = enc.B.NumGates()
+	res.Stats.PreCNFVars = st.PreVars
+	res.Stats.PreCNFClauses = st.PreClauses
+	res.Stats.VarsEliminated = st.VarsEliminated
+	res.Stats.ClausesSubsumed = st.ClausesSubsumed
+	res.Stats.ClausesStrengthened = st.ClausesStrengthened
+	res.Stats.PreprocessTime = st.PreprocessTime
+	if st.PreClauses == 0 {
+		// Preprocessing did not run; pre-minimization size is the
+		// final size.
+		res.Stats.PreCNFVars = st.Vars
+		res.Stats.PreCNFClauses = st.Clauses
+	}
 
 	if cex == nil {
 		res.Pass = true
@@ -376,7 +428,7 @@ func portfolioInclusion(unrolled *harness.Unrolled, built *harness.Built,
 	winner := sat.Race(configs, func(i int, cfg sat.Config) (*sat.Solver, func() bool) {
 		m := &members[i]
 		encodeStart := time.Now()
-		e := encode.New(opts.Model, info)
+		e := encode.NewWithConfig(opts.Model, info, opts.encodeConfig())
 		applyCancel(e, opts)
 		if err := e.Encode(unrolled.Threads); err != nil {
 			// Encoding failures are deterministic across members;
@@ -452,7 +504,7 @@ func probeBounds(unrolled *harness.Unrolled,
 	if !hasMarkers {
 		return false, nil
 	}
-	probe := encode.New(model, info)
+	probe := encode.NewWithConfig(model, info, opts.encodeConfig())
 	applyCancel(probe, opts)
 	if err := probe.Encode(unrolled.Threads); err != nil {
 		return false, err

@@ -1,0 +1,25 @@
+package core
+
+// Profiling harness: a single heavy check, skipped unless
+// CHECKFENCE_PROFILE is set. Run with -cpuprofile/-memprofile to
+// inspect where a full check spends its time, e.g.
+//
+//	CHECKFENCE_PROFILE=1 go test ./internal/core -run TestProfileSnarkDa -cpuprofile cpu.out
+
+import (
+	"os"
+	"testing"
+
+	"checkfence/internal/memmodel"
+)
+
+func TestProfileSnarkDa(t *testing.T) {
+	if os.Getenv("CHECKFENCE_PROFILE") == "" {
+		t.Skip("profiling harness; set CHECKFENCE_PROFILE=1")
+	}
+	res, err := Check("snark", "Da", Options{Model: memmodel.Relaxed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.Pass, res.Stats.PreprocessTime, res.Stats.RefuteTime, res.Stats.TotalTime)
+}

@@ -51,12 +51,35 @@ type Thread struct {
 	OpIDs    []int
 }
 
+// Config selects the formula-minimization layers applied while
+// building and before solving Φ. The zero value disables everything;
+// DefaultConfig enables all layers.
+type Config struct {
+	// RewriteLevel is the AIG structural rewriting level applied at
+	// gate construction (0 = off, 1 = one-level rules, 2 = two-level
+	// rules).
+	RewriteLevel int
+	// PolarityAware selects Plaisted–Greenbaum polarity-aware CNF
+	// encoding instead of full two-polarity Tseitin.
+	PolarityAware bool
+	// Preprocess enables SatELite-style CNF preprocessing (bounded
+	// variable elimination, subsumption, self-subsuming resolution)
+	// before the first Solve; see PreprocessCNF.
+	Preprocess bool
+}
+
+// DefaultConfig returns the full minimization pipeline.
+func DefaultConfig() Config {
+	return Config{RewriteLevel: 2, PolarityAware: true, Preprocess: true}
+}
+
 // Encoder assembles Φ for one (test, model) pair.
 type Encoder struct {
 	S     *sat.Solver
 	B     *bitvec.Builder
 	Model memmodel.Model
 	Info  *ranges.Info
+	Cfg   Config
 
 	W int // component bit width
 	D int // pointer depth bound
@@ -74,14 +97,25 @@ type Encoder struct {
 	numGroups int
 }
 
-// New creates an encoder over a fresh solver.
+// New creates an encoder over a fresh solver with the default
+// minimization configuration.
 func New(model memmodel.Model, info *ranges.Info) *Encoder {
+	return NewWithConfig(model, info, DefaultConfig())
+}
+
+// NewWithConfig creates an encoder over a fresh solver with an
+// explicit minimization configuration.
+func NewWithConfig(model memmodel.Model, info *ranges.Info, cfg Config) *Encoder {
 	s := sat.New()
+	b := bitvec.NewBuilder(s)
+	b.SetRewriteLevel(cfg.RewriteLevel)
+	b.SetPolarityAware(cfg.PolarityAware)
 	e := &Encoder{
 		S:        s,
-		B:        bitvec.NewBuilder(s),
+		B:        b,
 		Model:    model,
 		Info:     info,
+		Cfg:      cfg,
 		W:        info.IntWidth,
 		D:        info.MaxPtrDepth,
 		Overflow: map[int]bitvec.Node{},
@@ -90,6 +124,34 @@ func New(model memmodel.Model, info *ranges.Info) *Encoder {
 		e.D = 1
 	}
 	return e
+}
+
+// PreprocessCNF runs CNF preprocessing over the clauses emitted so
+// far, honoring the incremental contract: the given root literals
+// (error literal, observation bits — anything later clauses,
+// assumptions, or blocking clauses will mention) and every
+// materialized memory-order variable are frozen against elimination.
+// Callers must materialize those roots before calling this, and only
+// add clauses over frozen (or fresh) variables afterwards. A no-op
+// unless Cfg.Preprocess is set.
+func (e *Encoder) PreprocessCNF(roots ...sat.Lit) {
+	if !e.Cfg.Preprocess {
+		return
+	}
+	for _, l := range roots {
+		e.S.Freeze(l.Var())
+	}
+	for _, row := range e.order {
+		for _, n := range row {
+			if n == bitvec.True || n == bitvec.False {
+				continue
+			}
+			if v, ok := e.B.SatVar(n); ok {
+				e.S.Freeze(v)
+			}
+		}
+	}
+	e.S.Preprocess()
 }
 
 // Encode compiles all threads and asserts the memory model axioms.

@@ -1,0 +1,274 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newVars(s *Solver, n int) []int {
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	return vs
+}
+
+func TestPreprocessSubsumption(t *testing.T) {
+	s := New()
+	v := newVars(s, 3)
+	s.AddClause(Pos(v[0]), Pos(v[1]))
+	s.AddClause(Pos(v[0]), Pos(v[1]), Pos(v[2]))
+	for _, x := range v {
+		s.Freeze(x)
+	}
+	if !s.Preprocess() {
+		t.Fatal("preprocess reported unsat")
+	}
+	st := s.Stats()
+	if st.ClausesSubsumed != 1 {
+		t.Errorf("ClausesSubsumed = %d, want 1", st.ClausesSubsumed)
+	}
+	if s.NumClauses() != 1 {
+		t.Errorf("NumClauses = %d, want 1", s.NumClauses())
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want Sat", got)
+	}
+}
+
+func TestPreprocessSelfSubsumingResolution(t *testing.T) {
+	s := New()
+	v := newVars(s, 3)
+	// (a ∨ b) and (¬a ∨ b ∨ c): resolving on a strengthens the second
+	// clause to (b ∨ c).
+	s.AddClause(Pos(v[0]), Pos(v[1]))
+	s.AddClause(Neg(v[0]), Pos(v[1]), Pos(v[2]))
+	for _, x := range v {
+		s.Freeze(x)
+	}
+	if !s.Preprocess() {
+		t.Fatal("preprocess reported unsat")
+	}
+	if st := s.Stats(); st.ClausesStrengthened != 1 {
+		t.Errorf("ClausesStrengthened = %d, want 1", st.ClausesStrengthened)
+	}
+	// b=false, c=false must now force a conflict with a=false (the
+	// strengthened clause (b ∨ c) is falsified).
+	if got := s.Solve(Neg(v[1]), Neg(v[2])); got != Unsat {
+		t.Errorf("Solve(¬b,¬c) = %v, want Unsat", got)
+	}
+	if got := s.Solve(Pos(v[1])); got != Sat {
+		t.Errorf("Solve(b) = %v, want Sat", got)
+	}
+}
+
+func TestPreprocessEliminatesChain(t *testing.T) {
+	// A chain of equivalences x0 ↔ x1 ↔ ... ↔ xn with only the
+	// endpoints frozen: every interior variable is eliminable, and the
+	// endpoint correlation must survive.
+	const n = 10
+	s := New()
+	v := newVars(s, n+1)
+	for i := 0; i < n; i++ {
+		s.AddClause(Neg(v[i]), Pos(v[i+1]))
+		s.AddClause(Pos(v[i]), Neg(v[i+1]))
+	}
+	s.Freeze(v[0])
+	s.Freeze(v[n])
+	if !s.Preprocess() {
+		t.Fatal("preprocess reported unsat")
+	}
+	st := s.Stats()
+	if st.VarsEliminated == 0 {
+		t.Error("no variables eliminated from an interior-only chain")
+	}
+	if got := s.Solve(Pos(v[0]), Neg(v[n])); got != Unsat {
+		t.Errorf("Solve(x0, ¬xn) = %v, want Unsat", got)
+	}
+	if got := s.Solve(Pos(v[0])); got != Sat {
+		t.Fatalf("Solve(x0) = %v, want Sat", got)
+	}
+	if !s.Value(v[n]) {
+		t.Error("xn should be forced true by x0 through the chain")
+	}
+	// Model extension must reconstruct the interior values too.
+	for i := 1; i < n; i++ {
+		if !s.Value(v[i]) {
+			t.Errorf("interior x%d = false under x0=true, want true", i)
+		}
+	}
+}
+
+func TestPreprocessFrozenExempt(t *testing.T) {
+	s := New()
+	v := newVars(s, 4)
+	s.AddClause(Neg(v[0]), Pos(v[1]))
+	s.AddClause(Neg(v[1]), Pos(v[2]))
+	s.AddClause(Neg(v[2]), Pos(v[3]))
+	for _, x := range v {
+		s.Freeze(x)
+	}
+	if !s.Preprocess() {
+		t.Fatal("preprocess reported unsat")
+	}
+	if st := s.Stats(); st.VarsEliminated != 0 {
+		t.Errorf("VarsEliminated = %d, want 0 (all frozen)", st.VarsEliminated)
+	}
+	for _, x := range v {
+		if s.Eliminated(x) {
+			t.Errorf("frozen variable %d eliminated", x)
+		}
+	}
+}
+
+func TestPreprocessUnsat(t *testing.T) {
+	s := New()
+	v := newVars(s, 2)
+	s.AddClause(Pos(v[0]), Pos(v[1]))
+	s.AddClause(Pos(v[0]), Neg(v[1]))
+	s.AddClause(Neg(v[0]), Pos(v[1]))
+	s.AddClause(Neg(v[0]), Neg(v[1]))
+	s.Preprocess() // may or may not detect unsat itself
+	if got := s.Solve(); got != Unsat {
+		t.Errorf("Solve = %v, want Unsat", got)
+	}
+}
+
+// randomCNF generates a random k-CNF instance over n variables.
+func randomCNF(rng *rand.Rand, n, clauses, k int) [][]Lit {
+	out := make([][]Lit, clauses)
+	for i := range out {
+		cl := make([]Lit, 0, k)
+		used := map[int]bool{}
+		for len(cl) < k {
+			v := rng.Intn(n)
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			cl = append(cl, MkLit(v, rng.Intn(2) == 1))
+		}
+		out[i] = cl
+	}
+	return out
+}
+
+func TestPreprocessRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := 8 + rng.Intn(20)
+		// Around the 3-SAT phase transition so both statuses occur.
+		m := int(float64(n) * (3.0 + rng.Float64()*2.5))
+		cnf := randomCNF(rng, n, m, 3)
+
+		plain := New()
+		newVars(plain, n)
+		pre := New()
+		newVars(pre, n)
+		okPlain, okPre := true, true
+		for _, cl := range cnf {
+			okPlain = plain.AddClause(cl...) && okPlain
+			okPre = pre.AddClause(cl...) && okPre
+		}
+		pre.Preprocess()
+
+		got, want := pre.Solve(), plain.Solve()
+		if got != want {
+			t.Fatalf("iter %d: preprocessed %v, plain %v", iter, got, want)
+		}
+		if got != Sat {
+			continue
+		}
+		// The extended model must satisfy every ORIGINAL clause, not
+		// just the preprocessed database.
+		for ci, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				if pre.ValueLit(l) {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				t.Fatalf("iter %d: extended model falsifies original clause %d: %v", iter, ci, cl)
+			}
+		}
+	}
+}
+
+func TestPreprocessIncrementalEnumeration(t *testing.T) {
+	// Enumerate all models over a frozen projection, with and without
+	// preprocessing; the mining loop depends on this exact pattern.
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		n := 10 + rng.Intn(10)
+		m := int(float64(n) * 2.5)
+		cnf := randomCNF(rng, n, m, 3)
+		proj := []int{0, 1, 2, 3}
+
+		enumerate := func(preprocess bool) map[uint]bool {
+			s := New()
+			newVars(s, n)
+			for _, cl := range cnf {
+				s.AddClause(cl...)
+			}
+			if preprocess {
+				for _, v := range proj {
+					s.Freeze(v)
+				}
+				s.Preprocess()
+			}
+			models := map[uint]bool{}
+			for s.Solve() == Sat {
+				var key uint
+				block := make([]Lit, len(proj))
+				for i, v := range proj {
+					if s.Value(v) {
+						key |= 1 << uint(i)
+					}
+					block[i] = MkLit(v, s.Value(v))
+				}
+				models[key] = true
+				if !s.AddClause(block...) {
+					break
+				}
+				if len(models) > 1<<len(proj) {
+					t.Fatal("enumeration did not terminate")
+				}
+			}
+			return models
+		}
+
+		plain := enumerate(false)
+		pre := enumerate(true)
+		if len(plain) != len(pre) {
+			t.Fatalf("iter %d: projection count differs: plain %d, preprocessed %d", iter, len(plain), len(pre))
+		}
+		for k := range plain {
+			if !pre[k] {
+				t.Fatalf("iter %d: projection %b missing after preprocessing", iter, k)
+			}
+		}
+	}
+}
+
+func TestAddClauseEliminatedPanics(t *testing.T) {
+	s := New()
+	v := newVars(s, 3)
+	s.AddClause(Neg(v[0]), Pos(v[1]))
+	s.AddClause(Neg(v[1]), Pos(v[2]))
+	s.Freeze(v[0])
+	s.Freeze(v[2])
+	if !s.Preprocess() {
+		t.Fatal("preprocess reported unsat")
+	}
+	if !s.Eliminated(v[1]) {
+		t.Skip("middle variable not eliminated; nothing to check")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AddClause over an eliminated variable did not panic")
+		}
+	}()
+	s.AddClause(Pos(v[1]))
+}

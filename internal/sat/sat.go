@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // Lit is a literal: variable index shifted left once, low bit set for
@@ -190,7 +191,8 @@ func (o *varOrder) rebuild() {
 	}
 }
 
-// Stats reports solver work counters.
+// Stats reports solver work counters. The Pre* and preprocessing
+// fields are zero unless Preprocess ran.
 type Stats struct {
 	Vars         int
 	Clauses      int
@@ -199,6 +201,14 @@ type Stats struct {
 	Decisions    int64
 	Propagations int64
 	Restarts     int64
+
+	// Preprocessing counters (see Preprocess).
+	PreVars             int
+	PreClauses          int
+	VarsEliminated      int
+	ClausesSubsumed     int
+	ClausesStrengthened int
+	PreprocessTime      time.Duration
 }
 
 // Solver is an incremental CDCL SAT solver. The zero value is not
@@ -248,6 +258,34 @@ type Solver struct {
 	lbdSlow float64
 
 	restartPolicy RestartPolicy
+
+	// Preprocessing state (see preprocess.go). frozen marks variables
+	// exempt from elimination; eliminated marks variables removed by
+	// bounded variable elimination; elimStack records their original
+	// clauses for model extension; extVals overlays model values for
+	// eliminated variables after a Sat result.
+	frozen     []bool
+	eliminated []bool
+	elimStack  []elimEntry
+	extVals    []lbool
+	preStats   preStats
+}
+
+// elimEntry records one eliminated variable together with the
+// original clauses that mentioned it, in elimination order. Model
+// extension replays the stack in reverse.
+type elimEntry struct {
+	v       int
+	clauses [][]Lit
+}
+
+type preStats struct {
+	preVars             int
+	preClauses          int
+	varsEliminated      int
+	clausesSubsumed     int
+	clausesStrengthened int
+	preprocessTime      time.Duration
 }
 
 // RestartPolicy selects the solver's restart schedule.
@@ -315,9 +353,25 @@ func (s *Solver) NewVar() int {
 	s.order.indices = append(s.order.indices, -1)
 	s.order.push(v)
 	s.seen = append(s.seen, false)
+	s.frozen = append(s.frozen, false)
+	s.eliminated = append(s.eliminated, false)
+	s.extVals = append(s.extVals, lUndef)
 	s.stats.Vars++
 	return v
 }
+
+// Freeze exempts a variable from elimination during Preprocess.
+// Callers must freeze every variable that later clauses, assumptions,
+// or model reads may reference — in CheckFence these are the error
+// literal, the observation bits, and the memory-order variables of
+// the incremental mining loop.
+func (s *Solver) Freeze(v int) { s.frozen[v] = true }
+
+// Eliminated reports whether Preprocess removed the variable by
+// bounded variable elimination. Its model value is still available
+// through Value (reconstructed by model extension), but it must not
+// appear in new clauses or assumptions.
+func (s *Solver) Eliminated(v int) bool { return s.eliminated[v] }
 
 // NumVars returns the number of variables created so far.
 func (s *Solver) NumVars() int { return len(s.assigns) }
@@ -330,6 +384,12 @@ func (s *Solver) NumClauses() int { return s.stats.Clauses }
 func (s *Solver) Stats() Stats {
 	st := s.stats
 	st.Learnts = len(s.learnts)
+	st.PreVars = s.preStats.preVars
+	st.PreClauses = s.preStats.preClauses
+	st.VarsEliminated = s.preStats.varsEliminated
+	st.ClausesSubsumed = s.preStats.clausesSubsumed
+	st.ClausesStrengthened = s.preStats.clausesStrengthened
+	st.PreprocessTime = s.preStats.preprocessTime
 	return st
 }
 
@@ -394,6 +454,12 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	for _, l := range ls {
 		if int(l)>>1 >= len(s.assigns) {
 			panic(fmt.Sprintf("sat: literal %v references unknown variable", l))
+		}
+		if s.eliminated[l.Var()] {
+			// A clause over an eliminated variable breaks the
+			// equisatisfiability argument of variable elimination;
+			// callers must Freeze variables they add clauses over later.
+			panic(fmt.Sprintf("sat: literal %v references eliminated variable", l))
 		}
 		if l == prev {
 			continue
@@ -784,6 +850,11 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
+	for _, a := range assumptions {
+		if s.eliminated[a.Var()] {
+			panic(fmt.Sprintf("sat: assumption %v references eliminated variable", a))
+		}
+	}
 	s.cancelUntil(0)
 	if s.propagate() != nil {
 		s.ok = false
@@ -875,16 +946,19 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			}
 		}
 
-		// Pick a branching variable.
+		// Pick a branching variable. Eliminated variables are skipped:
+		// no clause mentions them, and their model values come from
+		// extendModel instead.
 		v := -1
 		for !s.order.empty() {
 			cand := s.order.pop()
-			if s.assigns[cand] == lUndef {
+			if s.assigns[cand] == lUndef && !s.eliminated[cand] {
 				v = cand
 				break
 			}
 		}
 		if v == -1 {
+			s.extendModel()
 			return Sat // all variables assigned
 		}
 		s.stats.Decisions++
@@ -894,7 +968,14 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 }
 
 // Value returns the model value of variable v after a Sat result.
-func (s *Solver) Value(v int) bool { return s.assigns[v] == lTrue }
+// Values of eliminated variables are reconstructed by model
+// extension.
+func (s *Solver) Value(v int) bool {
+	if s.eliminated[v] {
+		return s.extVals[v] == lTrue
+	}
+	return s.assigns[v] == lTrue
+}
 
 // ValueLit returns the model value of a literal after a Sat result.
 func (s *Solver) ValueLit(l Lit) bool {

@@ -172,7 +172,17 @@ func Mine(e *encode.Encoder, entries []Entry) (*Set, MineStats, error) {
 	if err != nil {
 		return nil, MineStats{}, err
 	}
+	// Materialize every literal the incremental loop will reference —
+	// the error literal (assumed, then asserted false) and the
+	// observation bits (blocking clauses flip their signs per model) —
+	// then preprocess the CNF with exactly those frozen.
 	errLit := e.B.Lit(e.ErrorNode())
+	bits := obsBits(e, svs)
+	lits := make([]sat.Lit, len(bits))
+	for i, b := range bits {
+		lits[i] = e.B.Lit(b)
+	}
+	e.PreprocessCNF(append([]sat.Lit{errLit}, lits...)...)
 
 	// Sequential bug check: is any erroneous serial execution
 	// possible?
@@ -190,11 +200,6 @@ func Mine(e *encode.Encoder, entries []Entry) (*Set, MineStats, error) {
 
 	// Enumerate error-free serial observations.
 	e.S.AddClause(errLit.Not())
-	bits := obsBits(e, svs)
-	lits := make([]sat.Lit, len(bits))
-	for i, b := range bits {
-		lits[i] = e.B.Lit(b)
-	}
 
 	set := NewSet()
 	stats := MineStats{}
@@ -250,7 +255,15 @@ func CheckInclusion(e *encode.Encoder, entries []Entry, set *Set) (*Counterexamp
 	if err != nil {
 		return nil, err
 	}
+	// Materialize the error literal and the observation bits (phase 2's
+	// exclusion clauses reference them in both polarities), then
+	// preprocess with those frozen.
 	errLit := e.B.Lit(e.ErrorNode())
+	roots := []sat.Lit{errLit}
+	for _, b := range obsBits(e, svs) {
+		roots = append(roots, e.B.Lit(b))
+	}
+	e.PreprocessCNF(roots...)
 
 	// Phase 1: any execution with a runtime error is a counterexample.
 	switch st := e.S.Solve(errLit); st {
