@@ -11,6 +11,7 @@
 //	benchtab -table fences     §4.2: fence sufficiency/necessity matrix
 //	benchtab -fig sc-vs-relaxed §4.4: model choice impact on runtime
 //	benchtab -fig encode       formula minimization on/off (writes BENCH_encode.json)
+//	benchtab -fig solve        intra-check parallelism: serial vs portfolio vs cube (writes BENCH_solve.json)
 //
 // Absolute times differ from the paper's 2007 testbed; the shapes
 // (growth trends, ratios, who wins) are the reproduction target. Use
@@ -35,6 +36,8 @@ func main() {
 		budget  = flag.Duration("budget", 10*time.Minute, "per-check time budget (checks expected to exceed it are skipped)")
 		jobs    = flag.Int("j", 1, "number of checks run concurrently (> 1 disables -budget's early exit)")
 		encJSON = flag.String("encode-json", "BENCH_encode.json", "artifact path for -fig encode (\"\" = print only)")
+		slvJSON = flag.String("solve-json", "BENCH_solve.json", "artifact path for -fig solve (\"\" = print only)")
+		width   = flag.Int("width", 4, "worker count for -fig solve (portfolio members / cube workers)")
 	)
 	flag.Parse()
 
@@ -61,6 +64,8 @@ func main() {
 		err = r.ModelChoice()
 	case *fig == "encode":
 		err = r.EncodeReport(*encJSON)
+	case *fig == "solve":
+		err = r.SolveReport(*slvJSON, *width)
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -58,7 +58,10 @@ func main() {
 		specSrc   = flag.String("spec", "sat", "specification source: sat (mine from implementation) or refset")
 		noRanges  = flag.Bool("no-range-analysis", false, "disable the range analysis of paper §3.4")
 		jobs      = flag.Int("j", 1, "number of checks run concurrently (0 = GOMAXPROCS)")
-		portfolio = flag.Int("portfolio", 0, "race this many diversified SAT configurations per inclusion check")
+		portfolio = flag.Int("portfolio", 0, "race this many diversified SAT configurations per solve (shared formula)")
+		shareCls  = flag.Bool("share-clauses", false, "let portfolio members exchange low-LBD learned clauses")
+		cube      = flag.Int("cube", 0, "cube-and-conquer the inclusion check and partition mining on this many workers")
+		maxMine   = flag.Int("max-mine-iterations", 0, "cap mining enumeration iterations (0 = default)")
 		cacheDir  = flag.String("spec-cache-dir", "", "persist mined observation sets in this directory")
 		list      = flag.Bool("list", false, "list implementations and tests")
 		showSpec  = flag.Bool("show-spec", false, "print the mined observation set")
@@ -88,6 +91,9 @@ func main() {
 			Model:                model,
 			DisableRangeAnalysis: *noRanges,
 			Portfolio:            *portfolio,
+			ShareClauses:         *shareCls,
+			Cube:                 *cube,
+			MaxMineIterations:    *maxMine,
 			SimplifyLevel:        *simplify,
 			NoPreprocess:         *noPreproc,
 		}
@@ -138,6 +144,13 @@ func report(res *core.Result, showSpec, stats bool) bool {
 		fmt.Printf("observation set: %d (mined in %d iterations)\n", s.ObsSetSize, s.MineIterations)
 		if s.SpecCacheHits+s.SpecCacheMisses > 0 {
 			fmt.Printf("spec cache: %d hits, %d misses\n", s.SpecCacheHits, s.SpecCacheMisses)
+		}
+		if s.Cubes > 0 {
+			fmt.Printf("cubes: %d issued, %d refuted\n", s.Cubes, s.CubesRefuted)
+		}
+		if s.SharedExported+s.SharedImported > 0 {
+			fmt.Printf("clause sharing: %d exported, %d imported, %d useful\n",
+				s.SharedExported, s.SharedImported, s.SharedUseful)
 		}
 		fmt.Printf("times: probe=%v mine=%v encode=%v refute=%v total=%v\n",
 			s.ProbeTime, s.MineTime, s.EncodeTime, s.RefuteTime, s.TotalTime)

@@ -116,8 +116,8 @@ func (r *Runner) EncodeReport(jsonPath string) error {
 			Gates: s.Gates, Vars: s.CNFVars, Clauses: s.CNFClauses,
 			PreVars: s.PreCNFVars, PreClauses: s.PreCNFClauses,
 			EncodeSec: s.EncodeTime.Seconds(), PrepSec: s.PreprocessTime.Seconds(),
-			SolveSec: s.RefuteTime.Seconds(),
-			TotalSec: s.TotalTime.Seconds(),
+			SolveSec:   s.RefuteTime.Seconds(),
+			TotalSec:   s.TotalTime.Seconds(),
 			PlainGates: p.Gates, PlainVars: p.CNFVars, PlainClauses: p.CNFClauses,
 			PlainEncodeSec: p.EncodeTime.Seconds(), PlainSolveSec: p.RefuteTime.Seconds(),
 			PlainTotalSec:   p.TotalTime.Seconds(),

@@ -1,0 +1,210 @@
+package bench
+
+// This file measures intra-check parallelism: the slowest
+// inclusion-check rows of the study set run three ways — serial,
+// clause-sharing portfolio, and cube-and-conquer — verifying identical
+// verdicts and observation sets, and recording the solve-time speedups
+// as the BENCH_solve.json artifact. The three runs of a row execute
+// sequentially (never overlapped) so wall-clock speedups are honest.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"checkfence/internal/core"
+	"checkfence/internal/memmodel"
+)
+
+// solvePairs are the rows with the heaviest inclusion-check solves at
+// the study bounds, in suite order.
+var solvePairs = []struct{ impl, test string }{
+	{"msn", "Tpc2"},
+	{"msn", "Ti2"},
+	{"ms2", "Tpc2"},
+	{"lazylist", "Sac"},
+	{"lazylist", "Sar"},
+	{"harris", "Sac"},
+	{"snark", "D0"},
+}
+
+// quickSolvePairs keeps -quick runs to the cheaper half.
+var quickSolvePairs = map[string]bool{
+	"msn/Tpc2":     true,
+	"ms2/Tpc2":     true,
+	"lazylist/Sac": true,
+	"snark/D0":     true,
+}
+
+// SolveRow is one (implementation, test) measurement of the
+// parallel-solving comparison.
+type SolveRow struct {
+	Impl    string `json:"impl"`
+	Test    string `json:"test"`
+	Model   string `json:"model"`
+	Verdict string `json:"verdict"`
+
+	SerialSolveSec    float64 `json:"serial_solve_sec"`
+	PortfolioSolveSec float64 `json:"portfolio_solve_sec"`
+	CubeSolveSec      float64 `json:"cube_solve_sec"`
+
+	// Speedups are serial_solve_sec over the parallel variant.
+	PortfolioSpeedup float64 `json:"portfolio_speedup"`
+	CubeSpeedup      float64 `json:"cube_speedup"`
+
+	Cubes          int   `json:"cubes"`
+	CubesRefuted   int   `json:"cubes_refuted"`
+	SharedExported int64 `json:"shared_exported"`
+	SharedImported int64 `json:"shared_imported"`
+	SharedUseful   int64 `json:"shared_useful"`
+}
+
+// SolveArtifact is the BENCH_solve.json schema.
+type SolveArtifact struct {
+	GeneratedAt string `json:"generated_at"`
+	Model       string `json:"model"`
+	Width       int    `json:"width"`
+	// CPUs is the host's logical CPU count. Speedups are only
+	// meaningful when it is >= Width: on fewer cores the parallel
+	// variants time-slice and regress by construction.
+	CPUs                   int        `json:"cpus"`
+	Rows                   []SolveRow `json:"rows"`
+	MedianPortfolioSpeedup float64    `json:"median_portfolio_speedup"`
+	MedianCubeSpeedup      float64    `json:"median_cube_speedup"`
+	MedianBestSpeedup      float64    `json:"median_best_speedup"`
+}
+
+// SolveReport runs the slowest inclusion-check rows serially, as a
+// clause-sharing portfolio of the given width, and cube-and-conquer on
+// the same number of workers; asserts that all three agree
+// (verdicts, observation sets, counterexample validity); prints the
+// comparison; and writes the artifact to jsonPath ("" = print only).
+func (r *Runner) SolveReport(jsonPath string, width int) error {
+	if width < 2 {
+		width = 4
+	}
+	model := memmodel.Relaxed
+	strategies := []struct {
+		name string
+		opts core.Options
+	}{
+		{"serial", core.Options{Model: model}},
+		{"portfolio", core.Options{Model: model, Portfolio: width, ShareClauses: true}},
+		{"cube", core.Options{Model: model, Cube: width}},
+	}
+
+	r.printf("Intra-check parallelism: solve time, serial vs. portfolio vs. cube (model: %s, width: %d)\n",
+		model, width)
+	r.printf("%-9s %-7s | %9s %9s %9s | %6s %6s | %s\n",
+		"impl", "test", "serial[s]", "portf[s]", "cube[s]", "p-spd", "c-spd", "verdict")
+
+	art := SolveArtifact{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Model:       model.String(),
+		Width:       width,
+		CPUs:        runtime.NumCPU(),
+	}
+	if art.CPUs < width {
+		r.printf("note: %d CPUs < width %d; parallel variants time-slice and speedups below 1x are expected\n",
+			art.CPUs, width)
+	}
+	var pSpeedups, cSpeedups, bestSpeedups []float64
+	for _, pair := range solvePairs {
+		if r.Quick && !quickSolvePairs[pair.impl+"/"+pair.test] {
+			continue
+		}
+		// The three runs execute back to back; each mines with a
+		// private cache so no configuration benefits from another's
+		// warm specification.
+		rows := make([]Row, len(strategies))
+		for i, strat := range strategies {
+			opts := strat.opts
+			opts.SpecCache = core.NewSpecCache("")
+			res, err := core.Check(pair.impl, pair.test, opts)
+			rows[i] = Row{Impl: pair.impl, Test: pair.test, Res: res, Err: err}
+			if err != nil {
+				return fmt.Errorf("bench: %s/%s (%s): %w", pair.impl, pair.test, strat.name, err)
+			}
+		}
+		serial, portf, cube := rows[0], rows[1], rows[2]
+		if err := checkAgreement(serial, portf); err != nil {
+			return fmt.Errorf("portfolio disagrees: %w", err)
+		}
+		if err := checkAgreement(serial, cube); err != nil {
+			return fmt.Errorf("cube disagrees: %w", err)
+		}
+		verdict := "pass"
+		if !serial.Res.Pass {
+			verdict = "FAIL"
+			if serial.Res.SeqBug {
+				verdict = "FAIL(seq)"
+			}
+		}
+		row := SolveRow{
+			Impl: pair.impl, Test: pair.test, Model: model.String(), Verdict: verdict,
+			SerialSolveSec:    serial.Res.Stats.RefuteTime.Seconds(),
+			PortfolioSolveSec: portf.Res.Stats.RefuteTime.Seconds(),
+			CubeSolveSec:      cube.Res.Stats.RefuteTime.Seconds(),
+			Cubes:             cube.Res.Stats.Cubes,
+			CubesRefuted:      cube.Res.Stats.CubesRefuted,
+			SharedExported:    portf.Res.Stats.SharedExported,
+			SharedImported:    portf.Res.Stats.SharedImported,
+			SharedUseful:      portf.Res.Stats.SharedUseful,
+		}
+		row.PortfolioSpeedup = speedup(row.SerialSolveSec, row.PortfolioSolveSec)
+		row.CubeSpeedup = speedup(row.SerialSolveSec, row.CubeSolveSec)
+		art.Rows = append(art.Rows, row)
+		pSpeedups = append(pSpeedups, row.PortfolioSpeedup)
+		cSpeedups = append(cSpeedups, row.CubeSpeedup)
+		best := row.PortfolioSpeedup
+		if row.CubeSpeedup > best {
+			best = row.CubeSpeedup
+		}
+		bestSpeedups = append(bestSpeedups, best)
+		r.printf("%-9s %-7s | %9.3f %9.3f %9.3f | %5.2fx %5.2fx | %s\n",
+			row.Impl, row.Test, row.SerialSolveSec, row.PortfolioSolveSec, row.CubeSolveSec,
+			row.PortfolioSpeedup, row.CubeSpeedup, verdict)
+	}
+	if len(art.Rows) > 0 {
+		art.MedianPortfolioSpeedup = median(pSpeedups)
+		art.MedianCubeSpeedup = median(cSpeedups)
+		art.MedianBestSpeedup = median(bestSpeedups)
+		r.printf("median speedups: portfolio %.2fx, cube %.2fx, best-of-both %.2fx\n",
+			art.MedianPortfolioSpeedup, art.MedianCubeSpeedup, art.MedianBestSpeedup)
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(&art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		r.printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+func speedup(serial, parallel float64) float64 {
+	if parallel <= 0 {
+		return 1
+	}
+	return serial / parallel
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}

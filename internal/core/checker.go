@@ -6,7 +6,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -64,11 +63,23 @@ type Options struct {
 	SpecCache *SpecCache
 	// Portfolio, when > 1, races that many diversified SAT solver
 	// configurations (restart policy, initial phase, branching
-	// permutation) on the inclusion check, each over an independently
-	// built formula; the first definitive verdict cancels the rest.
-	// Worth it for the hardest checks (snark, harris); overhead for
-	// easy ones.
+	// permutation) on each single-verdict solve of mining and the
+	// inclusion check. Members solve CloneFormula snapshots of one
+	// encoded, preprocessed formula, so encoding cost does not scale
+	// with the portfolio width. Worth it for the hardest checks
+	// (snark, harris); overhead for easy ones.
 	Portfolio int
+	// ShareClauses lets portfolio members exchange low-LBD learned
+	// clauses at restart boundaries (glucose-syrup style).
+	ShareClauses bool
+	// Cube, when > 1, solves the final inclusion query
+	// cube-and-conquer style on that many workers (splitting on
+	// memory-order variables) and partitions specification mining
+	// over disjoint observation-bit cubes.
+	Cube int
+	// MaxMineIterations caps the mining enumeration (0 = the spec
+	// package default).
+	MaxMineIterations int
 	// Cancel, when non-nil and closed, aborts the check: SAT solves
 	// stop at their next check point and the check returns an error
 	// wrapping spec.ErrSolverUnknown. RunSuite wires its context here.
@@ -102,6 +113,18 @@ func (o Options) encodeConfig() encode.Config {
 	return cfg
 }
 
+// strategy maps the parallelism options onto a spec.Strategy
+// accumulating into ps.
+func (o Options) strategy(ps *spec.ParStats) spec.Strategy {
+	return spec.Strategy{
+		Portfolio:         o.Portfolio,
+		ShareClauses:      o.ShareClauses,
+		Cube:              o.Cube,
+		MaxMineIterations: o.MaxMineIterations,
+		Stats:             ps,
+	}
+}
+
 // Stats quantifies one check, mirroring the columns of the paper's
 // Fig. 10 table plus the phase breakdown of Fig. 11b.
 type Stats struct {
@@ -133,6 +156,15 @@ type Stats struct {
 	// Both stay zero when no cache is configured.
 	SpecCacheHits   int
 	SpecCacheMisses int
+
+	// Intra-check parallelism counters: cube-and-conquer cubes issued
+	// and refuted (phase 2 plus partitioned mining), and clause-sharing
+	// traffic summed over portfolio members. All zero on serial runs.
+	Cubes          int
+	CubesRefuted   int
+	SharedExported int64
+	SharedImported int64
+	SharedUseful   int64
 
 	ProbeTime   time.Duration // lazy loop bound probes
 	MineTime    time.Duration // specification mining
@@ -267,6 +299,17 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 	res.Stats.Loads = unrolled.Loads
 	res.Stats.Stores = unrolled.Stores
 
+	// Parallel-work counters accumulated across mining and the
+	// inclusion check of this invocation.
+	var pstats spec.ParStats
+	defer func() {
+		res.Stats.Cubes += pstats.Cubes
+		res.Stats.CubesRefuted += pstats.CubesRefuted
+		res.Stats.SharedExported += pstats.SharedExported
+		res.Stats.SharedImported += pstats.SharedImported
+		res.Stats.SharedUseful += pstats.SharedUseful
+	}()
+
 	// Specification. The mining procedure is wrapped in a closure so
 	// the spec cache can single-flight it across concurrent checks;
 	// serialEnc escapes for the sequential-bug trace, and is only ever
@@ -288,7 +331,7 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 					return nil, 0, err
 				}
 				serialEnc.AssertNoOverflow()
-				mined, stats, err := spec.Mine(serialEnc, built.Entries)
+				mined, stats, err := spec.MineWith(serialEnc, built.Entries, opts.strategy(&pstats))
 				return mined, stats.Iterations, err
 			}
 		}
@@ -328,38 +371,24 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 	res.Stats.ObsSetSize = theSpec.Len()
 	res.Stats.MineTime += time.Since(mineStart)
 
-	// Inclusion check: either a single encoder + solve, or a
-	// portfolio racing diversified configurations over independently
-	// built formulas.
-	var (
-		enc *encode.Encoder
-		cex *spec.Counterexample
-		err error
-	)
-	if opts.Portfolio > 1 {
-		var encodeT, refuteT time.Duration
-		cex, enc, encodeT, refuteT, err = portfolioInclusion(unrolled, built, info, theSpec, opts)
-		res.Stats.EncodeTime += encodeT
-		res.Stats.RefuteTime += refuteT
-		if err != nil {
-			return false, err
-		}
-	} else {
-		encodeStart := time.Now()
-		enc = encode.NewWithConfig(opts.Model, info, opts.encodeConfig())
-		applyCancel(enc, opts)
-		if err := enc.Encode(unrolled.Threads); err != nil {
-			return false, err
-		}
-		enc.AssertNoOverflow()
-		res.Stats.EncodeTime += time.Since(encodeStart)
+	// Inclusion check. The formula is encoded and preprocessed once;
+	// any configured parallelism (portfolio, cube-and-conquer) solves
+	// CloneFormula snapshots of it, so encoding cost never scales with
+	// the worker count.
+	encodeStart := time.Now()
+	enc := encode.NewWithConfig(opts.Model, info, opts.encodeConfig())
+	applyCancel(enc, opts)
+	if err := enc.Encode(unrolled.Threads); err != nil {
+		return false, err
+	}
+	enc.AssertNoOverflow()
+	res.Stats.EncodeTime += time.Since(encodeStart)
 
-		refuteStart := time.Now()
-		cex, err = spec.CheckInclusion(enc, built.Entries, theSpec)
-		res.Stats.RefuteTime += time.Since(refuteStart)
-		if err != nil {
-			return false, err
-		}
+	refuteStart := time.Now()
+	cex, err := spec.CheckInclusionWith(enc, built.Entries, theSpec, opts.strategy(&pstats))
+	res.Stats.RefuteTime += time.Since(refuteStart)
+	if err != nil {
+		return false, err
 	}
 	st := enc.S.Stats()
 	res.Stats.CNFVars = st.Vars
@@ -403,62 +432,6 @@ func applyCancel(e *encode.Encoder, opts Options) {
 			return false
 		}
 	})
-}
-
-// portfolioInclusion runs the inclusion check as a portfolio race
-// (§3.2's check is one NP-hard SAT query; diversified configurations
-// have wildly different runtimes on the hard instances, and the first
-// verdict wins). Each member builds its own formula, so members share
-// nothing and the winner's solver holds a usable model. Returns the
-// winner's counterexample (nil = pass), its encoder for trace
-// extraction and CNF stats, and its encode/solve durations.
-func portfolioInclusion(unrolled *harness.Unrolled, built *harness.Built,
-	info *ranges.Info, theSpec *spec.Set, opts Options) (
-	*spec.Counterexample, *encode.Encoder, time.Duration, time.Duration, error) {
-
-	configs := sat.PortfolioConfigs(opts.Portfolio)
-	type member struct {
-		enc     *encode.Encoder
-		cex     *spec.Counterexample
-		err     error
-		encodeT time.Duration
-		refuteT time.Duration
-	}
-	members := make([]member, len(configs))
-	winner := sat.Race(configs, func(i int, cfg sat.Config) (*sat.Solver, func() bool) {
-		m := &members[i]
-		encodeStart := time.Now()
-		e := encode.NewWithConfig(opts.Model, info, opts.encodeConfig())
-		applyCancel(e, opts)
-		if err := e.Encode(unrolled.Threads); err != nil {
-			// Encoding failures are deterministic across members;
-			// surfacing the first one as definitive is correct and
-			// stops the rest.
-			m.err = err
-			return nil, func() bool { return true }
-		}
-		e.AssertNoOverflow()
-		cfg.Apply(e.S)
-		m.enc = e
-		m.encodeT = time.Since(encodeStart)
-		return e.S, func() bool {
-			refuteStart := time.Now()
-			m.cex, m.err = spec.CheckInclusion(e, built.Entries, theSpec)
-			m.refuteT = time.Since(refuteStart)
-			return !errors.Is(m.err, spec.ErrSolverUnknown)
-		}
-	})
-	if winner < 0 {
-		// Every member was interrupted (external cancellation).
-		for _, m := range members {
-			if m.err != nil {
-				return nil, nil, 0, 0, m.err
-			}
-		}
-		return nil, nil, 0, 0, fmt.Errorf("core: portfolio produced no verdict")
-	}
-	m := members[winner]
-	return m.cex, m.enc, m.encodeT, m.refuteT, m.err
 }
 
 func analysisFor(unrolled *harness.Unrolled, opts Options) *ranges.Info {

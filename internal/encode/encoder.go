@@ -141,17 +141,31 @@ func (e *Encoder) PreprocessCNF(roots ...sat.Lit) {
 	for _, l := range roots {
 		e.S.Freeze(l.Var())
 	}
+	for _, v := range e.OrderSatVars() {
+		e.S.Freeze(v)
+	}
+	e.S.Preprocess()
+}
+
+// OrderSatVars returns the SAT variables of every materialized,
+// non-constant memory-order node. PreprocessCNF freezes them; the
+// cube-and-conquer splitter prefers them as splitting variables, since
+// the memory order decides the interleaving structure of an execution
+// and both polarities of such a split carve out genuinely different
+// executions.
+func (e *Encoder) OrderSatVars() []int {
+	var vars []int
 	for _, row := range e.order {
 		for _, n := range row {
 			if n == bitvec.True || n == bitvec.False {
 				continue
 			}
 			if v, ok := e.B.SatVar(n); ok {
-				e.S.Freeze(v)
+				vars = append(vars, v)
 			}
 		}
 	}
-	e.S.Preprocess()
+	return vars
 }
 
 // Encode compiles all threads and asserts the memory model axioms.

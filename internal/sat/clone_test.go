@@ -1,0 +1,172 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// plantedInstance adds a random 3-SAT instance with a planted
+// solution, returning the clauses (for model validation).
+func plantedInstance(s *Solver, numVars, numClauses int, seed int64) [][]Lit {
+	rng := rand.New(rand.NewSource(seed))
+	assignment := make([]bool, numVars)
+	for v := range assignment {
+		assignment[v] = rng.Intn(2) == 0
+	}
+	var clauses [][]Lit
+	for v := 0; v < numVars; v++ {
+		s.NewVar()
+	}
+	for i := 0; i < numClauses; i++ {
+		c := make([]Lit, 3)
+		for j := range c {
+			v := rng.Intn(numVars)
+			c[j] = MkLit(v, rng.Intn(2) == 0)
+		}
+		v := c[0].Var()
+		c[0] = MkLit(v, !assignment[v]) // true under the planted solution
+		clauses = append(clauses, c)
+		s.AddClause(c...)
+	}
+	return clauses
+}
+
+func modelSatisfies(t *testing.T, s *Solver, clauses [][]Lit) {
+	t.Helper()
+	for ci, c := range clauses {
+		ok := false
+		for _, l := range c {
+			if s.ValueLit(l) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("model does not satisfy clause %d", ci)
+		}
+	}
+}
+
+// TestCloneFormulaIndependent: solving and mutating a clone never
+// affects the original, and vice versa.
+func TestCloneFormulaIndependent(t *testing.T) {
+	s := New()
+	clauses := plantedInstance(s, 30, 120, 3)
+	before := s.Stats().Clauses // AddClause may drop tautologies
+	c := s.CloneFormula()
+
+	if st := c.Solve(); st != Sat {
+		t.Fatalf("clone verdict = %v, want Sat", st)
+	}
+	modelSatisfies(t, c, clauses)
+
+	// Constrain the clone down to Unsat; the original must be unmoved.
+	v := 0
+	c.AddClause(Pos(v))
+	c.AddClause(Neg(v))
+	if st := c.Solve(); st != Unsat {
+		t.Fatalf("contradictory clone = %v, want Unsat", st)
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("original after clone mutation = %v, want Sat", st)
+	}
+	modelSatisfies(t, s, clauses)
+	if s.Stats().Clauses != before {
+		t.Fatalf("original clause count changed: %d != %d", s.Stats().Clauses, before)
+	}
+}
+
+// TestCloneFormulaRootUnits: root-level units present at clone time
+// carry over, and clauses satisfied at the root are simplified away.
+func TestCloneFormulaRootUnits(t *testing.T) {
+	s := New()
+	a, b, x := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(Pos(a))         // root unit
+	s.AddClause(Pos(a), Pos(x)) // satisfied at root: dropped in clone
+	s.AddClause(Neg(a), Pos(b)) // propagates b at root
+	s.AddClause(Neg(b), Neg(x)) // after root propagation: unit ¬x
+	c := s.CloneFormula()
+	if st := c.Solve(); st != Sat {
+		t.Fatalf("clone verdict = %v, want Sat", st)
+	}
+	if !c.Value(a) || !c.Value(b) || c.Value(x) {
+		t.Fatalf("clone model a=%v b=%v x=%v, want true,true,false",
+			c.Value(a), c.Value(b), c.Value(x))
+	}
+}
+
+// TestCloneFormulaAfterPreprocess: a clone of a preprocessed solver
+// keeps the frozen/eliminated contract — it solves correctly,
+// reconstructs eliminated-variable values through the shared
+// elimination stack, and panics on clauses over eliminated variables
+// exactly like the original.
+func TestCloneFormulaAfterPreprocess(t *testing.T) {
+	s := New()
+	const n = 8
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	// Equivalence chain v0 <-> v1 <-> ... <-> v7; middle variables are
+	// elimination candidates.
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(Neg(vars[i]), Pos(vars[i+1]))
+		s.AddClause(Pos(vars[i]), Neg(vars[i+1]))
+	}
+	s.Freeze(vars[0])
+	s.Freeze(vars[n-1])
+	s.Preprocess()
+	elim := -1
+	for _, v := range vars[1 : n-1] {
+		if s.Eliminated(v) {
+			elim = v
+			break
+		}
+	}
+	if elim < 0 {
+		t.Fatal("preprocessing eliminated no chain variable; test premise broken")
+	}
+
+	c := s.CloneFormula()
+	if !c.Eliminated(elim) {
+		t.Fatal("clone lost the eliminated state")
+	}
+	if st := c.Solve(Pos(vars[0])); st != Sat {
+		t.Fatalf("clone under assumption = %v, want Sat", st)
+	}
+	if !c.Value(vars[n-1]) {
+		t.Fatal("equivalence chain end must follow the assumed head")
+	}
+	if !c.Value(elim) {
+		t.Fatal("eliminated variable not reconstructed to the chain value")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddClause over an eliminated variable must panic on the clone")
+		}
+	}()
+	c.AddClause(Pos(elim))
+}
+
+// TestAdoptModelFrom: a clone's model becomes readable through the
+// original via the overlay, and the next Solve discards it.
+func TestAdoptModelFrom(t *testing.T) {
+	s := New()
+	clauses := plantedInstance(s, 25, 100, 11)
+	c := s.CloneFormula()
+	if st := c.Solve(); st != Sat {
+		t.Fatalf("clone verdict = %v, want Sat", st)
+	}
+	s.AdoptModelFrom(c)
+	modelSatisfies(t, s, clauses) // reads the adopted model
+	for v := 0; v < s.NumVars(); v++ {
+		if s.Value(v) != c.Value(v) {
+			t.Fatalf("adopted value of %d differs", v)
+		}
+	}
+	// The overlay must not leak into the next solve.
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("original verdict = %v, want Sat", st)
+	}
+	modelSatisfies(t, s, clauses) // now the solver's own model
+}

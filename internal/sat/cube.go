@@ -1,0 +1,210 @@
+package sat
+
+// This file implements cube-and-conquer solving (Heule, Kullmann,
+// Wieringa, Biere; HVC 2011): split the search space into 2^d cubes —
+// all sign combinations of d chosen variables — and solve each cube
+// as an assumption vector on a work-stealing pool of CloneFormula
+// snapshots. The cubes jointly form a tautology over the split
+// variables, so the formula is satisfiable iff some cube is: the
+// first Sat wins and cancels the rest, while Unsat requires every
+// cube refuted.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// CubeSplitter picks splitting variables for cube-and-conquer.
+type CubeSplitter struct {
+	// Depth is the number of splitting variables; Split returns up to
+	// 2^Depth cubes. Values above 16 are capped.
+	Depth int
+	// Prefer biases the choice toward these variables. CheckFence
+	// passes the memory-order variables: they decide the interleaving
+	// structure of an execution, so both sides of such a split carve
+	// out genuinely different executions instead of one trivial and
+	// one hard branch.
+	Prefer []int
+}
+
+// Split scores every unassigned, non-eliminated variable by its
+// occurrence balance over the live clause database — (pos+1)*(neg+1),
+// so variables constraining both polarities rank highest — with a
+// large boost for preferred variables, and returns all sign
+// combinations of the top-Depth variables in binary-counting order.
+// Variables that never occur are not split on; if fewer than Depth
+// variables qualify the depth shrinks accordingly, and nil means no
+// split is possible (the caller should solve directly).
+func (cs CubeSplitter) Split(s *Solver) [][]Lit {
+	d := cs.Depth
+	if d > 16 {
+		d = 16
+	}
+	if d <= 0 {
+		return nil
+	}
+	n := len(s.assigns)
+	pos := make([]int32, n)
+	neg := make([]int32, n)
+	count := func(cls []*clause) {
+		for _, c := range cls {
+			for _, l := range c.lits {
+				if l.Sign() {
+					neg[l.Var()]++
+				} else {
+					pos[l.Var()]++
+				}
+			}
+		}
+	}
+	count(s.clauses)
+	count(s.learnts)
+	score := make([]int64, n)
+	vars := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if s.assigns[v] != lUndef || s.eliminated[v] || pos[v]+neg[v] == 0 {
+			continue
+		}
+		score[v] = int64(pos[v]+1) * int64(neg[v]+1)
+		vars = append(vars, v)
+	}
+	for _, v := range cs.Prefer {
+		if v >= 0 && v < n && score[v] > 0 {
+			score[v] <<= 20
+		}
+	}
+	sort.Slice(vars, func(i, j int) bool {
+		a, b := vars[i], vars[j]
+		if score[a] != score[b] {
+			return score[a] > score[b]
+		}
+		return a < b // deterministic tie-break
+	})
+	if len(vars) > d {
+		vars = vars[:d]
+	}
+	d = len(vars)
+	if d == 0 {
+		return nil
+	}
+	cubes := make([][]Lit, 1<<uint(d))
+	for mask := range cubes {
+		cube := make([]Lit, d)
+		for i, v := range vars {
+			cube[i] = MkLit(v, mask>>uint(i)&1 == 1)
+		}
+		cubes[mask] = cube
+	}
+	return cubes
+}
+
+// CubeRun is the outcome of SolveCubes.
+type CubeRun struct {
+	Status Status
+	// Winner holds the model when Status is Sat. It is one of the
+	// cube clones (or base itself when no cubes were given); carry
+	// the model back with AdoptModelFrom if base must expose it.
+	Winner *Solver
+	// Cubes and Refuted count the cubes given and proven Unsat.
+	Cubes   int
+	Refuted int
+	// Work sums the search counters of all cube workers.
+	Work Stats
+}
+
+// SolveCubes solves base's formula as a partition over cubes on a
+// work-stealing pool of workers. Each worker owns one CloneFormula
+// snapshot, reused across the cubes it claims — clauses learned
+// refuting one cube are implied by the formula and so stay sound (and
+// useful) for the next. Every cube is solved under assumptions
+// followed by the cube's literals. The first Sat interrupts all other
+// workers and wins; Unsat requires every cube refuted; anything else
+// (interrupt, stop predicate, budget) yields Unknown.
+//
+// With no cubes, base is solved directly (serial fallback).
+func SolveCubes(base *Solver, cubes [][]Lit, workers int, assumptions ...Lit) CubeRun {
+	run := CubeRun{Cubes: len(cubes)}
+	if len(cubes) == 0 {
+		run.Status = base.Solve(assumptions...)
+		if run.Status == Sat {
+			run.Winner = base
+		}
+		return run
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(cubes) {
+		workers = len(cubes)
+	}
+	// Clone serially: CloneFormula mutates the receiver (backtrack +
+	// propagate), so concurrent clones of one base would race.
+	clones := make([]*Solver, workers)
+	for i := range clones {
+		clones[i] = base.CloneFormula()
+	}
+	var (
+		next    atomic.Int64
+		refuted atomic.Int64
+		mu      sync.Mutex
+		winner  *Solver
+		wg      sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(c *Solver) {
+			defer wg.Done()
+			var buf []Lit
+			for {
+				i := int(next.Add(1))
+				if i >= len(cubes) {
+					return
+				}
+				buf = append(append(buf[:0], assumptions...), cubes[i]...)
+				switch c.Solve(buf...) {
+				case Sat:
+					mu.Lock()
+					if winner == nil {
+						winner = c
+						for _, o := range clones {
+							if o != c {
+								o.Interrupt()
+							}
+						}
+					}
+					mu.Unlock()
+					return
+				case Unsat:
+					refuted.Add(1)
+				default:
+					// Interrupted or stopped: leave the remaining
+					// cubes unclaimed; the verdict degrades to
+					// Unknown unless another worker found Sat.
+					return
+				}
+			}
+		}(clones[w])
+	}
+	wg.Wait()
+	run.Refuted = int(refuted.Load())
+	for _, c := range clones {
+		st := c.Stats()
+		run.Work.Conflicts += st.Conflicts
+		run.Work.Decisions += st.Decisions
+		run.Work.Propagations += st.Propagations
+		run.Work.Restarts += st.Restarts
+		run.Work.Learnts += st.Learnts
+	}
+	switch {
+	case winner != nil:
+		run.Status = Sat
+		run.Winner = winner
+	case run.Refuted == len(cubes):
+		run.Status = Unsat
+	default:
+		run.Status = Unknown
+	}
+	return run
+}

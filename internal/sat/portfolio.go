@@ -9,7 +9,10 @@ package sat
 // branching order, so a small portfolio buys robustness that no
 // single configuration can.
 
-import "sync"
+import (
+	"errors"
+	"sync"
+)
 
 // Config is one diversified solver configuration of a portfolio. The
 // zero value is the solver's default (Glucose restarts, false initial
@@ -130,6 +133,11 @@ type Portfolio struct {
 	// Configs lists the member configurations; when empty, a default
 	// 4-way portfolio is used.
 	Configs []Config
+	// ShareClauses lets SolveShared members exchange learned clauses
+	// (LBD <= ShareLBD) through a SharePool at restart boundaries.
+	ShareClauses bool
+	// ShareLBD caps the LBD of exported clauses (0 = pool default).
+	ShareLBD int
 }
 
 // Solve races the portfolio. The assumptions are shared by all
@@ -156,12 +164,74 @@ func (p *Portfolio) Solve(build func(Config) (*Solver, error), assumptions ...Li
 		}
 	})
 	if winner < 0 {
-		for _, err := range errs {
-			if err != nil {
-				return Unknown, nil, err
-			}
+		// Surface every member's build failure, not just the first:
+		// members may fail for different reasons, and hiding all but
+		// one makes portfolio bugs needlessly hard to diagnose.
+		if err := errors.Join(errs...); err != nil {
+			return Unknown, nil, err
 		}
 		return Unknown, nil, nil
 	}
 	return statuses[winner], solvers[winner], nil
+}
+
+// SolveShared races the portfolio over CloneFormula snapshots of one
+// preprocessed base solver, so encoding and preprocessing run once
+// regardless of the portfolio width — the shared-formula counterpart
+// of Solve. With ShareClauses set, members exchange learned clauses
+// through a SharePool. It returns the winner's status, the winning
+// solver (a clone unless the portfolio has a single member, in which
+// case base itself is solved and returned), and the summed work
+// counters of every member. A caller that needs base positioned at
+// the winning model should AdoptModelFrom the returned solver.
+func (p *Portfolio) SolveShared(base *Solver, assumptions ...Lit) (Status, *Solver, Stats) {
+	configs := p.Configs
+	if len(configs) == 0 {
+		configs = PortfolioConfigs(4)
+	}
+	if len(configs) == 1 {
+		st := base.Solve(assumptions...)
+		if st == Unknown {
+			return Unknown, nil, Stats{}
+		}
+		return st, base, Stats{}
+	}
+	var pool *SharePool
+	if p.ShareClauses {
+		pool = NewSharePool(len(configs), p.ShareLBD, 0)
+	}
+	// Clone serially before racing: CloneFormula mutates the receiver
+	// (backtrack + root propagation), so concurrent clones would race.
+	clones := make([]*Solver, len(configs))
+	for i := range configs {
+		clones[i] = base.CloneFormula()
+	}
+	statuses := make([]Status, len(configs))
+	winner := Race(configs, func(i int, cfg Config) (*Solver, func() bool) {
+		s := clones[i]
+		cfg.Apply(s)
+		if pool != nil {
+			pool.Attach(i, s)
+		}
+		return s, func() bool {
+			statuses[i] = s.Solve(assumptions...)
+			return statuses[i] != Unknown
+		}
+	})
+	var work Stats
+	for _, c := range clones {
+		st := c.Stats()
+		work.Conflicts += st.Conflicts
+		work.Decisions += st.Decisions
+		work.Propagations += st.Propagations
+		work.Restarts += st.Restarts
+		work.Learnts += st.Learnts
+		work.SharedExported += st.SharedExported
+		work.SharedImported += st.SharedImported
+		work.SharedUseful += st.SharedUseful
+	}
+	if winner < 0 {
+		return Unknown, nil, work
+	}
+	return statuses[winner], clones[winner], work
 }

@@ -1,7 +1,10 @@
 package sat
 
 import (
+	"errors"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"testing"
 )
 
@@ -120,6 +123,83 @@ func TestRaceCancelsLosers(t *testing.T) {
 	}
 	if statuses[0] != Sat {
 		t.Fatalf("winner status = %v, want Sat", statuses[0])
+	}
+}
+
+// TestPortfolioJoinsBuildErrors: when every member fails to build,
+// Solve surfaces all distinct failures, not just the first.
+func TestPortfolioJoinsBuildErrors(t *testing.T) {
+	errA := errors.New("member A exploded")
+	errB := errors.New("member B exploded")
+	var n atomic.Int64
+	p := Portfolio{Configs: PortfolioConfigs(2)}
+	st, winner, err := p.Solve(func(Config) (*Solver, error) {
+		if n.Add(1) == 1 {
+			return nil, errA
+		}
+		return nil, errB
+	})
+	if st != Unknown || winner != nil {
+		t.Fatalf("got (%v, %v), want (Unknown, nil)", st, winner)
+	}
+	if err == nil {
+		t.Fatal("all builds failed but Solve returned no error")
+	}
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("joined error %q lost a member failure", err)
+	}
+}
+
+// TestRaceLateLoserInterrupted: a member whose build completes only
+// after the race is already decided must be interrupted before it does
+// any search work — no decisions, no propagations, and no polls of its
+// stop predicate.
+func TestRaceLateLoserInterrupted(t *testing.T) {
+	configs := PortfolioConfigs(3)
+	statuses := make([]Status, len(configs))
+	var lateSolver *Solver
+	var stopPolls atomic.Int64
+	// Member 2 registers a hard instance immediately; the winner's
+	// decision interrupts it, which is the signal member 1 blocks on —
+	// so member 1 provably registers after the race is decided.
+	s2ready := make(chan *Solver, 1)
+	winner := Race(configs, func(i int, cfg Config) (*Solver, func() bool) {
+		s := New()
+		switch i {
+		case 0:
+			v := s.NewVar()
+			s.AddClause(Pos(v))
+		case 1:
+			s2 := <-s2ready
+			for !s2.Interrupted() {
+				runtime.Gosched()
+			}
+			pigeonholeInstance(s, 9)
+			s.SetStop(func() bool { stopPolls.Add(1); return false })
+			lateSolver = s
+		case 2:
+			pigeonholeInstance(s, 9)
+			s2ready <- s
+		}
+		cfg.Apply(s)
+		return s, func() bool {
+			statuses[i] = s.Solve()
+			return statuses[i] != Unknown
+		}
+	})
+	if winner != 0 {
+		t.Fatalf("winner = %d, want 0", winner)
+	}
+	if statuses[1] != Unknown {
+		t.Fatalf("late member status = %v, want Unknown (interrupted)", statuses[1])
+	}
+	st := lateSolver.Stats()
+	if st.Decisions != 0 || st.Propagations != 0 {
+		t.Fatalf("late member searched before noticing the interrupt: %d decisions, %d propagations",
+			st.Decisions, st.Propagations)
+	}
+	if polls := stopPolls.Load(); polls != 0 {
+		t.Fatalf("late member polled its stop predicate %d times, want 0", polls)
 	}
 }
 

@@ -108,6 +108,12 @@ type clause struct {
 	learnt   bool
 	activity float64
 	lbd      int
+
+	// shared marks a clause imported from another portfolio member;
+	// sharedUsed latches once it participates in a conflict, so
+	// SharedUseful counts each imported clause at most once.
+	shared     bool
+	sharedUsed bool
 }
 
 type watcher struct {
@@ -209,6 +215,14 @@ type Stats struct {
 	ClausesSubsumed     int
 	ClausesStrengthened int
 	PreprocessTime      time.Duration
+
+	// Clause-sharing traffic (see SetShare): learnt clauses offered
+	// to the pool, foreign clauses attached after root simplification,
+	// and attached foreign clauses that later took part in a conflict
+	// (each counted once).
+	SharedExported int64
+	SharedImported int64
+	SharedUseful   int64
 }
 
 // Solver is an incremental CDCL SAT solver. The zero value is not
@@ -248,6 +262,17 @@ type Solver struct {
 	// check). Both are polled in the solve loop.
 	interrupted atomic.Bool
 	stop        func() bool
+
+	// adopted, when non-nil, overlays a foreign model (from
+	// AdoptModelFrom) over Value/ValueLit; the next Solve discards it.
+	adopted []lbool
+
+	// Clause-sharing hooks (see SetShare). shareExport receives each
+	// learnt clause with LBD <= shareLBD; shareImport is drained at
+	// restart boundaries.
+	shareLBD    int
+	shareExport func(lits []Lit, lbd int)
+	shareImport func(add func(lits []Lit, lbd int))
 
 	maxLearnts   float64
 	learntGrowth float64
@@ -625,6 +650,10 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 
 	for {
 		s.bumpClause(confl)
+		if confl.shared && !confl.sharedUsed {
+			confl.sharedUsed = true
+			s.stats.SharedUseful++
+		}
 		start := 0
 		if p != -1 {
 			start = 1
@@ -767,6 +796,10 @@ func (s *Solver) record(lits []Lit) {
 	if len(lits) == 1 {
 		s.uncheckedEnqueue(lits[0], nil)
 		s.updateLBD(1)
+		if s.shareExport != nil {
+			s.stats.SharedExported++
+			s.shareExport([]Lit{lits[0]}, 1)
+		}
 		return
 	}
 	c := &clause{lits: lits, learnt: true, lbd: s.computeLBD(lits)}
@@ -775,6 +808,13 @@ func (s *Solver) record(lits []Lit) {
 	s.bumpClause(c)
 	s.uncheckedEnqueue(lits[0], c)
 	s.updateLBD(float64(c.lbd))
+	if s.shareExport != nil && c.lbd <= s.shareLBD {
+		// The clause owns (and reorders) lits; hand the pool a copy.
+		cp := make([]Lit, len(lits))
+		copy(cp, lits)
+		s.stats.SharedExported++
+		s.shareExport(cp, c.lbd)
+	}
 }
 
 // updateLBD maintains the fast/slow LBD moving averages driving the
@@ -847,6 +887,7 @@ func luby(i int64) int64 {
 // Solve searches for a model extending the given assumptions. It
 // returns Sat, Unsat, or Unknown (budget exhausted).
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	s.adopted = nil
 	if !s.ok {
 		return Unsat
 	}
@@ -857,6 +898,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	}
 	s.cancelUntil(0)
 	if s.propagate() != nil {
+		s.ok = false
+		return Unsat
+	}
+	if !s.importShared() {
 		s.ok = false
 		return Unsat
 	}
@@ -915,6 +960,13 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			sinceRestart = 0
 			s.stats.Restarts++
 			s.cancelUntil(0)
+			// Restart boundaries are the import points of clause
+			// sharing: the trail is at the root, so foreign clauses
+			// can be simplified and attached safely.
+			if !s.importShared() {
+				s.ok = false
+				return Unsat
+			}
 			continue
 		}
 		if len(s.learnts) >= int(s.maxLearnts) {
@@ -969,8 +1021,12 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 
 // Value returns the model value of variable v after a Sat result.
 // Values of eliminated variables are reconstructed by model
-// extension.
+// extension. When a foreign model has been adopted (AdoptModelFrom),
+// it is reported instead until the next Solve.
 func (s *Solver) Value(v int) bool {
+	if s.adopted != nil {
+		return s.adopted[v] == lTrue
+	}
 	if s.eliminated[v] {
 		return s.extVals[v] == lTrue
 	}

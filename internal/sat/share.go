@@ -1,0 +1,171 @@
+package sat
+
+// This file implements learned-clause sharing between the members of
+// a portfolio (glucose-syrup style): each member exports its low-LBD
+// learnt clauses into a private bounded buffer and imports the other
+// members' recent exports at restart boundaries. Sharing is sound
+// because every member solves the same formula modulo learnt clauses,
+// and a learnt clause is implied by the formula alone — assumptions
+// enter the search as decisions, never as clauses — so a clause
+// learned anywhere may be attached everywhere. It is best-effort: a
+// buffer that overflows drops its oldest clauses, which costs only
+// pruning power, never correctness.
+
+import "sync"
+
+// SharePool mediates clause exchange between the members of a
+// clause-sharing portfolio. Construct with NewSharePool and wire each
+// member with Attach before solving starts.
+type SharePool struct {
+	lbdMax int
+	capPer int
+	bufs   []shareBuf
+	// cursors[i][j] is the sequence number up to which member i has
+	// drained member j's buffer. Only member i's goroutine touches
+	// row i (inside drain), so rows need no locking of their own.
+	cursors [][]int64
+}
+
+type sharedClause struct {
+	lits []Lit
+	lbd  int
+}
+
+// shareBuf is one member's bounded export ring. entries[0] carries
+// sequence number base; overflow drops from the front.
+type shareBuf struct {
+	mu      sync.Mutex
+	entries []sharedClause
+	base    int64
+}
+
+// NewSharePool returns a pool for the given member count. Clauses
+// with LBD above lbdMax are not exported (<= 0 selects 6, glucose's
+// "good clause" range); capPer bounds each member's buffer (<= 0
+// selects 512).
+func NewSharePool(members, lbdMax, capPer int) *SharePool {
+	if lbdMax <= 0 {
+		lbdMax = 6
+	}
+	if capPer <= 0 {
+		capPer = 512
+	}
+	p := &SharePool{
+		lbdMax:  lbdMax,
+		capPer:  capPer,
+		bufs:    make([]shareBuf, members),
+		cursors: make([][]int64, members),
+	}
+	for i := range p.cursors {
+		p.cursors[i] = make([]int64, members)
+	}
+	return p
+}
+
+// Attach wires member i's solver to the pool: its low-LBD learnt
+// clauses are exported to buffer i, and at each restart it imports
+// every other member's exports it has not seen yet.
+func (p *SharePool) Attach(i int, s *Solver) {
+	s.SetShare(p.lbdMax,
+		func(lits []Lit, lbd int) { p.export(i, lits, lbd) },
+		func(add func(lits []Lit, lbd int)) { p.drain(i, add) })
+}
+
+func (p *SharePool) export(i int, lits []Lit, lbd int) {
+	b := &p.bufs[i]
+	b.mu.Lock()
+	b.entries = append(b.entries, sharedClause{lits, lbd})
+	if drop := len(b.entries) - p.capPer; drop > 0 {
+		b.entries = append(b.entries[:0], b.entries[drop:]...)
+		b.base += int64(drop)
+	}
+	b.mu.Unlock()
+}
+
+func (p *SharePool) drain(i int, add func(lits []Lit, lbd int)) {
+	for j := range p.bufs {
+		if j == i {
+			continue
+		}
+		b := &p.bufs[j]
+		b.mu.Lock()
+		cur := p.cursors[i][j]
+		if cur < b.base {
+			cur = b.base // exporter outran us; the gap is lost
+		}
+		batch := append([]sharedClause(nil), b.entries[cur-b.base:]...)
+		p.cursors[i][j] = b.base + int64(len(b.entries))
+		b.mu.Unlock()
+		// Outside the lock: attaching may propagate. The entries hold
+		// exporter-owned copies; the importing solver copies again
+		// before attaching, so handing one slice to several importers
+		// is safe.
+		for _, sc := range batch {
+			add(sc.lits, sc.lbd)
+		}
+	}
+}
+
+// SetShare installs clause-sharing hooks. export is called from the
+// solving goroutine with a copy of each learnt clause whose LBD is at
+// most lbdMax (the receiver may keep the slice). imp is called at
+// restart boundaries (decision level 0) and must call its argument
+// once per foreign clause; the solver copies the literals before
+// attaching. Pass nils to remove the hooks. Foreign clauses must be
+// over this solver's variable space and must not mention eliminated
+// variables — guaranteed when all members are CloneFormula snapshots
+// of one preprocessed solver, since clauses involving eliminated
+// variables were removed from the shared database and search never
+// reintroduces them.
+func (s *Solver) SetShare(lbdMax int, export func(lits []Lit, lbd int), imp func(add func(lits []Lit, lbd int))) {
+	s.shareLBD = lbdMax
+	s.shareExport = export
+	s.shareImport = imp
+}
+
+// importShared drains foreign clauses at a restart boundary. Each
+// clause is simplified against the root assignment and attached as a
+// learnt clause; units are enqueued and propagated. It returns false
+// when an import derives unsatisfiability of the formula itself (an
+// empty clause or a root conflict), which is a definitive Unsat
+// regardless of assumptions.
+func (s *Solver) importShared() bool {
+	if s.shareImport == nil {
+		return true
+	}
+	ok := true
+	s.shareImport(func(lits []Lit, lbd int) {
+		if ok {
+			ok = s.addShared(lits, lbd)
+		}
+	})
+	return ok
+}
+
+func (s *Solver) addShared(lits []Lit, lbd int) bool {
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		switch s.value(l) {
+		case lTrue:
+			return true // satisfied at root; skip
+		case lFalse:
+			continue // root-false literal; drop
+		}
+		out = append(out, l)
+	}
+	s.stats.SharedImported++
+	switch len(out) {
+	case 0:
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			return false
+		}
+	default:
+		c := &clause{lits: out, learnt: true, shared: true, lbd: lbd}
+		s.learnts = append(s.learnts, c)
+		s.attach(c)
+	}
+	return true
+}

@@ -1,0 +1,116 @@
+package sat
+
+import "testing"
+
+// TestSharePoolCursors: drains see each foreign clause exactly once,
+// never their own exports, and a bounded buffer drops its oldest.
+func TestSharePoolCursors(t *testing.T) {
+	p := NewSharePool(2, 6, 4)
+	for i := 0; i < 3; i++ {
+		p.export(0, []Lit{Pos(i)}, 2)
+	}
+	p.export(1, []Lit{Neg(9)}, 2)
+
+	var got [][]Lit
+	collect := func(lits []Lit, lbd int) { got = append(got, lits) }
+	p.drain(1, collect)
+	if len(got) != 3 {
+		t.Fatalf("member 1 drained %d clauses, want 3 (member 0's exports only)", len(got))
+	}
+	got = nil
+	p.drain(1, collect)
+	if len(got) != 0 {
+		t.Fatalf("second drain re-delivered %d clauses, want 0", len(got))
+	}
+
+	// Overflow the ring: capacity 4, export 6 more; a fresh drain sees
+	// only the newest 4.
+	for i := 0; i < 6; i++ {
+		p.export(0, []Lit{Pos(100 + i)}, 2)
+	}
+	got = nil
+	p.drain(1, collect)
+	if len(got) != 4 {
+		t.Fatalf("drained %d clauses after overflow, want 4", len(got))
+	}
+	if got[0][0] != Pos(102) {
+		t.Fatalf("oldest surviving clause = %v, want %v", got[0][0], Pos(102))
+	}
+}
+
+// TestSolveSharedUnsat: a clause-sharing portfolio on a hard UNSAT
+// instance agrees with the serial verdict and actually exchanges
+// clauses (PHP forces plenty of restarts).
+func TestSolveSharedUnsat(t *testing.T) {
+	base := New()
+	pigeonholeInstance(base, 7)
+	p := Portfolio{Configs: PortfolioConfigs(4), ShareClauses: true}
+	st, _, work := p.SolveShared(base)
+	if st != Unsat {
+		t.Fatalf("verdict = %v, want Unsat", st)
+	}
+	if work.SharedExported == 0 {
+		t.Error("no clauses exported; sharing is wired up wrong")
+	}
+	if work.SharedImported == 0 {
+		t.Error("no clauses imported; restart-boundary import never ran")
+	}
+}
+
+// TestSolveSharedSat: the winner's model satisfies the formula, and
+// adopting it makes the base solver report it.
+func TestSolveSharedSat(t *testing.T) {
+	base := New()
+	clauses := plantedInstance(base, 40, 160, 21)
+	p := Portfolio{Configs: PortfolioConfigs(3), ShareClauses: true}
+	st, winner, _ := p.SolveShared(base)
+	if st != Sat {
+		t.Fatalf("verdict = %v, want Sat", st)
+	}
+	modelSatisfies(t, winner, clauses)
+	if winner != base {
+		base.AdoptModelFrom(winner)
+	}
+	modelSatisfies(t, base, clauses)
+}
+
+// TestSolveSharedSingleMember degenerates to a plain solve on base.
+func TestSolveSharedSingleMember(t *testing.T) {
+	base := New()
+	clauses := plantedInstance(base, 20, 80, 5)
+	p := Portfolio{Configs: PortfolioConfigs(1)}
+	st, winner, _ := p.SolveShared(base)
+	if st != Sat {
+		t.Fatalf("verdict = %v, want Sat", st)
+	}
+	if winner != base {
+		t.Fatal("single-member portfolio must solve base itself")
+	}
+	modelSatisfies(t, base, clauses)
+}
+
+// TestImportSharedSound: a directly injected foreign clause is
+// simplified against the root assignment and participates in
+// propagation.
+func TestImportSharedSound(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(Pos(a))                  // root unit
+	s.AddClause(Neg(b), Pos(c))          // b -> c
+	foreign := [][]Lit{{Neg(a), Pos(b)}} // simplifies to unit b at root
+	s.SetShare(6, nil, func(add func(lits []Lit, lbd int)) {
+		for _, f := range foreign {
+			add(f, 2)
+		}
+		foreign = nil
+	})
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("verdict = %v, want Sat", st)
+	}
+	if !s.Value(b) || !s.Value(c) {
+		t.Fatalf("imported unit did not propagate: b=%v c=%v", s.Value(b), s.Value(c))
+	}
+	if got := s.Stats().SharedImported; got != 1 {
+		t.Fatalf("SharedImported = %d, want 1", got)
+	}
+}

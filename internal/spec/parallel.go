@@ -1,0 +1,428 @@
+package spec
+
+// This file adds intra-check parallelism to mining and the inclusion
+// check. All parallel paths operate on sat.CloneFormula snapshots of
+// the encoder's solver, so the formula is encoded and preprocessed
+// exactly once regardless of how many workers solve it:
+//
+//   - Strategy.Portfolio races diversified configurations over clones
+//     of the shared formula, optionally exchanging learned clauses
+//     (Strategy.ShareClauses) at restart boundaries.
+//   - Strategy.Cube splits phase 2 of the inclusion check into 2^d
+//     cubes over memory-order variables and solves them on a
+//     work-stealing pool (cube-and-conquer).
+//   - For mining, disjoint cubes over observation-bit variables
+//     partition the enumeration: each satisfiable assignment of the
+//     observation bits extends exactly one cube, so every observation
+//     is enumerated exactly once in exactly one cube and the merged
+//     set — and the summed iteration count — is identical to the
+//     serial enumeration.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"checkfence/internal/encode"
+	"checkfence/internal/sat"
+)
+
+// DefaultMaxMineIterations bounds the mining enumeration when
+// Strategy.MaxMineIterations is zero. The bound exists to turn an
+// accidentally underconstrained test (e.g. an unconstrained input
+// register leaking into the observation) into an error instead of an
+// endless loop.
+const DefaultMaxMineIterations = 100000
+
+// ErrMineLimit is wrapped by mining when the enumeration exceeds the
+// iteration limit.
+var ErrMineLimit = errors.New("spec: mining exceeded iteration limit")
+
+// blockShrink drops provably redundant literals from mining blocking
+// clauses: bits whose SAT variable is fixed at the root (constants and
+// learned units — identical in every remaining model) and duplicate
+// variables (a variable's assignment determines every bit it backs).
+// Shorter blocking clauses propagate earlier and cost less to watch;
+// the mined set and iteration count are unchanged because each shrunk
+// clause excludes exactly the same models as the full one. The toggle
+// exists for the equivalence test.
+var blockShrink = true
+
+// Strategy configures intra-check parallelism. The zero value is fully
+// serial and behaves exactly like the historical Mine/CheckInclusion.
+type Strategy struct {
+	// Portfolio, when > 1, races that many diversified configurations
+	// over CloneFormula snapshots for the single-verdict solves (the
+	// sequential-bug check, phase 1, and phase 2 unless Cube takes it).
+	Portfolio int
+	// ShareClauses lets portfolio members exchange learned clauses
+	// with LBD <= ShareLBD (0 = default) at restart boundaries.
+	ShareClauses bool
+	ShareLBD     int
+	// Cube, when > 1, solves phase 2 of the inclusion check
+	// cube-and-conquer style with that many workers, and partitions
+	// mining over disjoint observation-bit cubes on that many workers.
+	Cube int
+	// CubeDepth fixes the number of splitting variables (2^depth
+	// cubes); 0 picks a depth oversplitting the worker count so work
+	// stealing can balance uneven cubes.
+	CubeDepth int
+	// MaxMineIterations caps the mining enumeration (0 = default).
+	MaxMineIterations int
+	// Stats, when non-nil, accumulates parallel-work counters.
+	Stats *ParStats
+}
+
+// ParStats counts the parallel work of a check.
+type ParStats struct {
+	// Cubes and CubesRefuted count cube-and-conquer cubes issued and
+	// proven Unsat (phase 2 and partitioned mining combined).
+	Cubes        int
+	CubesRefuted int
+	// Clause-sharing traffic summed over portfolio members.
+	SharedExported int64
+	SharedImported int64
+	SharedUseful   int64
+}
+
+func (st Strategy) maxIter() int {
+	if st.MaxMineIterations > 0 {
+		return st.MaxMineIterations
+	}
+	return DefaultMaxMineIterations
+}
+
+func (st Strategy) fold(work sat.Stats) {
+	if st.Stats == nil {
+		return
+	}
+	st.Stats.SharedExported += work.SharedExported
+	st.Stats.SharedImported += work.SharedImported
+	st.Stats.SharedUseful += work.SharedUseful
+}
+
+// decodeObs reads the observation vector from s's model (s is e.S or
+// a CloneFormula snapshot of it).
+func decodeObs(e *encode.Encoder, s *sat.Solver, svs []encode.SymVal) Observation {
+	obs := make(Observation, len(svs))
+	for i, sv := range svs {
+		obs[i] = e.EvalValIn(s, sv)
+	}
+	return obs
+}
+
+// solveOne performs one single-verdict solve under the strategy: a
+// shared-formula portfolio when configured, the encoder's own solver
+// otherwise. On Sat the model is readable through e.S (a winning
+// clone's model is adopted).
+func solveOne(e *encode.Encoder, strat Strategy, assumptions ...sat.Lit) sat.Status {
+	if strat.Portfolio > 1 {
+		p := sat.Portfolio{
+			Configs:      sat.PortfolioConfigs(strat.Portfolio),
+			ShareClauses: strat.ShareClauses,
+			ShareLBD:     strat.ShareLBD,
+		}
+		status, winner, work := p.SolveShared(e.S, assumptions...)
+		strat.fold(work)
+		if status == sat.Sat && winner != e.S {
+			e.S.AdoptModelFrom(winner)
+		}
+		return status
+	}
+	return e.S.Solve(assumptions...)
+}
+
+// solvePhase2 solves the final (unassumed) query of the inclusion
+// check: cube-and-conquer when configured, solveOne otherwise. On Sat
+// the model is readable through e.S.
+func solvePhase2(e *encode.Encoder, strat Strategy) sat.Status {
+	if strat.Cube <= 1 {
+		return solveOne(e, strat)
+	}
+	depth := strat.CubeDepth
+	if depth <= 0 {
+		// Oversplit 4x past the worker count: cube hardness is wildly
+		// uneven, and stealing can only balance what is divisible.
+		for depth = 1; 1<<uint(depth) < 4*strat.Cube && depth < 16; depth++ {
+		}
+	}
+	cubes := sat.CubeSplitter{Depth: depth, Prefer: e.OrderSatVars()}.Split(e.S)
+	run := sat.SolveCubes(e.S, cubes, strat.Cube)
+	if strat.Stats != nil {
+		strat.Stats.Cubes += run.Cubes
+		strat.Stats.CubesRefuted += run.Refuted
+	}
+	if run.Status == sat.Sat && run.Winner != e.S {
+		e.S.AdoptModelFrom(run.Winner)
+	}
+	return run.Status
+}
+
+// MineWith is Mine under a parallelism strategy. The mined set and
+// iteration count are identical to the serial enumeration for every
+// strategy; only the wall-clock schedule differs.
+func MineWith(e *encode.Encoder, entries []Entry, strat Strategy) (*Set, MineStats, error) {
+	svs, err := obsVals(e, entries)
+	if err != nil {
+		return nil, MineStats{}, err
+	}
+	// Materialize every literal the incremental loop will reference —
+	// the error literal (assumed, then asserted false) and the
+	// observation bits (blocking clauses flip their signs per model) —
+	// then preprocess the CNF with exactly those frozen.
+	errLit := e.B.Lit(e.ErrorNode())
+	bits := obsBits(e, svs)
+	lits := make([]sat.Lit, len(bits))
+	for i, b := range bits {
+		lits[i] = e.B.Lit(b)
+	}
+	e.PreprocessCNF(append([]sat.Lit{errLit}, lits...)...)
+
+	// Sequential bug check: is any erroneous serial execution
+	// possible?
+	switch st := solveOne(e, strat, errLit); st {
+	case sat.Sat:
+		return nil, MineStats{}, &SeqBugError{Obs: decodeObs(e, e.S, svs)}
+	case sat.Unsat:
+	default:
+		return nil, MineStats{}, fmt.Errorf("%w during sequential bug check (status %v)", ErrSolverUnknown, st)
+	}
+
+	// Enumerate error-free serial observations.
+	e.S.AddClause(errLit.Not())
+	if strat.Cube > 1 {
+		return minePartitioned(e, svs, lits, strat)
+	}
+	return mineSerial(e, svs, lits, strat)
+}
+
+// mineSerial is the classical blocking-clause enumeration on e.S.
+func mineSerial(e *encode.Encoder, svs []encode.SymVal, lits []sat.Lit, strat Strategy) (*Set, MineStats, error) {
+	set := NewSet()
+	stats := MineStats{}
+	limit := strat.maxIter()
+	for {
+		st := e.S.Solve()
+		if st == sat.Unsat {
+			return set, stats, nil
+		}
+		if st != sat.Sat {
+			return nil, stats, fmt.Errorf("%w during mining (status %v)", ErrSolverUnknown, st)
+		}
+		stats.Iterations++
+		set.Add(decodeObs(e, e.S, svs))
+		// Block every assignment of the observation bits seen in this
+		// model (not just this observation's canonical value): the
+		// bits fully determine the observation.
+		e.S.AddClause(blockingClause(e.S, lits)...)
+		if stats.Iterations > limit {
+			return nil, stats, fmt.Errorf("%w (%d iterations)", ErrMineLimit, stats.Iterations)
+		}
+	}
+}
+
+// blockingClause builds the clause excluding s's current assignment of
+// the observation bits. With blockShrink, literals that cannot
+// distinguish models are dropped: root-fixed variables (identical in
+// every remaining model — covers constant bits, whose backing variable
+// carries a unit clause) and repeated variables. Cube assumptions are
+// never dropped — they are assigned at decision levels, not the root —
+// so a partitioned worker's blocking clauses always carry its cube and
+// can never exclude models of other cubes.
+func blockingClause(s *sat.Solver, lits []sat.Lit) []sat.Lit {
+	block := make([]sat.Lit, 0, len(lits))
+	var seen map[int]bool
+	if blockShrink {
+		seen = make(map[int]bool, len(lits))
+	}
+	for _, l := range lits {
+		if blockShrink {
+			v := l.Var()
+			if seen[v] || s.FixedAtRoot(v) {
+				continue
+			}
+			seen[v] = true
+		}
+		if s.ValueLit(l) {
+			block = append(block, l.Not())
+		} else {
+			block = append(block, l)
+		}
+	}
+	return block
+}
+
+// minePartitioned enumerates the observation set in parallel by
+// partitioning on observation-bit variables: the 2^d sign combinations
+// of d such variables are disjoint and jointly exhaustive, so each
+// satisfiable observation-bit assignment is enumerated in exactly one
+// cube and the merged result is bit-identical to mineSerial's.
+// Workers own CloneFormula snapshots reused across the cubes they
+// steal; blocking clauses are added to the worker's clone only (they
+// include the cube literals implicitly via the enumerated bits, so
+// they could not block another cube's models even if shared).
+func minePartitioned(e *encode.Encoder, svs []encode.SymVal, lits []sat.Lit, strat Strategy) (*Set, MineStats, error) {
+	// Candidate split variables: distinct observation-bit variables not
+	// already fixed at the root (a root-fixed variable would make one
+	// polarity's cube trivially empty).
+	var cand []int
+	seenVar := map[int]bool{}
+	for _, l := range lits {
+		v := l.Var()
+		if seenVar[v] || e.S.FixedAtRoot(v) {
+			continue
+		}
+		seenVar[v] = true
+		cand = append(cand, v)
+	}
+	workers := strat.Cube
+	depth := strat.CubeDepth
+	if depth <= 0 {
+		// 2x oversplit: mining cubes are cheaper than phase-2 cubes
+		// (each is a sub-enumeration, so idle tails are shorter).
+		for depth = 1; 1<<uint(depth) < 2*workers && depth < 16; depth++ {
+		}
+	}
+	if depth > len(cand) {
+		depth = len(cand)
+	}
+	if depth == 0 {
+		return mineSerial(e, svs, lits, strat)
+	}
+	vars := cand[:depth]
+	cubes := make([][]sat.Lit, 1<<uint(depth))
+	for mask := range cubes {
+		cube := make([]sat.Lit, depth)
+		for i, v := range vars {
+			cube[i] = sat.MkLit(v, mask>>uint(i)&1 == 1)
+		}
+		cubes[mask] = cube
+	}
+	if workers > len(cubes) {
+		workers = len(cubes)
+	}
+	// Clone serially: CloneFormula mutates the receiver.
+	clones := make([]*sat.Solver, workers)
+	for i := range clones {
+		clones[i] = e.S.CloneFormula()
+	}
+
+	set := NewSet()
+	limit := strat.maxIter()
+	var (
+		next     atomic.Int64
+		iters    atomic.Int64
+		refuted  atomic.Int64
+		mu       sync.Mutex // guards set and firstErr
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			for _, c := range clones {
+				c.Interrupt()
+			}
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(s *sat.Solver) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(cubes) {
+					return
+				}
+				for {
+					st := s.Solve(cubes[i]...)
+					if st == sat.Unsat {
+						refuted.Add(1)
+						break // cube exhausted; steal the next one
+					}
+					if st != sat.Sat {
+						fail(fmt.Errorf("%w during mining (status %v)", ErrSolverUnknown, st))
+						return
+					}
+					if n := iters.Add(1); n > int64(limit) {
+						fail(fmt.Errorf("%w (%d iterations)", ErrMineLimit, n))
+						return
+					}
+					obs := decodeObs(e, s, svs)
+					mu.Lock()
+					set.Add(obs)
+					mu.Unlock()
+					s.AddClause(blockingClause(s, lits)...)
+				}
+			}
+		}(clones[w])
+	}
+	wg.Wait()
+	stats := MineStats{Iterations: int(iters.Load())}
+	if strat.Stats != nil {
+		strat.Stats.Cubes += len(cubes)
+		strat.Stats.CubesRefuted += int(refuted.Load())
+	}
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+	return set, stats, nil
+}
+
+// CheckInclusionWith is CheckInclusion under a parallelism strategy.
+// The verdict and counterexample semantics are identical to the serial
+// check for every strategy; on Sat the encoder's solver is positioned
+// at the counterexample model (adopted from the winning clone when a
+// parallel path found it).
+func CheckInclusionWith(e *encode.Encoder, entries []Entry, set *Set, strat Strategy) (*Counterexample, error) {
+	svs, err := obsVals(e, entries)
+	if err != nil {
+		return nil, err
+	}
+	// Materialize the error literal and the observation bits (phase 2's
+	// exclusion clauses reference them in both polarities), then
+	// preprocess with those frozen.
+	errLit := e.B.Lit(e.ErrorNode())
+	roots := []sat.Lit{errLit}
+	for _, b := range obsBits(e, svs) {
+		roots = append(roots, e.B.Lit(b))
+	}
+	e.PreprocessCNF(roots...)
+
+	// Phase 1: any execution with a runtime error is a counterexample.
+	switch st := solveOne(e, strat, errLit); st {
+	case sat.Sat:
+		obs := decodeObs(e, e.S, svs)
+		msg := ""
+		for _, ec := range e.Errors {
+			if e.B.Eval(ec.Cond) {
+				msg = ec.Msg
+				break
+			}
+		}
+		return &Counterexample{Obs: obs, IsErr: true, Err: msg}, nil
+	case sat.Unsat:
+	default:
+		return nil, fmt.Errorf("%w during error check (status %v)", ErrSolverUnknown, st)
+	}
+
+	// Phase 2: exclude the specification's observations and solve.
+	e.S.AddClause(errLit.Not())
+	for _, o := range set.All() {
+		if err := assertNotObservation(e, svs, o); err != nil {
+			return nil, err
+		}
+	}
+	switch st := solvePhase2(e, strat); st {
+	case sat.Unsat:
+		return nil, nil
+	case sat.Sat:
+		return &Counterexample{Obs: decodeObs(e, e.S, svs)}, nil
+	default:
+		return nil, fmt.Errorf("%w during inclusion check (status %v)", ErrSolverUnknown, st)
+	}
+}

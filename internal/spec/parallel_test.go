@@ -1,0 +1,182 @@
+package spec
+
+import (
+	"errors"
+	"testing"
+
+	"checkfence/internal/encode"
+	"checkfence/internal/lsl"
+	"checkfence/internal/memmodel"
+	"checkfence/internal/ranges"
+)
+
+// buildWideMiningEncoder yields 15 observations (a 4-bit havoc with
+// one value excluded), enough to exercise the partitioned enumeration.
+func buildWideMiningEncoder(t *testing.T) (*encode.Encoder, []Entry) {
+	t.Helper()
+	body := []lsl.Stmt{
+		&lsl.HavocStmt{Dst: "r", Bits: 4},
+		&lsl.ConstStmt{Dst: "seven", Val: lsl.Int(7)},
+		&lsl.OpStmt{Dst: "ne", Op: lsl.OpNe, Args: []lsl.Reg{"r", "seven"}},
+		&lsl.AssumeStmt{Cond: "ne"},
+	}
+	info := ranges.Analyze([][]lsl.Stmt{body})
+	e := encode.New(memmodel.Serial, info)
+	if err := e.Encode([]encode.Thread{
+		{},
+		{Name: "t", Segments: [][]lsl.Stmt{body}, OpIDs: []int{0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return e, []Entry{{Label: "R", Thread: 1, Reg: "r"}}
+}
+
+// TestMinePartitionedMatchesSerial: the partitioned enumeration must
+// produce the identical set and total iteration count.
+func TestMinePartitionedMatchesSerial(t *testing.T) {
+	eSerial, entries := buildWideMiningEncoder(t)
+	serialSet, serialStats, err := MineWith(eSerial, entries, Strategy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialSet.Len() != 15 {
+		t.Fatalf("serial mined %d observations, want 15", serialSet.Len())
+	}
+
+	for _, cube := range []int{2, 4} {
+		ePar, entriesPar := buildWideMiningEncoder(t)
+		var ps ParStats
+		parSet, parStats, err := MineWith(ePar, entriesPar, Strategy{Cube: cube, Stats: &ps})
+		if err != nil {
+			t.Fatalf("cube=%d: %v", cube, err)
+		}
+		if !parSet.Equal(serialSet) {
+			t.Errorf("cube=%d: partitioned set differs from serial:\n  serial %v\n  par    %v",
+				cube, serialSet.All(), parSet.All())
+		}
+		if parStats.Iterations != serialStats.Iterations {
+			t.Errorf("cube=%d: iterations %d != serial %d",
+				cube, parStats.Iterations, serialStats.Iterations)
+		}
+		if ps.Cubes < 2 || ps.CubesRefuted != ps.Cubes {
+			t.Errorf("cube=%d: ParStats = %+v, want all of >=2 cubes refuted", cube, ps)
+		}
+	}
+}
+
+// TestMineIterationLimit: an absurdly low cap surfaces ErrMineLimit
+// from both the serial and the partitioned path.
+func TestMineIterationLimit(t *testing.T) {
+	for _, cube := range []int{0, 4} {
+		e, entries := buildWideMiningEncoder(t)
+		_, _, err := MineWith(e, entries, Strategy{Cube: cube, MaxMineIterations: 1})
+		if !errors.Is(err, ErrMineLimit) {
+			t.Errorf("cube=%d: err = %v, want ErrMineLimit", cube, err)
+		}
+	}
+}
+
+// TestMineWithPortfolioSeqBug: the portfolio path of the sequential
+// bug check adopts the winning clone's model, so the reported
+// observation is decodable.
+func TestMineWithPortfolioSeqBug(t *testing.T) {
+	body := []lsl.Stmt{
+		&lsl.ConstStmt{Dst: "zero", Val: lsl.Int(0)},
+		&lsl.AssertStmt{Cond: "zero", Msg: "always fails"},
+		&lsl.ConstStmt{Dst: "r", Val: lsl.Int(1)},
+	}
+	info := ranges.Analyze([][]lsl.Stmt{body})
+	e := encode.New(memmodel.Serial, info)
+	if err := e.Encode([]encode.Thread{
+		{},
+		{Name: "t", Segments: [][]lsl.Stmt{body}, OpIDs: []int{0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := MineWith(e, []Entry{{Label: "R", Thread: 1, Reg: "r"}},
+		Strategy{Portfolio: 3, ShareClauses: true})
+	var bug *SeqBugError
+	if !errors.As(err, &bug) {
+		t.Fatalf("expected SeqBugError, got %v", err)
+	}
+	if len(bug.Obs) != 1 || !bug.Obs[0].Equal(lsl.Int(1)) {
+		t.Errorf("seq-bug observation = %v, want [1]", bug.Obs)
+	}
+}
+
+// TestCheckInclusionWithParity: every strategy agrees with the serial
+// verdict on both a passing and a failing inclusion check, including
+// the counterexample observation.
+func TestCheckInclusionWithParity(t *testing.T) {
+	full := NewSet()
+	for v := int64(0); v < 16; v++ {
+		if v != 7 {
+			full.Add(Observation{lsl.Int(v)})
+		}
+	}
+	partial := NewSet()
+	for v := int64(0); v < 16; v++ {
+		if v != 7 && v != 5 {
+			partial.Add(Observation{lsl.Int(v)})
+		}
+	}
+	strategies := []Strategy{
+		{},
+		{Portfolio: 3},
+		{Portfolio: 3, ShareClauses: true},
+		{Cube: 4},
+		{Cube: 2, CubeDepth: 2},
+	}
+	for _, strat := range strategies {
+		e, entries := buildWideMiningEncoder(t)
+		cex, err := CheckInclusionWith(e, entries, full, strat)
+		if err != nil {
+			t.Fatalf("%+v: %v", strat, err)
+		}
+		if cex != nil {
+			t.Errorf("%+v: full spec must pass, got cex %v", strat, cex.Obs)
+		}
+
+		e2, entries2 := buildWideMiningEncoder(t)
+		cex, err = CheckInclusionWith(e2, entries2, partial, strat)
+		if err != nil {
+			t.Fatalf("%+v: %v", strat, err)
+		}
+		if cex == nil {
+			t.Fatalf("%+v: partial spec must fail", strat)
+		}
+		if !cex.Obs[0].Equal(lsl.Int(5)) {
+			t.Errorf("%+v: counterexample = %v, want 5", strat, cex.Obs[0])
+		}
+	}
+}
+
+// TestBlockingClauseShrink: shrinking blocking clauses must not change
+// the mined set or the iteration count, serial or partitioned.
+func TestBlockingClauseShrink(t *testing.T) {
+	defer func(v bool) { blockShrink = v }(blockShrink)
+
+	type result struct {
+		set   *Set
+		iters int
+	}
+	run := func(shrink bool, cube int) result {
+		blockShrink = shrink
+		e, entries := buildWideMiningEncoder(t)
+		set, stats, err := MineWith(e, entries, Strategy{Cube: cube})
+		if err != nil {
+			t.Fatalf("shrink=%v cube=%d: %v", shrink, cube, err)
+		}
+		return result{set, stats.Iterations}
+	}
+	for _, cube := range []int{0, 4} {
+		with := run(true, cube)
+		without := run(false, cube)
+		if !with.set.Equal(without.set) {
+			t.Errorf("cube=%d: shrunk blocking clauses changed the mined set", cube)
+		}
+		if with.iters != without.iters {
+			t.Errorf("cube=%d: iterations %d (shrunk) != %d (full)", cube, with.iters, without.iters)
+		}
+	}
+}

@@ -18,7 +18,6 @@ import (
 	"checkfence/internal/bitvec"
 	"checkfence/internal/encode"
 	"checkfence/internal/lsl"
-	"checkfence/internal/sat"
 )
 
 // ErrSolverUnknown is wrapped by Mine and CheckInclusion when the SAT
@@ -168,71 +167,7 @@ type MineStats struct {
 // one does, a SeqBugError is returned (a bug in the implementation
 // itself, independent of the memory model).
 func Mine(e *encode.Encoder, entries []Entry) (*Set, MineStats, error) {
-	svs, err := obsVals(e, entries)
-	if err != nil {
-		return nil, MineStats{}, err
-	}
-	// Materialize every literal the incremental loop will reference —
-	// the error literal (assumed, then asserted false) and the
-	// observation bits (blocking clauses flip their signs per model) —
-	// then preprocess the CNF with exactly those frozen.
-	errLit := e.B.Lit(e.ErrorNode())
-	bits := obsBits(e, svs)
-	lits := make([]sat.Lit, len(bits))
-	for i, b := range bits {
-		lits[i] = e.B.Lit(b)
-	}
-	e.PreprocessCNF(append([]sat.Lit{errLit}, lits...)...)
-
-	// Sequential bug check: is any erroneous serial execution
-	// possible?
-	switch st := e.S.Solve(errLit); st {
-	case sat.Sat:
-		obs := make(Observation, len(svs))
-		for i, sv := range svs {
-			obs[i] = e.EvalVal(sv)
-		}
-		return nil, MineStats{}, &SeqBugError{Obs: obs}
-	case sat.Unsat:
-	default:
-		return nil, MineStats{}, fmt.Errorf("%w during sequential bug check (status %v)", ErrSolverUnknown, st)
-	}
-
-	// Enumerate error-free serial observations.
-	e.S.AddClause(errLit.Not())
-
-	set := NewSet()
-	stats := MineStats{}
-	for {
-		st := e.S.Solve()
-		if st == sat.Unsat {
-			return set, stats, nil
-		}
-		if st != sat.Sat {
-			return nil, stats, fmt.Errorf("%w during mining (status %v)", ErrSolverUnknown, st)
-		}
-		stats.Iterations++
-		obs := make(Observation, len(svs))
-		for i, sv := range svs {
-			obs[i] = e.EvalVal(sv)
-		}
-		set.Add(obs)
-		// Block every assignment of the observation bits seen in this
-		// model (not just this observation's canonical value): the
-		// bits fully determine the observation.
-		block := make([]sat.Lit, len(lits))
-		for i, l := range lits {
-			if e.S.ValueLit(l) {
-				block[i] = l.Not()
-			} else {
-				block[i] = l
-			}
-		}
-		e.S.AddClause(block...)
-		if stats.Iterations > 100000 {
-			return nil, stats, fmt.Errorf("spec: mining exceeded iteration limit")
-		}
-	}
+	return MineWith(e, entries, Strategy{})
 }
 
 // Counterexample is a failed inclusion check: an execution whose
@@ -251,60 +186,7 @@ type Counterexample struct {
 // result means the check passed. The encoder's solver state is left
 // positioned at the counterexample model (for trace extraction).
 func CheckInclusion(e *encode.Encoder, entries []Entry, set *Set) (*Counterexample, error) {
-	svs, err := obsVals(e, entries)
-	if err != nil {
-		return nil, err
-	}
-	// Materialize the error literal and the observation bits (phase 2's
-	// exclusion clauses reference them in both polarities), then
-	// preprocess with those frozen.
-	errLit := e.B.Lit(e.ErrorNode())
-	roots := []sat.Lit{errLit}
-	for _, b := range obsBits(e, svs) {
-		roots = append(roots, e.B.Lit(b))
-	}
-	e.PreprocessCNF(roots...)
-
-	// Phase 1: any execution with a runtime error is a counterexample.
-	switch st := e.S.Solve(errLit); st {
-	case sat.Sat:
-		obs := make(Observation, len(svs))
-		for i, sv := range svs {
-			obs[i] = e.EvalVal(sv)
-		}
-		msg := ""
-		for _, ec := range e.Errors {
-			if e.B.Eval(ec.Cond) {
-				msg = ec.Msg
-				break
-			}
-		}
-		return &Counterexample{Obs: obs, IsErr: true, Err: msg}, nil
-	case sat.Unsat:
-	default:
-		return nil, fmt.Errorf("%w during error check (status %v)", ErrSolverUnknown, st)
-	}
-
-	// Phase 2: exclude the specification's observations and solve.
-	e.S.AddClause(errLit.Not())
-	for _, o := range set.All() {
-		if err := assertNotObservation(e, svs, o); err != nil {
-			return nil, err
-		}
-	}
-	st := e.S.Solve()
-	switch st {
-	case sat.Unsat:
-		return nil, nil
-	case sat.Sat:
-		obs := make(Observation, len(svs))
-		for i, sv := range svs {
-			obs[i] = e.EvalVal(sv)
-		}
-		return &Counterexample{Obs: obs}, nil
-	default:
-		return nil, fmt.Errorf("%w during inclusion check (status %v)", ErrSolverUnknown, st)
-	}
+	return CheckInclusionWith(e, entries, set, Strategy{})
 }
 
 // assertNotObservation adds one clause stating that the observation

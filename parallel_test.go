@@ -1,0 +1,99 @@
+package checkfence_test
+
+// TestIntraCheckDifferential runs whole checks three ways — serial,
+// clause-sharing portfolio, and cube-and-conquer — and requires
+// bit-identical verdicts, identical mined observation sets, and valid
+// counterexamples. Intra-check parallelism is a scheduling concern;
+// any observable difference is a soundness bug.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"checkfence"
+)
+
+func TestIntraCheckDifferential(t *testing.T) {
+	type pair struct {
+		impl, test string
+		models     []checkfence.Model
+	}
+	all := []checkfence.Model{
+		checkfence.SequentialConsistency, checkfence.TSO,
+		checkfence.PSO, checkfence.Relaxed,
+	}
+	scRelaxed := []checkfence.Model{checkfence.SequentialConsistency, checkfence.Relaxed}
+	pairs := []pair{
+		{"ms2", "T0", all},
+		{"msn", "T0", all},
+		{"lazylist", "Sac", all},
+		{"harris", "Sac", scRelaxed},
+		{"snark", "D0", scRelaxed},       // fails on relaxed: verdicts must still agree
+		{"msn-nofence", "T0", scRelaxed}, // fails: exercises counterexample extraction
+		{"ms2-nofence", "T0", scRelaxed},
+	}
+	if !testing.Short() {
+		pairs = append(pairs, pair{"msn", "Ti2", []checkfence.Model{checkfence.Relaxed}})
+	}
+	// The serial variant comes first in each triple; the others must
+	// match it exactly.
+	variants := []struct {
+		name string
+		opts checkfence.Options
+	}{
+		{"serial", checkfence.Options{}},
+		{"portfolio", checkfence.Options{Portfolio: 4, ShareClauses: true}},
+		{"cube", checkfence.Options{Cube: 4}},
+	}
+
+	var jobs []checkfence.Job
+	var names []string
+	for _, p := range pairs {
+		for _, m := range p.models {
+			for _, v := range variants {
+				opts := v.opts
+				opts.Model = m
+				// Private caches: every variant must actually mine.
+				opts.SpecCache = checkfence.NewSpecCache("")
+				jobs = append(jobs, checkfence.Job{Impl: p.impl, Test: p.test, Opts: opts})
+				names = append(names, fmt.Sprintf("%s/%s/%s/%s", p.impl, p.test, m, v.name))
+			}
+		}
+	}
+	results := checkfence.CheckSuite(jobs, checkfence.SuiteOptions{
+		Parallelism: runtime.GOMAXPROCS(0),
+	})
+
+	for i := 0; i+2 < len(results); i += 3 {
+		serial := results[i]
+		if serial.Err != nil {
+			t.Errorf("%s: %v", names[i], serial.Err)
+			continue
+		}
+		for off := 1; off <= 2; off++ {
+			par, name := results[i+off], names[i+off]
+			if par.Err != nil {
+				t.Errorf("%s: %v", name, par.Err)
+				continue
+			}
+			if par.Res.Pass != serial.Res.Pass || par.Res.SeqBug != serial.Res.SeqBug {
+				t.Errorf("%s: verdict differs from serial: pass=%v seqbug=%v, serial pass=%v seqbug=%v",
+					name, par.Res.Pass, par.Res.SeqBug, serial.Res.Pass, serial.Res.SeqBug)
+			}
+			if (par.Res.Spec == nil) != (serial.Res.Spec == nil) {
+				t.Errorf("%s: only one variant mined an observation set", name)
+			} else if par.Res.Spec != nil && !par.Res.Spec.Equal(serial.Res.Spec) {
+				t.Errorf("%s: observation set differs from serial (%d vs %d)",
+					name, par.Res.Spec.Len(), serial.Res.Spec.Len())
+			}
+			if !par.Res.Pass {
+				if par.Res.Cex == nil {
+					t.Errorf("%s: failed without a counterexample", name)
+				} else if !par.Res.Cex.IsErr && par.Res.Spec != nil && par.Res.Spec.Has(par.Res.Cex.Observation) {
+					t.Errorf("%s: counterexample observation is inside the specification", name)
+				}
+			}
+		}
+	}
+}
