@@ -68,6 +68,7 @@ func main() {
 		stats     = flag.Bool("stats", false, "print Fig. 10-style statistics")
 		simplify  = flag.Int("simplify", 0, "circuit simplification: 0 = full (default), 1/2 = AIG rewriting level, -1 = off (classic Tseitin)")
 		noPreproc = flag.Bool("no-preprocess", false, "disable SatELite-style CNF preprocessing before solving")
+		validate  = flag.Bool("validate", true, "independently re-check counterexamples (axiom re-verification + interpreter replay)")
 	)
 	flag.Var(&models, "model", "memory model: sc, tso, pso, relaxed, serial (repeatable)")
 	flag.Parse()
@@ -96,6 +97,9 @@ func main() {
 			MaxMineIterations:    *maxMine,
 			SimplifyLevel:        *simplify,
 			NoPreprocess:         *noPreproc,
+		}
+		if !*validate {
+			opts.ValidateTraces = core.ValidateOff
 		}
 		if *specSrc == "refset" {
 			opts.SpecSource = core.SpecRef

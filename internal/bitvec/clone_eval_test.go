@@ -1,0 +1,91 @@
+package bitvec
+
+import (
+	"testing"
+
+	"checkfence/internal/sat"
+)
+
+// buildFormula constructs a small mixed circuit with materialized
+// gates, single-polarity cones, and free variables — the shapes
+// EvalIn must decode structurally as well as from the model.
+func buildFormula(b *Builder) (nodes []Node, bv BV) {
+	x, y, z := b.Var(), b.Var(), b.Var()
+	g1 := b.And(x, y.Not())
+	g2 := b.Or(g1, z)
+	g3 := b.Xor(x, z)
+	b.Assert(g2)            // materializes g2's cone (one polarity)
+	b.AssertOr(g3, y)       // g3 single-polarity too
+	free := b.Var()         // never asserted: unconstrained
+	ite := b.Ite(x, y, z)   // unmaterialized gate, structural eval
+	bv = BV{x, g1, g3, ite} // a vector mixing all kinds
+	return []Node{x, y, z, g1, g2, g3, free, ite, g2.Not()}, bv
+}
+
+// TestEvalInCloneMatchesSerialEval: decoding a node through a
+// CloneFormula snapshot's model must agree with the serial Eval once
+// the original solver adopts that model — the portfolio-winner
+// decoding path.
+func TestEvalInCloneMatchesSerialEval(t *testing.T) {
+	s := sat.New()
+	b := NewBuilder(s)
+	nodes, bv := buildFormula(b)
+
+	if s.Solve() != sat.Sat {
+		t.Fatal("formula must be satisfiable")
+	}
+
+	clone := s.CloneFormula()
+	if clone.Solve() != sat.Sat {
+		t.Fatal("clone must be satisfiable")
+	}
+
+	// The winner's model becomes readable through the original solver.
+	s.AdoptModelFrom(clone)
+	for i, n := range nodes {
+		if got, want := b.EvalIn(clone, n), b.Eval(n); got != want {
+			t.Errorf("node %d: EvalIn(clone) = %v, Eval after adopt = %v", i, got, want)
+		}
+	}
+	if got, want := b.EvalBVIn(clone, bv), b.EvalBV(bv); got != want {
+		t.Errorf("EvalBVIn(clone) = %d, EvalBV after adopt = %d", got, want)
+	}
+}
+
+// TestEvalInDivergedCloneModels: a clone driven to a different model
+// (via a blocking clause) must decode under its own assignment, not
+// the original's.
+func TestEvalInDivergedCloneModels(t *testing.T) {
+	s := sat.New()
+	b := NewBuilder(s)
+	x, y := b.Var(), b.Var()
+	b.AssertOr(x, y) // at least one holds
+
+	if s.Solve() != sat.Sat {
+		t.Fatal("formula must be satisfiable")
+	}
+	x0, y0 := b.Eval(x), b.Eval(y)
+
+	clone := s.CloneFormula()
+	// Block the original model in the clone, forcing a different one.
+	var blocking []sat.Lit
+	for v, val := range map[Node]bool{x: x0, y: y0} {
+		sv, ok := b.SatVar(v)
+		if !ok {
+			t.Fatal("variable not materialized")
+		}
+		blocking = append(blocking, sat.MkLit(sv, val))
+	}
+	clone.AddClause(blocking...)
+	if clone.Solve() != sat.Sat {
+		t.Fatal("blocked clone must still be satisfiable")
+	}
+	if b.EvalIn(clone, x) == x0 && b.EvalIn(clone, y) == y0 {
+		t.Fatal("clone decoded to the blocked model")
+	}
+	// Adopting the clone's model flips the serial view to match it.
+	s.AdoptModelFrom(clone)
+	if b.Eval(x) != b.EvalIn(clone, x) || b.Eval(y) != b.EvalIn(clone, y) {
+		t.Error("Eval after AdoptModelFrom must mirror the clone's model")
+	}
+}

@@ -18,6 +18,21 @@ import (
 	"checkfence/internal/sat"
 	"checkfence/internal/spec"
 	"checkfence/internal/trace"
+	"checkfence/internal/validate"
+)
+
+// ValidateMode controls independent counterexample validation.
+type ValidateMode int
+
+const (
+	// ValidateDefault enables validation (the zero value: traces are
+	// re-checked unless explicitly disabled).
+	ValidateDefault ValidateMode = iota
+	// ValidateOff skips validation.
+	ValidateOff
+	// ValidateOn forces validation (same as the default; exists so
+	// callers can be explicit).
+	ValidateOn
 )
 
 // SpecSource selects how the observation set is obtained.
@@ -96,6 +111,13 @@ type Options struct {
 	// that otherwise runs before the first solve of mining and of the
 	// inclusion check.
 	NoPreprocess bool
+	// ValidateTraces controls the independent re-validation of every
+	// decoded counterexample (internal/validate): the memory-model
+	// axioms are re-checked over the concrete event list and each
+	// thread is replayed through the reference interpreter. On by
+	// default; a validation failure is a hard internal error, never a
+	// verdict.
+	ValidateTraces ValidateMode
 }
 
 // encodeConfig maps the simplification options onto the encoder's
@@ -360,6 +382,9 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 					Err: "runtime error in serial execution"}
 				res.Cex = trace.Build(serialEnc, built, unrolled, cex)
 				res.Stats.MineTime += time.Since(mineStart)
+				if err := validateCex(res.Cex, built, unrolled, opts); err != nil {
+					return false, err
+				}
 				return true, nil
 			}
 			return false, err
@@ -414,7 +439,26 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 	}
 	res.Pass = false
 	res.Cex = trace.Build(enc, built, unrolled, cex)
+	if err := validateCex(res.Cex, built, unrolled, opts); err != nil {
+		return false, err
+	}
 	return true, nil
+}
+
+// validateCex independently re-checks a decoded counterexample (axiom
+// re-verification plus interpreter replay). A failure means CheckFence
+// itself decoded or encoded wrongly — an internal error carrying the
+// first violated axiom and the suspect trace, never a verdict.
+func validateCex(t *trace.Trace, built *harness.Built, unrolled *harness.Unrolled,
+	opts Options) error {
+
+	if opts.ValidateTraces == ValidateOff {
+		return nil
+	}
+	if err := validate.Check(t, unrolled.Threads, built.Unit.Prog); err != nil {
+		return fmt.Errorf("core: internal error: counterexample failed validation: %w\nsuspect trace:\n%s", err, t)
+	}
+	return nil
 }
 
 // applyCancel wires Options.Cancel into an encoder's solver as a stop

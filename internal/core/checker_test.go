@@ -46,6 +46,37 @@ func TestMSNT0RelaxedUnfencedFails(t *testing.T) {
 	t.Logf("counterexample:\n%s", res.Cex)
 }
 
+// TestCexValidatesUnderAllConfigs: validation is on by default, so a
+// returned counterexample has already survived the axiom re-check and
+// the interpreter replay — under every solve configuration that could
+// pick a different SAT model (portfolio winner, cube, simplification
+// levels).
+func TestCexValidatesUnderAllConfigs(t *testing.T) {
+	configs := map[string]Options{
+		"serial":    {Model: memmodel.Relaxed, ValidateTraces: ValidateOn},
+		"portfolio": {Model: memmodel.Relaxed, Portfolio: 3},
+		"cube":      {Model: memmodel.Relaxed, Cube: 2},
+		"tseitin":   {Model: memmodel.Relaxed, SimplifyLevel: -1, NoPreprocess: true},
+	}
+	for name, opts := range configs {
+		res := check(t, "msn-nofence", "T0", opts)
+		if res.Pass || res.Cex == nil {
+			t.Errorf("%s: expected a validated counterexample", name)
+		}
+	}
+	// Sequential-bug traces validate too (Serial-model axioms + replay
+	// reproducing the runtime error).
+	res := check(t, "lazylist-bug", "Sac", Options{Model: memmodel.SequentialConsistency})
+	if res.Pass || !res.SeqBug || res.Cex == nil {
+		t.Error("lazylist-bug must yield a validated sequential-bug trace")
+	}
+	// ValidateOff still returns the raw counterexample.
+	res = check(t, "msn-nofence", "T0", Options{Model: memmodel.Relaxed, ValidateTraces: ValidateOff})
+	if res.Pass || res.Cex == nil {
+		t.Error("ValidateOff: expected a counterexample")
+	}
+}
+
 func TestMSNRefsetMatchesSATSpec(t *testing.T) {
 	satRes := check(t, "msn", "T0", Options{Model: memmodel.SequentialConsistency, SpecSource: SpecSAT})
 	refRes := check(t, "msn", "T0", Options{Model: memmodel.SequentialConsistency, SpecSource: SpecRef})

@@ -109,9 +109,10 @@ func (c *SpecCache) loadDisk(key string) (*spec.Set, bool) {
 		return nil, false
 	}
 	defer f.Close()
-	set, err := spec.ReadSet(f)
+	set, err := spec.ReadSetKeyed(f, key)
 	if err != nil {
-		// A corrupt file is treated as a miss; mining overwrites it.
+		// A corrupt, legacy, or foreign-key file is treated as a miss;
+		// mining overwrites it.
 		return nil, false
 	}
 	return set, true
@@ -130,7 +131,7 @@ func (c *SpecCache) storeDisk(key string, set *spec.Set) {
 	if err != nil {
 		return
 	}
-	_, werr := set.WriteTo(tmp)
+	_, werr := set.WriteKeyed(tmp, key)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())

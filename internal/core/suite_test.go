@@ -293,6 +293,44 @@ func TestSpecCacheDisk(t *testing.T) {
 	}
 }
 
+// TestSpecCacheForeignKeyDiskFile: a cache file whose embedded key
+// does not match the requested problem (renamed, copied between
+// directories, or written by a different key derivation) is a miss and
+// gets re-mined, never silently reused.
+func TestSpecCacheForeignKeyDiskFile(t *testing.T) {
+	dir := t.TempDir()
+	jobs := modelSweep("ms2", "T0")[:1]
+	requireAllRan(t, RunSuite(jobs, SuiteOptions{SpecCacheDir: dir}))
+	files, _ := filepath.Glob(filepath.Join(dir, "*.obs"))
+	if len(files) != 1 {
+		t.Fatalf("files = %v", files)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a file written for a different problem: same format,
+	// wrong embedded key.
+	lines := strings.SplitN(string(data), "\n", 3)
+	if len(lines) != 3 || !strings.HasPrefix(lines[1], "key ") {
+		t.Fatalf("unexpected cache file layout:\n%s", data)
+	}
+	lines[1] = "key " + strings.Repeat("0", 64)
+	if err := os.WriteFile(files[0], []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	results := RunSuite(jobs, SuiteOptions{SpecCacheDir: dir})
+	requireAllRan(t, results)
+	if results[0].Res.Stats.SpecCacheMisses != 1 {
+		t.Errorf("foreign-key file should be a miss; stats = %+v", results[0].Res.Stats)
+	}
+	// The re-mined set overwrote the foreign entry with the right key.
+	data, err = os.ReadFile(files[0])
+	if err != nil || strings.Contains(string(data), strings.Repeat("0", 64)) {
+		t.Errorf("foreign entry not rewritten: %q, %v", data, err)
+	}
+}
+
 // TestSpecCacheCorruptDiskFile: a damaged cache file is a miss, not an
 // error — the set is re-mined and the file rewritten.
 func TestSpecCacheCorruptDiskFile(t *testing.T) {

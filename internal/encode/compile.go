@@ -112,6 +112,9 @@ func (c *compiler) stmt(s lsl.Stmt, frames []*blockFrame) error {
 
 	case *lsl.HavocStmt:
 		bv := b.VarBV(s.Bits)
+		// Record the choice point; havocs of one thread are appended in
+		// program order, which is the order replay consumes them in.
+		c.e.Havocs = append(c.e.Havocs, &HavocEv{Thread: c.thread, Exec: c.live, Val: bv})
 		c.assign(s.Dst, c.e.IntVal(bv))
 		return nil
 

@@ -35,6 +35,16 @@ type FenceEv struct {
 	Exec    bitvec.Node
 }
 
+// HavocEv is one havoc occurrence: a nondeterministic value the SAT
+// solver chooses freely. Recording them lets trace decoding recover
+// the concrete choices of a counterexample so the replay validator can
+// feed the same values back through the reference interpreter.
+type HavocEv struct {
+	Thread int
+	Exec   bitvec.Node // guard: does this havoc execute
+	Val    bitvec.BV   // the chosen value (zero-extended on decode)
+}
+
 // ErrCond is a potential runtime error with its condition.
 type ErrCond struct {
 	Cond bitvec.Node
@@ -86,6 +96,7 @@ type Encoder struct {
 
 	Accesses []*Access
 	Fences   []*FenceEv
+	Havocs   []*HavocEv
 	Errors   []ErrCond
 	Overflow map[int]bitvec.Node // loop id -> "bound exhausted" guard
 

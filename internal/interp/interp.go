@@ -43,6 +43,17 @@ type Machine struct {
 	Oracle Oracle
 	Fuel   int
 
+	// LoadHook, when non-nil, intercepts every memory load instead of
+	// reading Mem. The trace replay validator uses it to feed the load
+	// values a decoded counterexample committed to; a returned error
+	// aborts execution (a replay divergence).
+	LoadHook func(addr lsl.Value) (lsl.Value, error)
+	// StoreHook, when non-nil, observes every store (after the address
+	// check, before Mem is written). A returned error aborts execution.
+	StoreHook func(addr, val lsl.Value) error
+	// FenceHook, when non-nil, observes every fence occurrence.
+	FenceHook func(kind lsl.FenceKind) error
+
 	nextBase int64
 }
 
@@ -66,7 +77,11 @@ func (m *Machine) Clone() *Machine {
 	for k, v := range m.Mem {
 		mem[k] = v
 	}
-	return &Machine{Prog: m.Prog, Mem: mem, Oracle: m.Oracle, Fuel: m.Fuel, nextBase: m.nextBase}
+	return &Machine{
+		Prog: m.Prog, Mem: mem, Oracle: m.Oracle, Fuel: m.Fuel,
+		LoadHook: m.LoadHook, StoreHook: m.StoreHook, FenceHook: m.FenceHook,
+		nextBase: m.nextBase,
+	}
 }
 
 type signalKind int
@@ -134,10 +149,18 @@ func (m *Machine) RunBody(stmts []lsl.Stmt) (map[lsl.Reg]lsl.Value, error) {
 
 func (m *Machine) exec(stmts []lsl.Stmt, f *frame) (signal, error) {
 	for _, s := range stmts {
-		if m.Fuel <= 0 {
-			return signal{}, ErrFuel
+		// Assumptions are exempt from the fuel budget: an execution
+		// that both exhausts its fuel and fails an assume is
+		// infeasible, not a runaway, so ErrAssumeFailed must win over
+		// ErrFuel. Otherwise refset mining would abort an entire
+		// enumeration on a deep-but-infeasible path instead of
+		// pruning it.
+		if _, isAssume := s.(*lsl.AssumeStmt); !isAssume {
+			if m.Fuel <= 0 {
+				return signal{}, ErrFuel
+			}
+			m.Fuel--
 		}
-		m.Fuel--
 		sig, err := m.execOne(s, f)
 		if err != nil {
 			return signal{}, err
@@ -184,9 +207,19 @@ func (m *Machine) execOne(s lsl.Stmt, f *frame) (signal, error) {
 		if addr.Kind != lsl.KindPtr {
 			return signal{}, &RuntimeError{Msg: fmt.Sprintf("load from non-pointer address %v", addr)}
 		}
-		v, ok := m.Mem[lsl.LocOf(addr)]
-		if !ok {
-			v = lsl.Undef()
+		var v lsl.Value
+		if m.LoadHook != nil {
+			hv, err := m.LoadHook(addr)
+			if err != nil {
+				return signal{}, err
+			}
+			v = hv
+		} else {
+			var ok bool
+			v, ok = m.Mem[lsl.LocOf(addr)]
+			if !ok {
+				v = lsl.Undef()
+			}
 		}
 		f.env[s.Dst] = v
 		return signal{}, nil
@@ -196,11 +229,22 @@ func (m *Machine) execOne(s lsl.Stmt, f *frame) (signal, error) {
 		if addr.Kind != lsl.KindPtr {
 			return signal{}, &RuntimeError{Msg: fmt.Sprintf("store to non-pointer address %v", addr)}
 		}
-		m.Mem[lsl.LocOf(addr)] = m.reg(f, s.Src)
+		src := m.reg(f, s.Src)
+		if m.StoreHook != nil {
+			if err := m.StoreHook(addr, src); err != nil {
+				return signal{}, err
+			}
+		}
+		m.Mem[lsl.LocOf(addr)] = src
 		return signal{}, nil
 
 	case *lsl.FenceStmt:
-		return signal{}, nil // no-op under sequential semantics
+		if m.FenceHook != nil {
+			if err := m.FenceHook(s.Kind); err != nil {
+				return signal{}, err
+			}
+		}
+		return signal{}, nil // otherwise a no-op under sequential semantics
 
 	case *lsl.AtomicStmt:
 		return m.exec(s.Body, f)

@@ -134,6 +134,88 @@ func TestFuelExhaustion(t *testing.T) {
 	}
 }
 
+func TestAssumeFailureWinsOverFuel(t *testing.T) {
+	// Regression: an execution that exhausts its fuel exactly when it
+	// reaches a failing assume is infeasible, not a runaway. If ErrFuel
+	// won, refset mining would abort a whole enumeration on a
+	// deep-but-infeasible path instead of pruning it.
+	m := machine()
+	m.Fuel = 1
+	_, err := m.RunBody([]lsl.Stmt{
+		&lsl.ConstStmt{Dst: "f", Val: lsl.Int(0)}, // consumes the last fuel
+		&lsl.AssumeStmt{Cond: "f"},
+	})
+	if !errors.Is(err, ErrAssumeFailed) {
+		t.Errorf("expected ErrAssumeFailed, got %v", err)
+	}
+
+	// A passing assume at zero fuel must not fail either; the next
+	// non-assume statement still pays.
+	m = machine()
+	m.Fuel = 2
+	_, err = m.RunBody([]lsl.Stmt{
+		&lsl.ConstStmt{Dst: "t", Val: lsl.Int(1)},
+		&lsl.ConstStmt{Dst: "x", Val: lsl.Int(2)},
+		&lsl.AssumeStmt{Cond: "t"},
+		&lsl.ConstStmt{Dst: "y", Val: lsl.Int(3)},
+	})
+	if !errors.Is(err, ErrFuel) {
+		t.Errorf("expected ErrFuel after passing assume, got %v", err)
+	}
+}
+
+func TestHooksInterceptMemoryOps(t *testing.T) {
+	m := machine()
+	var stores []string
+	var fences []lsl.FenceKind
+	m.LoadHook = func(addr lsl.Value) (lsl.Value, error) {
+		return lsl.Int(99), nil
+	}
+	m.StoreHook = func(addr, val lsl.Value) error {
+		stores = append(stores, addr.String()+"="+val.String())
+		return nil
+	}
+	m.FenceHook = func(kind lsl.FenceKind) error {
+		fences = append(fences, kind)
+		return nil
+	}
+	env, err := m.RunBody([]lsl.Stmt{
+		&lsl.ConstStmt{Dst: "p", Val: lsl.Ptr(0)},
+		&lsl.ConstStmt{Dst: "v", Val: lsl.Int(7)},
+		&lsl.StoreStmt{Addr: "p", Src: "v"},
+		&lsl.FenceStmt{Kind: lsl.FenceStoreLoad},
+		&lsl.LoadStmt{Dst: "r", Addr: "p"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LoadHook overrides memory even though the store wrote 7.
+	if !env["r"].Equal(lsl.Int(99)) {
+		t.Errorf("r = %v, want hook value 99", env["r"])
+	}
+	if len(stores) != 1 {
+		t.Errorf("stores = %v", stores)
+	}
+	if len(fences) != 1 || fences[0] != lsl.FenceStoreLoad {
+		t.Errorf("fences = %v", fences)
+	}
+	// Hook errors abort execution.
+	m.LoadHook = func(addr lsl.Value) (lsl.Value, error) {
+		return lsl.Undef(), errors.New("divergence")
+	}
+	_, err = m.RunBody([]lsl.Stmt{
+		&lsl.ConstStmt{Dst: "p", Val: lsl.Ptr(0)},
+		&lsl.LoadStmt{Dst: "r", Addr: "p"},
+	})
+	if err == nil || err.Error() != "divergence" {
+		t.Errorf("expected hook error, got %v", err)
+	}
+	// Clone carries hooks along.
+	if m.Clone().LoadHook == nil {
+		t.Error("Clone must preserve hooks")
+	}
+}
+
 func TestUndefUseErrors(t *testing.T) {
 	cases := [][]lsl.Stmt{
 		{ // branch on undefined

@@ -13,15 +13,27 @@ import (
 // Textual observation-set format, used by the on-disk spec cache so
 // mined sets can be reused across processes:
 //
-//	checkfence-obs 1
+//	checkfence-obs 2
+//	key <mining key>
 //	<count>
 //	<observation>        one per line, Observation.Key() form
 //
 // Value syntax matches lsl.Value.String(): "undefined", a decimal
 // integer, or "[ b o1 o2 ]" for a pointer; observation fields are
 // comma-separated.
+//
+// Version 2 embeds the mining key (the harness/bounds/source hash)
+// that produced the set, and readers verify it: a cache file that was
+// renamed, copied between cache directories, or written by a process
+// with a different key derivation no longer silently supplies a wrong
+// specification — it reads as a mismatch and the set is re-mined.
+// Version 1 files (no key line) are likewise rejected by the keyed
+// reader, since nothing ties them to the requested problem.
 
-const setFormatHeader = "checkfence-obs 1"
+const (
+	setFormatHeader   = "checkfence-obs 1" // legacy unkeyed format
+	setFormatHeaderV2 = "checkfence-obs 2"
+)
 
 // WriteTo serializes the set in deterministic (sorted key) order.
 func (s *Set) WriteTo(w io.Writer) (int64, error) {
@@ -42,6 +54,56 @@ func (s *Set) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
+// WriteKeyed serializes the set in the keyed v2 format, binding it to
+// the mining key that produced it.
+func (s *Set) WriteKeyed(w io.Writer, key string) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "%s\nkey %s\n%d\n", setFormatHeaderV2, key, s.Len())); err != nil {
+		return n, err
+	}
+	for _, o := range s.All() {
+		if err := count(fmt.Fprintln(bw, o.Key())); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadSetKeyed parses a keyed set previously written with WriteKeyed,
+// rejecting streams written under a different mining key or in the
+// legacy unkeyed v1 format.
+func ReadSetKeyed(r io.Reader, key string) (*Set, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("spec: empty observation-set stream")
+	}
+	switch got := sc.Text(); got {
+	case setFormatHeaderV2:
+	case setFormatHeader:
+		return nil, fmt.Errorf("spec: legacy unkeyed observation-set (version 1); re-mine")
+	default:
+		return nil, fmt.Errorf("spec: bad observation-set header %q", got)
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("spec: observation-set stream missing key line")
+	}
+	gotKey, ok := strings.CutPrefix(sc.Text(), "key ")
+	if !ok {
+		return nil, fmt.Errorf("spec: malformed key line %q", sc.Text())
+	}
+	if gotKey != key {
+		return nil, fmt.Errorf("spec: observation set mined for a different problem (key %.12s…, want %.12s…)",
+			gotKey, key)
+	}
+	return readSetBody(sc)
+}
+
 // ReadSet parses a set previously written with WriteTo.
 func ReadSet(r io.Reader) (*Set, error) {
 	sc := bufio.NewScanner(r)
@@ -52,6 +114,12 @@ func ReadSet(r io.Reader) (*Set, error) {
 	if got := sc.Text(); got != setFormatHeader {
 		return nil, fmt.Errorf("spec: bad observation-set header %q", got)
 	}
+	return readSetBody(sc)
+}
+
+// readSetBody parses the count line and observations shared by both
+// formats.
+func readSetBody(sc *bufio.Scanner) (*Set, error) {
 	if !sc.Scan() {
 		return nil, fmt.Errorf("spec: observation-set stream missing count")
 	}

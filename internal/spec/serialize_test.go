@@ -61,6 +61,49 @@ func TestReadSetRejectsCorruption(t *testing.T) {
 	}
 }
 
+func TestKeyedRoundTrip(t *testing.T) {
+	want := sampleSet()
+	var sb strings.Builder
+	if _, err := want.WriteKeyed(&sb, "abc123"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSetKeyed(strings.NewReader(sb.String()), "abc123")
+	if err != nil {
+		t.Fatalf("ReadSetKeyed: %v\ninput:\n%s", err, sb.String())
+	}
+	if !got.Equal(want) {
+		t.Fatalf("round trip mismatch:\nwant %v\ngot  %v", want.All(), got.All())
+	}
+}
+
+func TestKeyedRejectsForeignAndLegacyEntries(t *testing.T) {
+	var keyed, legacy strings.Builder
+	if _, err := sampleSet().WriteKeyed(&keyed, "abc123"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sampleSet().WriteTo(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	// A set mined for a different problem must not be reused.
+	if _, err := ReadSetKeyed(strings.NewReader(keyed.String()), "other-key"); err == nil {
+		t.Error("ReadSetKeyed accepted a foreign-key entry")
+	}
+	// Legacy v1 files carry no key, so nothing ties them to the
+	// requested problem: reject (the cache re-mines and rewrites).
+	if _, err := ReadSetKeyed(strings.NewReader(legacy.String()), "abc123"); err == nil {
+		t.Error("ReadSetKeyed accepted a legacy unkeyed entry")
+	}
+	// And the unkeyed reader does not silently accept v2 files either.
+	if _, err := ReadSet(strings.NewReader(keyed.String())); err == nil {
+		t.Error("ReadSet accepted a v2 keyed entry")
+	}
+	// A missing or malformed key line is corruption.
+	broken := strings.Replace(keyed.String(), "key abc123", "abc123", 1)
+	if _, err := ReadSetKeyed(strings.NewReader(broken), "abc123"); err == nil {
+		t.Error("ReadSetKeyed accepted a malformed key line")
+	}
+}
+
 func TestParseObservationValues(t *testing.T) {
 	obs, err := ParseObservation("42,undefined,[ 16 0 3 ]")
 	if err != nil {

@@ -21,6 +21,9 @@ type Event struct {
 	MemOrder   int // position in the memory order <M
 	Thread     int
 	ThreadName string
+	ProgIdx    int // program-order position within the thread
+	OpID       int // operation invocation id (-1 for none)
+	Group      int // atomic block id (-1 for none)
 	IsLoad     bool
 	Addr       lsl.Value
 	AddrName   string // symbolic rendering of the address
@@ -28,18 +31,33 @@ type Event struct {
 	Desc       string // source form of the instruction
 }
 
+// Fence is one executed fence occurrence.
+type Fence struct {
+	Thread  int
+	ProgIdx int
+	Kind    lsl.FenceKind
+}
+
 // Trace is a decoded counterexample.
 type Trace struct {
 	Model       memmodel.Model
 	Events      []Event
+	Fences      []Fence
+	Havocs      [][]int64 // per thread, executed havoc values in program order
 	Observation spec.Observation
 	Entries     []spec.Entry
 	IsErr       bool
 	ErrMsg      string
+	// OrderTies counts executed access pairs the solver left mutually
+	// unordered. A consistent model of the order axioms never produces
+	// one (the relation is constrained to a strict total order); the
+	// validator treats a nonzero count as an internal error.
+	OrderTies int
 }
 
 // Build extracts a trace from an encoder whose solver holds a
-// counterexample model.
+// counterexample model, naming addresses and threads via the harness
+// metadata.
 func Build(enc *encode.Encoder, built *harness.Built, unrolled *harness.Unrolled,
 	cex *spec.Counterexample) *Trace {
 
@@ -50,11 +68,24 @@ func Build(enc *encode.Encoder, built *harness.Built, unrolled *harness.Unrolled
 	for base, site := range unrolled.Allocs {
 		names[base] = shortSite(site, base)
 	}
+	threadNames := make([]string, len(unrolled.Threads))
+	for i, th := range unrolled.Threads {
+		threadNames[i] = th.Name
+	}
+	t := Decode(enc, cex, built.Entries, names, threadNames)
+	return t
+}
+
+// Decode extracts a trace from an encoder whose solver holds a
+// counterexample model. names and threadNames are optional decoration
+// (the litmus fuzzer has no harness to derive them from).
+func Decode(enc *encode.Encoder, cex *spec.Counterexample, entries []spec.Entry,
+	names map[int64]string, threadNames []string) *Trace {
 
 	t := &Trace{
 		Model:       enc.Model,
 		Observation: cex.Obs,
-		Entries:     built.Entries,
+		Entries:     entries,
 		IsErr:       cex.IsErr,
 		ErrMsg:      cex.Err,
 	}
@@ -80,25 +111,75 @@ func Build(enc *encode.Encoder, built *harness.Built, unrolled *harness.Unrolled
 		addr := enc.EvalVal(a.Addr)
 		name := ""
 		tname := "init"
-		if a.Thread > 0 && a.Thread < len(unrolled.Threads) {
-			tname = unrolled.Threads[a.Thread].Name
+		if a.Thread > 0 && a.Thread < len(threadNames) {
+			tname = threadNames[a.Thread]
 		}
 		if addr.Kind == lsl.KindPtr {
 			name = renderAddr(addr, names)
 		}
 		evs = append(evs, ordered{
 			ev: Event{
-				Thread: a.Thread, ThreadName: tname, IsLoad: a.IsLoad,
-				Addr: addr, AddrName: name, Val: enc.EvalVal(a.Val),
+				Thread: a.Thread, ThreadName: tname,
+				ProgIdx: a.ProgIdx, OpID: a.OpID, Group: a.Group,
+				IsLoad: a.IsLoad,
+				Addr:   addr, AddrName: name, Val: enc.EvalVal(a.Val),
 				Desc: a.Desc,
 			},
 			before: before,
 		})
 	}
-	sort.SliceStable(evs, func(i, j int) bool { return evs[i].before < evs[j].before })
+	// In a consistent model the before-counts 0..n-1 are all distinct;
+	// a tie means the decoded order is not total. Record it (the
+	// validator rejects such traces) and break the tie deterministically
+	// on (thread, program index) so output stays stable across
+	// portfolio winners either way.
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.before != b.before {
+			return a.before < b.before
+		}
+		if a.ev.Thread != b.ev.Thread {
+			return a.ev.Thread < b.ev.Thread
+		}
+		return a.ev.ProgIdx < b.ev.ProgIdx
+	})
+	for i := 1; i < len(evs); i++ {
+		if evs[i].before == evs[i-1].before {
+			t.OrderTies++
+		}
+	}
 	for i, o := range evs {
 		o.ev.MemOrder = i
 		t.Events = append(t.Events, o.ev)
+	}
+
+	for _, f := range enc.Fences {
+		if !enc.B.Eval(f.Exec) {
+			continue
+		}
+		t.Fences = append(t.Fences, Fence{Thread: f.Thread, ProgIdx: f.ProgIdx, Kind: f.Kind})
+	}
+	sort.SliceStable(t.Fences, func(i, j int) bool {
+		if t.Fences[i].Thread != t.Fences[j].Thread {
+			return t.Fences[i].Thread < t.Fences[j].Thread
+		}
+		return t.Fences[i].ProgIdx < t.Fences[j].ProgIdx
+	})
+
+	// Havocs of one thread were recorded in program order; keep that
+	// order per thread so replay can consume them sequentially.
+	nThreads := len(threadNames)
+	for _, h := range enc.Havocs {
+		if h.Thread >= nThreads {
+			nThreads = h.Thread + 1
+		}
+	}
+	t.Havocs = make([][]int64, nThreads)
+	for _, h := range enc.Havocs {
+		if !enc.B.Eval(h.Exec) {
+			continue
+		}
+		t.Havocs[h.Thread] = append(t.Havocs[h.Thread], enc.B.EvalBV(h.Val))
 	}
 	return t
 }

@@ -32,6 +32,30 @@ func TestTraceRendering(t *testing.T) {
 	if tr.Events[0].ThreadName != "init" {
 		t.Errorf("first event thread = %q, want init", tr.Events[0].ThreadName)
 	}
+	// A consistent solver model decodes to a total order (no ties).
+	if tr.OrderTies != 0 {
+		t.Errorf("decoded order has %d ties", tr.OrderTies)
+	}
+	// Events of one thread appear in program order positions consistent
+	// with the recorded ProgIdx metadata (same-address stores stay in
+	// program order even on Relaxed only conditionally, but init is
+	// sequential).
+	var initIdx []int
+	for _, ev := range tr.Events {
+		if ev.Thread == 0 {
+			initIdx = append(initIdx, ev.ProgIdx)
+		}
+	}
+	for i := 1; i < len(initIdx); i++ {
+		if initIdx[i] < initIdx[i-1] {
+			t.Errorf("init thread events out of program order: %v", initIdx)
+		}
+	}
+	// Havoc slots exist for every thread (values recorded only when the
+	// havoc executed).
+	if tr.Havocs == nil {
+		t.Error("trace must carry havoc vectors")
+	}
 	// Addresses are rendered symbolically: the queue global and node
 	// objects must appear.
 	s := tr.String()

@@ -1,0 +1,216 @@
+package validate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"checkfence/internal/encode"
+	"checkfence/internal/interp"
+	"checkfence/internal/lsl"
+	"checkfence/internal/trace"
+)
+
+// expectedItem is one thread-local event the replay must reproduce, in
+// program order: a memory access or a fence.
+type expectedItem struct {
+	isFence bool
+	progIdx int
+	ev      trace.Event
+	fence   trace.Fence
+}
+
+func (it expectedItem) String() string {
+	if it.isFence {
+		return fmt.Sprintf("fence(%s)@p%d", it.fence.Kind, it.progIdx)
+	}
+	return evDesc(it.ev)
+}
+
+// Replay runs each thread's unrolled code through the reference
+// interpreter, feeding the trace's load values (and havoc choices)
+// back as the oracle, and confirms the thread performs exactly the
+// trace's accesses and fences in program order and that the final
+// registers reproduce the observation vector. Threads are replayed in
+// isolation: thread-local semantics never depend on the interleaving
+// once load values are fixed, which is precisely what makes this an
+// independent check of the encoder's guarded compilation.
+func Replay(t *trace.Trace, threads []encode.Thread, prog *lsl.Program) error {
+	// Per-thread expected queues, merged accesses + fences by ProgIdx.
+	queues := make([][]expectedItem, len(threads))
+	for _, ev := range t.Events {
+		if ev.Thread >= len(queues) {
+			return &Violation{Axiom: "replay", Detail: fmt.Sprintf(
+				"%s references thread %d of %d", evDesc(ev), ev.Thread, len(threads))}
+		}
+		queues[ev.Thread] = append(queues[ev.Thread],
+			expectedItem{progIdx: ev.ProgIdx, ev: ev})
+	}
+	for _, f := range t.Fences {
+		if f.Thread >= len(queues) {
+			continue
+		}
+		queues[f.Thread] = append(queues[f.Thread],
+			expectedItem{isFence: true, progIdx: f.ProgIdx, fence: f})
+	}
+	for ti := range queues {
+		q := queues[ti]
+		sort.SliceStable(q, func(i, j int) bool { return q[i].progIdx < q[j].progIdx })
+	}
+
+	erroring := 0
+	envs := make([]map[lsl.Reg]lsl.Value, len(threads))
+	for ti, th := range threads {
+		env, err := replayThread(t, ti, th, prog, queues[ti])
+		var rte *interp.RuntimeError
+		switch {
+		case err == nil:
+			envs[ti] = env
+		case errors.As(err, &rte):
+			// A runtime error halts the interpreter where the encoder
+			// keeps going, so leftover expected items are fine — but
+			// only on traces that claim an error happened.
+			if !t.IsErr {
+				return &Violation{Axiom: "replay", Detail: fmt.Sprintf(
+					"thread %d hits %v but the trace reports no runtime error", ti, err)}
+			}
+			erroring++
+		default:
+			return err
+		}
+	}
+	if t.IsErr {
+		if erroring == 0 {
+			return &Violation{Axiom: "replay", Detail: fmt.Sprintf(
+				"trace reports runtime error %q but no thread reproduces one", t.ErrMsg)}
+		}
+		// Observations of error traces are unconstrained garbage past
+		// the error point; skip the vector comparison.
+		return nil
+	}
+
+	for i, ent := range t.Entries {
+		if i >= len(t.Observation) {
+			break
+		}
+		if ent.Thread >= len(envs) || envs[ent.Thread] == nil {
+			return &Violation{Axiom: "observation", Detail: fmt.Sprintf(
+				"entry %q references thread %d with no replayed environment", ent.Label, ent.Thread)}
+		}
+		got, ok := envs[ent.Thread][ent.Reg]
+		if !ok {
+			got = lsl.Undef()
+		}
+		if !got.Equal(t.Observation[i]) {
+			return &Violation{Axiom: "observation", Detail: fmt.Sprintf(
+				"entry %s: replay computes %s, trace observes %s",
+				ent.Label, got, t.Observation[i])}
+		}
+	}
+	return nil
+}
+
+// replayThread executes one thread against its expected queue.
+// Returns the final register environment, a RuntimeError when the
+// thread reproduces one, or a *Violation on divergence.
+func replayThread(t *trace.Trace, ti int, th encode.Thread, prog *lsl.Program,
+	queue []expectedItem) (map[lsl.Reg]lsl.Value, error) {
+
+	m := interp.NewMachine(prog)
+	m.Fuel = 1 << 20
+
+	var div error // first divergence, returned through the hook error path
+	diverge := func(format string, args ...any) error {
+		div = &Violation{Axiom: "replay", Detail: fmt.Sprintf("thread %d: ", ti) + fmt.Sprintf(format, args...)}
+		return div
+	}
+
+	next := 0
+	pop := func() (expectedItem, bool) {
+		if next >= len(queue) {
+			return expectedItem{}, false
+		}
+		it := queue[next]
+		next++
+		return it, true
+	}
+
+	var havocs []int64
+	if ti < len(t.Havocs) {
+		havocs = t.Havocs[ti]
+	}
+	nextHavoc := 0
+	m.Oracle = func(bits int) int64 {
+		if nextHavoc >= len(havocs) {
+			// Too few recorded choices: the replay took a path the
+			// encoder did not. Feed zero and let the queue comparison
+			// report the divergence with context.
+			return 0
+		}
+		v := havocs[nextHavoc]
+		nextHavoc++
+		return v
+	}
+
+	m.LoadHook = func(addr lsl.Value) (lsl.Value, error) {
+		it, ok := pop()
+		if !ok {
+			return lsl.Undef(), diverge("load of %s beyond the trace's %d events", addr, len(queue))
+		}
+		if it.isFence || !it.ev.IsLoad {
+			return lsl.Undef(), diverge("replay performs a load of %s where the trace expects %s", addr, it)
+		}
+		if !addr.Equal(it.ev.Addr) {
+			return lsl.Undef(), diverge("load address %s diverges from trace event %s", addr, it)
+		}
+		return it.ev.Val, nil
+	}
+	m.StoreHook = func(addr, val lsl.Value) error {
+		it, ok := pop()
+		if !ok {
+			return diverge("store %s=%s beyond the trace's %d events", addr, val, len(queue))
+		}
+		if it.isFence || it.ev.IsLoad {
+			return diverge("replay performs a store of %s where the trace expects %s", addr, it)
+		}
+		if !addr.Equal(it.ev.Addr) || !val.Equal(it.ev.Val) {
+			return diverge("store %s=%s diverges from trace event %s", addr, val, it)
+		}
+		return nil
+	}
+	m.FenceHook = func(kind lsl.FenceKind) error {
+		it, ok := pop()
+		if !ok {
+			return diverge("fence(%s) beyond the trace's %d events", kind, len(queue))
+		}
+		if !it.isFence || it.fence.Kind != kind {
+			return diverge("replay performs fence(%s) where the trace expects %s", kind, it)
+		}
+		return nil
+	}
+
+	// The encoder compiles all segments of a thread into one register
+	// environment, so replay runs them as one body.
+	var body []lsl.Stmt
+	for _, seg := range th.Segments {
+		body = append(body, seg...)
+	}
+	env, err := m.RunBody(body)
+	if div != nil {
+		return nil, div
+	}
+	if err != nil {
+		var rte *interp.RuntimeError
+		if errors.As(err, &rte) {
+			return nil, err
+		}
+		return nil, &Violation{Axiom: "replay", Detail: fmt.Sprintf(
+			"thread %d: interpreter aborts with %v", ti, err)}
+	}
+	if next != len(queue) {
+		return nil, &Violation{Axiom: "replay", Detail: fmt.Sprintf(
+			"thread %d: replay performed %d of %d expected events; first missing: %s",
+			ti, next, len(queue), queue[next])}
+	}
+	return env, nil
+}

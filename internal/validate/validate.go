@@ -1,0 +1,280 @@
+// Package validate independently re-checks decoded counterexample
+// traces, implementing the trusted-base reduction of the paper's §6:
+// instead of trusting the SAT encoder, every counterexample is (a)
+// re-verified against the memory model axioms directly over the
+// concrete event list, and (b) replayed through the reference
+// interpreter of internal/interp with the trace's load values fed in
+// as an oracle, confirming the observation vector. A failure of either
+// step is an internal error in CheckFence, never a property of the
+// program under test.
+package validate
+
+import (
+	"fmt"
+
+	"checkfence/internal/encode"
+	"checkfence/internal/lsl"
+	"checkfence/internal/memmodel"
+	"checkfence/internal/trace"
+)
+
+// Violation reports the first axiom or replay step a trace failed.
+type Violation struct {
+	Axiom  string // short axiom name, e.g. "program-order", "reads-from"
+	Detail string // diff-style description of the offending events
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("validate: %s violated: %s", v.Axiom, v.Detail)
+}
+
+// Check runs both validation stages: the axiom re-check over the
+// event list, then the interpreter replay. threads must be the same
+// slice handed to Encoder.Encode (thread 0 the initialization
+// pseudo-thread); prog supplies interpreter context (no procedure
+// calls remain after unrolling).
+func Check(t *trace.Trace, threads []encode.Thread, prog *lsl.Program) error {
+	if err := CheckAxioms(t); err != nil {
+		return err
+	}
+	return Replay(t, threads, prog)
+}
+
+// evDesc renders one event for violation messages.
+func evDesc(ev trace.Event) string {
+	kind := "store"
+	if ev.IsLoad {
+		kind = "load"
+	}
+	addr := ev.AddrName
+	if addr == "" {
+		addr = ev.Addr.String()
+	}
+	return fmt.Sprintf("#%d(t%d,p%d) %s %s=%s", ev.MemOrder, ev.Thread, ev.ProgIdx, kind, addr, ev.Val)
+}
+
+// CheckAxioms re-verifies every memory-model axiom of t.Model over the
+// concrete, already-totally-ordered event list: totality of the
+// decoded order, initialization-first, the model's (conditional)
+// program-order axioms, fence constraints, atomic-block contiguity,
+// seriality (Serial model), and the reads-from/coherence value rule
+// with store forwarding. It mirrors the encoder's axioms
+// (internal/encode) but shares no code with them.
+func CheckAxioms(t *trace.Trace) error {
+	evs := t.Events
+
+	if t.OrderTies != 0 {
+		return &Violation{Axiom: "total-order", Detail: fmt.Sprintf(
+			"%d executed access pairs are mutually unordered in the decoded memory order", t.OrderTies)}
+	}
+
+	// Initialization precedes everything.
+	seenOther := false
+	for _, ev := range evs {
+		if ev.Thread != 0 {
+			seenOther = true
+		} else if seenOther {
+			return &Violation{Axiom: "init-first", Detail: fmt.Sprintf(
+				"init access %s ordered after a non-init access", evDesc(ev))}
+		}
+	}
+
+	// Program-order axioms. Events are sorted by memory order, so
+	// "a before b" is an index comparison.
+	for j, b := range evs {
+		for i := j + 1; i < len(evs); i++ {
+			a := evs[i] // memory-order-after b
+			if a.Thread != b.Thread || a.ProgIdx >= b.ProgIdx {
+				continue
+			}
+			// a <p b but b <M a: is the pair one the model keeps ordered?
+			if reason := poRequired(t.Model, a, b); reason != "" {
+				return &Violation{Axiom: "program-order", Detail: fmt.Sprintf(
+					"%s precedes %s in program order (%s) but follows it in memory order",
+					evDesc(a), evDesc(b), reason)}
+			}
+		}
+	}
+
+	if err := checkFenceAxioms(t); err != nil {
+		return err
+	}
+	if err := checkContiguity(t); err != nil {
+		return err
+	}
+	return checkReadsFrom(t)
+}
+
+// poRequired reports why the model orders the same-thread pair a <p b
+// in memory order, or "" if the pair is relaxed. Mirrors
+// encode.progOrderFixed plus the conditional same-address axiom.
+func poRequired(model memmodel.Model, a, b trace.Event) string {
+	if a.Thread == 0 {
+		return "initialization is sequential"
+	}
+	if a.Group >= 0 && a.Group == b.Group {
+		return "same atomic block"
+	}
+	switch model {
+	case memmodel.SequentialConsistency, memmodel.Serial:
+		return "strong model"
+	case memmodel.TSO:
+		if !(!a.IsLoad && b.IsLoad) {
+			return "TSO relaxes only store-load"
+		}
+	case memmodel.PSO:
+		if a.IsLoad {
+			return "PSO keeps loads ordered"
+		}
+	}
+	// Conditional same-address axiom of the weak models: x <p y with
+	// a(x)=a(y) and y a store forces x <M y (Relaxed axiom 1; for PSO
+	// the store-store case).
+	if (model == memmodel.Relaxed || model == memmodel.PSO) &&
+		!b.IsLoad && a.Addr.Equal(b.Addr) {
+		return "same-address program order"
+	}
+	return ""
+}
+
+// checkFenceAxioms verifies every executed fence orders its matching
+// access pairs: for an X-Y fence f and same-thread accesses x <p f <p y
+// of kinds X and Y, x must precede y in memory order.
+func checkFenceAxioms(t *trace.Trace) error {
+	// Memory-order position by (thread, progIdx).
+	pos := map[[2]int]int{}
+	for i, ev := range t.Events {
+		pos[[2]int{ev.Thread, ev.ProgIdx}] = i
+	}
+	for _, f := range t.Fences {
+		for _, a := range t.Events {
+			if a.Thread != f.Thread || a.ProgIdx >= f.ProgIdx || !f.Kind.OrdersBefore(a.IsLoad) {
+				continue
+			}
+			for _, b := range t.Events {
+				if b.Thread != f.Thread || b.ProgIdx <= f.ProgIdx || !f.Kind.OrdersAfter(b.IsLoad) {
+					continue
+				}
+				if pos[[2]int{a.Thread, a.ProgIdx}] > pos[[2]int{b.Thread, b.ProgIdx}] {
+					return &Violation{Axiom: "fence", Detail: fmt.Sprintf(
+						"%s fence at (t%d,p%d) does not order %s before %s",
+						f.Kind, f.Thread, f.ProgIdx, evDesc(a), evDesc(b))}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkContiguity verifies atomic blocks are contiguous in memory
+// order, and, on the Serial model, that each operation's accesses are
+// contiguous with respect to other threads (seriality, §2.3.2).
+func checkContiguity(t *trace.Trace) error {
+	groups := map[int][2]int{} // group -> (min,max) memory-order position
+	count := map[int]int{}
+	for i, ev := range t.Events {
+		if ev.Group < 0 {
+			continue
+		}
+		if c, ok := groups[ev.Group]; ok {
+			if i < c[0] {
+				c[0] = i
+			}
+			if i > c[1] {
+				c[1] = i
+			}
+			groups[ev.Group] = c
+		} else {
+			groups[ev.Group] = [2]int{i, i}
+		}
+		count[ev.Group]++
+	}
+	for g, mm := range groups {
+		if mm[1]-mm[0]+1 != count[g] {
+			return &Violation{Axiom: "atomicity", Detail: fmt.Sprintf(
+				"atomic block %d spans positions %d..%d but has only %d accesses (interleaved)",
+				g, mm[0], mm[1], count[g])}
+		}
+	}
+
+	if t.Model != memmodel.Serial {
+		return nil
+	}
+	type opKey struct{ thread, op int }
+	ops := map[opKey][2]int{}
+	for i, ev := range t.Events {
+		if ev.OpID < 0 || ev.Thread == 0 {
+			continue
+		}
+		k := opKey{ev.Thread, ev.OpID}
+		if c, ok := ops[k]; ok {
+			if i < c[0] {
+				c[0] = i
+			}
+			if i > c[1] {
+				c[1] = i
+			}
+			ops[k] = c
+		} else {
+			ops[k] = [2]int{i, i}
+		}
+	}
+	for k, mm := range ops {
+		for i := mm[0] + 1; i < mm[1]; i++ {
+			if t.Events[i].Thread != k.thread {
+				return &Violation{Axiom: "seriality", Detail: fmt.Sprintf(
+					"%s of thread %d interleaves operation %d of thread %d (positions %d..%d)",
+					evDesc(t.Events[i]), t.Events[i].Thread, k.op, k.thread, mm[0], mm[1])}
+			}
+		}
+	}
+	return nil
+}
+
+// forwards mirrors encode.forwards: models with a store buffer let a
+// program-order-earlier store of the same thread be visible to a load
+// regardless of their global order.
+func forwards(model memmodel.Model) bool {
+	switch model {
+	case memmodel.TSO, memmodel.PSO, memmodel.Relaxed:
+		return true
+	}
+	return false
+}
+
+// checkReadsFrom verifies the value rule (axioms 2 and 3 of §2.3.2):
+// every load reads the memory-order-maximal visible store to its
+// address, or the undefined initial value when no store is visible.
+func checkReadsFrom(t *trace.Trace) error {
+	fwd := forwards(t.Model)
+	for li, l := range t.Events {
+		if !l.IsLoad {
+			continue
+		}
+		best := -1
+		for si, s := range t.Events {
+			if s.IsLoad || si == li || !s.Addr.Equal(l.Addr) {
+				continue
+			}
+			visible := si < li
+			if !visible && fwd && s.Thread == l.Thread && s.ProgIdx < l.ProgIdx {
+				visible = true // store forwarding
+			}
+			if visible && si > best {
+				best = si
+			}
+		}
+		if best < 0 {
+			if l.Val.Kind != lsl.KindUndef {
+				return &Violation{Axiom: "reads-from", Detail: fmt.Sprintf(
+					"%s has no visible store yet reads a defined value", evDesc(l))}
+			}
+			continue
+		}
+		if !l.Val.Equal(t.Events[best].Val) {
+			return &Violation{Axiom: "reads-from", Detail: fmt.Sprintf(
+				"%s must read from maximal visible store %s", evDesc(l), evDesc(t.Events[best]))}
+		}
+	}
+	return nil
+}
