@@ -87,15 +87,41 @@ const (
 
 // Options configures a check. The zero value checks under sequential
 // consistency with SAT-mined specifications and the range analysis
-// enabled.
+// enabled. Deadline, ConflictBudget, and MemBudgetMB bound the check's
+// resources; a budgeted check that cannot finish reports
+// VerdictUnknown instead of hanging.
 type Options = core.Options
 
-// Result is the outcome of a check. Pass reports success; otherwise
-// Cex holds the decoded counterexample and SeqBug tells whether the
-// failure is already present in serial executions (a logic bug rather
-// than a memory-model issue). Stats carries the quantities of the
+// Result is the outcome of a check. Verdict is three-valued: pass,
+// fail (Cex holds the decoded counterexample and SeqBug tells whether
+// the failure is already present in serial executions), or unknown
+// (every degradation rung exhausted its resource budget; Budget
+// explains what was tried). Stats carries the quantities of the
 // paper's Fig. 10 table.
 type Result = core.Result
+
+// Verdict is the three-valued outcome of a check.
+type Verdict = core.Verdict
+
+// The verdicts.
+const (
+	VerdictPass    = core.VerdictPass
+	VerdictFail    = core.VerdictFail
+	VerdictUnknown = core.VerdictUnknown
+)
+
+// Rung is one step of the degradation ladder (Options.Ladder): a
+// named solver strategy a budget-starved check is retried with.
+type Rung = core.Rung
+
+// BudgetReport explains a check's resource governance: the configured
+// budgets and each exhausted ladder rung. Attached to every
+// VerdictUnknown result, and to definitive results that a degraded
+// rung produced.
+type BudgetReport = core.BudgetReport
+
+// RungReport records one exhausted ladder rung.
+type RungReport = core.RungReport
 
 // Stats quantifies one check (unrolled size, CNF size, observation
 // set size, and per-phase times).

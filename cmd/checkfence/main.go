@@ -12,20 +12,58 @@
 // -model may be repeated to check several memory models in one run;
 // with -j N the checks run on a worker pool of N workers sharing one
 // observation-set cache (the specification is model-independent, so it
-// is mined once). The exit code is 1 when any check fails.
+// is mined once).
+//
+// Resource governance: -timeout, -conflicts, and -mem-mb budget each
+// check's wall clock, SAT conflicts per solve, and learned-clause
+// memory. A check that exhausts its budgets on every rung of the
+// degradation ladder reports UNKNOWN rather than hanging or crashing.
+//
+// Exit codes (worst result wins, in the order listed):
+//
+//	2  a check could not run (internal or usage error)
+//	1  a check found a violation (FAIL)
+//	3  a check exhausted its budgets (UNKNOWN)
+//	0  every check passed
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"checkfence/internal/core"
 	"checkfence/internal/harness"
 	"checkfence/internal/memmodel"
 )
+
+// The exit-code contract. Violation and budget exhaustion are
+// verdicts, not errors: scripts can distinguish "proved wrong" (1)
+// from "ran out of resources" (3) from "could not run" (2).
+const (
+	exitPass      = 0
+	exitViolation = 1
+	exitError     = 2
+	exitUnknown   = 3
+)
+
+// severity orders exit codes by how much they should dominate the
+// final code: error > violation > unknown > pass.
+func severity(code int) int {
+	switch code {
+	case exitError:
+		return 3
+	case exitViolation:
+		return 2
+	case exitUnknown:
+		return 1
+	}
+	return 0
+}
 
 // modelList collects repeated -model flags.
 type modelList []memmodel.Model
@@ -51,36 +89,55 @@ func (m *modelList) Set(s string) error {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, runs the suite,
+// reports to stdout/stderr, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("checkfence", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var models modelList
 	var (
-		implName  = flag.String("impl", "", "implementation to check (see -list)")
-		testName  = flag.String("test", "", "symbolic test name or Fig. 8 notation")
-		specSrc   = flag.String("spec", "sat", "specification source: sat (mine from implementation) or refset")
-		noRanges  = flag.Bool("no-range-analysis", false, "disable the range analysis of paper §3.4")
-		jobs      = flag.Int("j", 1, "number of checks run concurrently (0 = GOMAXPROCS)")
-		portfolio = flag.Int("portfolio", 0, "race this many diversified SAT configurations per solve (shared formula)")
-		shareCls  = flag.Bool("share-clauses", false, "let portfolio members exchange low-LBD learned clauses")
-		cube      = flag.Int("cube", 0, "cube-and-conquer the inclusion check and partition mining on this many workers")
-		maxMine   = flag.Int("max-mine-iterations", 0, "cap mining enumeration iterations (0 = default)")
-		cacheDir  = flag.String("spec-cache-dir", "", "persist mined observation sets in this directory")
-		list      = flag.Bool("list", false, "list implementations and tests")
-		showSpec  = flag.Bool("show-spec", false, "print the mined observation set")
-		stats     = flag.Bool("stats", false, "print Fig. 10-style statistics")
-		simplify  = flag.Int("simplify", 0, "circuit simplification: 0 = full (default), 1/2 = AIG rewriting level, -1 = off (classic Tseitin)")
-		noPreproc = flag.Bool("no-preprocess", false, "disable SatELite-style CNF preprocessing before solving")
-		validate  = flag.Bool("validate", true, "independently re-check counterexamples (axiom re-verification + interpreter replay)")
+		implName  = fs.String("impl", "", "implementation to check (see -list)")
+		testName  = fs.String("test", "", "symbolic test name or Fig. 8 notation")
+		specSrc   = fs.String("spec", "sat", "specification source: sat (mine from implementation) or refset")
+		noRanges  = fs.Bool("no-range-analysis", false, "disable the range analysis of paper §3.4")
+		jobs      = fs.Int("j", 1, "number of checks run concurrently (0 = GOMAXPROCS)")
+		portfolio = fs.Int("portfolio", 0, "race this many diversified SAT configurations per solve (shared formula)")
+		shareCls  = fs.Bool("share-clauses", false, "let portfolio members exchange low-LBD learned clauses")
+		cube      = fs.Int("cube", 0, "cube-and-conquer the inclusion check and partition mining on this many workers")
+		maxMine   = fs.Int("max-mine-iterations", 0, "cap mining enumeration iterations (0 = default)")
+		cacheDir  = fs.String("spec-cache-dir", "", "persist mined observation sets in this directory")
+		timeout   = fs.Duration("timeout", 0, "wall-clock budget per check; an exhausted check reports UNKNOWN, exit 3 (0 = none)")
+		conflicts = fs.Int64("conflicts", 0, "SAT conflict budget per solve (0 = none)")
+		memMB     = fs.Int("mem-mb", 0, "approximate learned-clause memory budget per solver, in MiB (0 = none)")
+		list      = fs.Bool("list", false, "list implementations and tests")
+		showSpec  = fs.Bool("show-spec", false, "print the mined observation set")
+		stats     = fs.Bool("stats", false, "print Fig. 10-style statistics")
+		simplify  = fs.Int("simplify", 0, "circuit simplification: 0 = full (default), 1/2 = AIG rewriting level, -1 = off (classic Tseitin)")
+		noPreproc = fs.Bool("no-preprocess", false, "disable SatELite-style CNF preprocessing before solving")
+		validate  = fs.Bool("validate", true, "independently re-check counterexamples (axiom re-verification + interpreter replay)")
 	)
-	flag.Var(&models, "model", "memory model: sc, tso, pso, relaxed, serial (repeatable)")
-	flag.Parse()
+	fs.Var(&models, "model", "memory model: sc, tso, pso, relaxed, serial (repeatable)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: checkfence -impl <name> -test <name> [-model sc|tso|pso|relaxed]... [-j N]")
+		fmt.Fprintln(stderr, "       checkfence -list")
+		fmt.Fprintln(stderr, "exit codes: 0 all checks passed, 1 violation found, 2 internal/usage error,")
+		fmt.Fprintln(stderr, "            3 budgets exhausted (UNKNOWN); the worst code wins (2 > 1 > 3 > 0)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
 
 	if *list {
-		printList()
-		return
+		printList(stdout)
+		return exitPass
 	}
 	if *implName == "" || *testName == "" {
-		fmt.Fprintln(os.Stderr, "usage: checkfence -impl <name> -test <name> [-model sc|tso|pso|relaxed]... [-j N]")
-		fmt.Fprintln(os.Stderr, "       checkfence -list")
-		os.Exit(2)
+		fs.Usage()
+		return exitError
 	}
 	if len(models) == 0 {
 		models = modelList{memmodel.Relaxed}
@@ -97,6 +154,9 @@ func main() {
 			MaxMineIterations:    *maxMine,
 			SimplifyLevel:        *simplify,
 			NoPreprocess:         *noPreproc,
+			Deadline:             *timeout,
+			ConflictBudget:       *conflicts,
+			MemBudgetMB:          *memMB,
 		}
 		if !*validate {
 			opts.ValidateTraces = core.ValidateOff
@@ -112,88 +172,136 @@ func main() {
 		SpecCacheDir: *cacheDir,
 	})
 
-	exit := 0
-	for i, r := range results {
-		if r.Err != nil {
-			fmt.Fprintln(os.Stderr, "checkfence:", r.Err)
-			os.Exit(1)
-		}
-		if i > 0 {
-			fmt.Println()
-		}
-		if !report(r.Res, *showSpec, *stats) {
-			exit = 1
+	exit := exitPass
+	bump := func(code int) {
+		if severity(code) > severity(exit) {
+			exit = code
 		}
 	}
-	os.Exit(exit)
+	printed := false
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintln(stderr, "checkfence:", r.Err)
+			bump(exitError)
+			continue
+		}
+		if printed {
+			fmt.Fprintln(stdout)
+		}
+		printed = true
+		bump(report(stdout, r.Res, *showSpec, *stats))
+	}
+	return exit
 }
 
-// report prints one check result and returns whether it passed.
-func report(res *core.Result, showSpec, stats bool) bool {
+// report prints one check result and returns its exit code
+// contribution.
+func report(w io.Writer, res *core.Result, showSpec, stats bool) int {
 	if showSpec && res.Spec != nil {
-		fmt.Printf("observation set (%d):\n", res.Spec.Len())
+		fmt.Fprintf(w, "observation set (%d):\n", res.Spec.Len())
 		for _, o := range res.Spec.All() {
-			fmt.Printf("  %s\n", o.Key())
+			fmt.Fprintf(w, "  %s\n", o.Key())
 		}
 	}
 	if stats {
 		s := res.Stats
-		fmt.Printf("unrolled: %d instrs, %d loads, %d stores\n", s.Instrs, s.Loads, s.Stores)
-		fmt.Printf("circuit: %d gates\n", s.Gates)
-		fmt.Printf("cnf: %d vars, %d clauses\n", s.CNFVars, s.CNFClauses)
+		fmt.Fprintf(w, "unrolled: %d instrs, %d loads, %d stores\n", s.Instrs, s.Loads, s.Stores)
+		fmt.Fprintf(w, "circuit: %d gates\n", s.Gates)
+		fmt.Fprintf(w, "cnf: %d vars, %d clauses\n", s.CNFVars, s.CNFClauses)
 		if s.PreCNFClauses != s.CNFClauses || s.PreCNFVars != s.CNFVars {
-			fmt.Printf("preprocessing: %d -> %d clauses in %v (%d vars eliminated, %d subsumed, %d strengthened)\n",
+			fmt.Fprintf(w, "preprocessing: %d -> %d clauses in %v (%d vars eliminated, %d subsumed, %d strengthened)\n",
 				s.PreCNFClauses, s.CNFClauses, s.PreprocessTime, s.VarsEliminated, s.ClausesSubsumed, s.ClausesStrengthened)
 		}
-		fmt.Printf("observation set: %d (mined in %d iterations)\n", s.ObsSetSize, s.MineIterations)
+		fmt.Fprintf(w, "observation set: %d (mined in %d iterations)\n", s.ObsSetSize, s.MineIterations)
 		if s.SpecCacheHits+s.SpecCacheMisses > 0 {
-			fmt.Printf("spec cache: %d hits, %d misses\n", s.SpecCacheHits, s.SpecCacheMisses)
+			fmt.Fprintf(w, "spec cache: %d hits, %d misses\n", s.SpecCacheHits, s.SpecCacheMisses)
+		}
+		if s.SpecCacheCorrupt > 0 {
+			fmt.Fprintf(w, "spec cache: %d corrupt entries quarantined\n", s.SpecCacheCorrupt)
 		}
 		if s.Cubes > 0 {
-			fmt.Printf("cubes: %d issued, %d refuted\n", s.Cubes, s.CubesRefuted)
+			fmt.Fprintf(w, "cubes: %d issued, %d refuted\n", s.Cubes, s.CubesRefuted)
 		}
 		if s.SharedExported+s.SharedImported > 0 {
-			fmt.Printf("clause sharing: %d exported, %d imported, %d useful\n",
+			fmt.Fprintf(w, "clause sharing: %d exported, %d imported, %d useful\n",
 				s.SharedExported, s.SharedImported, s.SharedUseful)
 		}
-		fmt.Printf("times: probe=%v mine=%v encode=%v refute=%v total=%v\n",
+		fmt.Fprintf(w, "times: probe=%v mine=%v encode=%v refute=%v total=%v\n",
 			s.ProbeTime, s.MineTime, s.EncodeTime, s.RefuteTime, s.TotalTime)
-		fmt.Printf("bound rounds: %d\n", s.BoundRounds)
+		fmt.Fprintf(w, "bound rounds: %d\n", s.BoundRounds)
 	}
 
-	if res.Pass {
-		fmt.Printf("PASS: %s / %s on %s\n", res.Impl, res.Test, res.Model)
-		return true
+	switch res.Verdict {
+	case core.VerdictUnknown:
+		fmt.Fprintf(w, "UNKNOWN: %s / %s on %s (budgets exhausted)\n", res.Impl, res.Test, res.Model)
+		printBudget(w, res.Budget)
+		return exitUnknown
+	case core.VerdictPass:
+		fmt.Fprintf(w, "PASS: %s / %s on %s\n", res.Impl, res.Test, res.Model)
+		if res.Budget != nil {
+			printBudget(w, res.Budget)
+		}
+		return exitPass
 	}
 	if res.SeqBug {
-		fmt.Printf("FAIL: %s / %s has a sequential bug (independent of the memory model)\n",
+		fmt.Fprintf(w, "FAIL: %s / %s has a sequential bug (independent of the memory model)\n",
 			res.Impl, res.Test)
 	} else {
-		fmt.Printf("FAIL: %s / %s on %s\n", res.Impl, res.Test, res.Model)
+		fmt.Fprintf(w, "FAIL: %s / %s on %s\n", res.Impl, res.Test, res.Model)
+	}
+	if res.Budget != nil {
+		printBudget(w, res.Budget)
 	}
 	if res.Cex != nil {
-		fmt.Println(res.Cex)
+		fmt.Fprintln(w, res.Cex)
 	}
-	return false
+	return exitViolation
 }
 
-func printList() {
+// printBudget summarizes the degradation ladder's exhausted rungs.
+func printBudget(w io.Writer, b *core.BudgetReport) {
+	if b == nil {
+		return
+	}
+	var limits []string
+	if b.Deadline > 0 {
+		limits = append(limits, "timeout "+b.Deadline.String())
+	}
+	if b.ConflictBudget > 0 {
+		limits = append(limits, fmt.Sprintf("conflicts %d", b.ConflictBudget))
+	}
+	if b.MemBudgetMB > 0 {
+		limits = append(limits, fmt.Sprintf("mem %d MiB", b.MemBudgetMB))
+	}
+	if len(limits) > 0 {
+		fmt.Fprintf(w, "  budgets: %s\n", strings.Join(limits, ", "))
+	}
+	for _, r := range b.Rungs {
+		cause := r.Budget
+		if cause == "" {
+			cause = r.Err
+		}
+		fmt.Fprintf(w, "  rung %-13s exhausted after %v (%s)\n", r.Name, r.Duration.Round(time.Millisecond), cause)
+	}
+}
+
+func printList(w io.Writer) {
 	impls := harness.Implementations()
 	names := make([]string, 0, len(impls))
 	for n := range impls {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fmt.Println("implementations:")
+	fmt.Fprintln(w, "implementations:")
 	for _, n := range names {
 		im := impls[n]
 		var ops []string
 		for _, op := range im.Ops {
 			ops = append(ops, op.Mnemonic+"="+op.Func)
 		}
-		fmt.Printf("  %-18s %-6s ops: %s\n", n, im.Kind, strings.Join(ops, " "))
+		fmt.Fprintf(w, "  %-18s %-6s ops: %s\n", n, im.Kind, strings.Join(ops, " "))
 	}
-	fmt.Println("\ntests (per kind):")
+	fmt.Fprintln(w, "\ntests (per kind):")
 	for _, im := range []string{"msn", "lazylist", "snark"} {
 		impl := impls[im]
 		tests, err := harness.TestsFor(impl)
@@ -205,9 +313,9 @@ func printList() {
 			names = append(names, n)
 		}
 		sort.Strings(names)
-		fmt.Printf("  %s:\n", impl.Kind)
+		fmt.Fprintf(w, "  %s:\n", impl.Kind)
 		for _, n := range names {
-			fmt.Printf("    %-8s\n", n)
+			fmt.Fprintf(w, "    %-8s\n", n)
 		}
 	}
 }

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExitCodes pins the CLI's exit-code contract: 0 all pass, 1 a
+// violation, 2 internal/usage error, 3 budgets exhausted (UNKNOWN),
+// with the worst code winning across -model runs (2 > 1 > 3 > 0).
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		want    int
+		wantOut string // substring of stdout, "" = don't care
+		wantErr string // substring of stderr, "" = don't care
+	}{
+		{
+			name: "usage error",
+			args: []string{"-impl", "ms2"},
+			want: exitError, wantErr: "usage:",
+		},
+		{
+			name: "unknown implementation",
+			args: []string{"-impl", "no-such-impl", "-test", "T0"},
+			want: exitError, wantErr: "no-such-impl",
+		},
+		{
+			name: "unknown flag",
+			args: []string{"-definitely-not-a-flag"},
+			want: exitError,
+		},
+		{
+			name: "list",
+			args: []string{"-list"},
+			want: exitPass, wantOut: "implementations:",
+		},
+		{
+			name: "pass",
+			args: []string{"-impl", "ms2", "-test", "T0", "-model", "sc"},
+			want: exitPass, wantOut: "PASS: ms2 / T0 on sc",
+		},
+		{
+			name: "violation",
+			args: []string{"-impl", "ms2-nofence", "-test", "T0", "-model", "relaxed"},
+			want: exitViolation, wantOut: "FAIL: ms2-nofence / T0 on relaxed",
+		},
+		{
+			name: "budget exhausted",
+			args: []string{"-impl", "snark", "-test", "Da", "-model", "relaxed", "-timeout", "30ms"},
+			want: exitUnknown, wantOut: "UNKNOWN: snark / Da on relaxed",
+		},
+		{
+			name: "violation outranks pass",
+			args: []string{"-impl", "ms2-nofence", "-test", "T0", "-model", "serial,relaxed"},
+			want: exitViolation,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.want {
+				t.Errorf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					got, tc.want, stdout.String(), stderr.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(stdout.String(), tc.wantOut) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantOut, stdout.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantErr, stderr.String())
+			}
+		})
+	}
+}
+
+// TestSeverityOrder locks the worst-code-wins ordering itself.
+func TestSeverityOrder(t *testing.T) {
+	order := []int{exitError, exitViolation, exitUnknown, exitPass}
+	for i := 0; i < len(order)-1; i++ {
+		if severity(order[i]) <= severity(order[i+1]) {
+			t.Errorf("severity(%d) = %d not above severity(%d) = %d",
+				order[i], severity(order[i]), order[i+1], severity(order[i+1]))
+		}
+	}
+}
+
+// TestUnknownReportsRungs: the UNKNOWN report names the configured
+// budget and at least one exhausted ladder rung.
+func TestUnknownReportsRungs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	got := run([]string{"-impl", "snark", "-test", "Da", "-timeout", "30ms"}, &stdout, &stderr)
+	if got != exitUnknown {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", got, exitUnknown, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "budgets: timeout 30ms") {
+		t.Errorf("report missing budget line:\n%s", out)
+	}
+	if !strings.Contains(out, "rung ") {
+		t.Errorf("report missing rung lines:\n%s", out)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"checkfence/internal/encode"
+	"checkfence/internal/faultinject"
 	"checkfence/internal/harness"
 	"checkfence/internal/memmodel"
 	"checkfence/internal/ranges"
@@ -118,6 +119,23 @@ type Options struct {
 	// default; a validation failure is a hard internal error, never a
 	// verdict.
 	ValidateTraces ValidateMode
+	// Deadline bounds the wall-clock time of the whole check, across
+	// every ladder rung (0 = none). A check that exhausts it returns
+	// VerdictUnknown with a BudgetReport rather than an error.
+	Deadline time.Duration
+	// ConflictBudget caps the conflicts of each SAT solve (0 = none).
+	ConflictBudget int64
+	// MemBudgetMB approximately caps each solver's learned-clause
+	// memory, in MiB (0 = none). The solver sheds clauses before
+	// declaring the budget exhausted.
+	MemBudgetMB int
+	// Ladder overrides the degradation ladder. Empty selects the
+	// default derived from the configured strategy: configured →
+	// no-cube → serial → no-preprocess.
+	Ladder []Rung
+	// Faults arms deterministic fault injection at the solver,
+	// encoder, and mining hook points (tests and chaos runs only).
+	Faults faultinject.Faults
 }
 
 // encodeConfig maps the simplification options onto the encoder's
@@ -132,6 +150,7 @@ func (o Options) encodeConfig() encode.Config {
 		cfg.RewriteLevel = o.SimplifyLevel
 	}
 	cfg.Preprocess = !o.NoPreprocess
+	cfg.Faults = o.Faults
 	return cfg
 }
 
@@ -144,6 +163,7 @@ func (o Options) strategy(ps *spec.ParStats) spec.Strategy {
 		Cube:              o.Cube,
 		MaxMineIterations: o.MaxMineIterations,
 		Stats:             ps,
+		Faults:            o.Faults,
 	}
 }
 
@@ -178,6 +198,12 @@ type Stats struct {
 	// Both stay zero when no cache is configured.
 	SpecCacheHits   int
 	SpecCacheMisses int
+	// SpecCacheCorrupt counts corrupt cache files quarantined while
+	// serving this check's mining requests.
+	SpecCacheCorrupt int
+	// SpecCacheResumed counts mines of this check that resumed from an
+	// on-disk checkpoint left by an earlier interrupted mine.
+	SpecCacheResumed int
 
 	// Intra-check parallelism counters: cube-and-conquer cubes issued
 	// and refuted (phase 2 plus partitioned mining), and clause-sharing
@@ -206,9 +232,17 @@ type Result struct {
 	Test  string
 	Model memmodel.Model
 
-	Pass   bool
-	SeqBug bool // a serial execution reaches a runtime error
-	Cex    *trace.Trace
+	// Verdict is the three-valued outcome; Pass mirrors it for
+	// convenience (Pass == (Verdict == VerdictPass)).
+	Verdict Verdict
+	Pass    bool
+	SeqBug  bool // a serial execution reaches a runtime error
+	Cex     *trace.Trace
+
+	// Budget is non-nil when resource governance shaped this result:
+	// always for VerdictUnknown (every ladder rung exhausted), and for
+	// definitive verdicts that a degraded rung produced.
+	Budget *BudgetReport
 
 	Spec  *spec.Set
 	Stats Stats
@@ -229,20 +263,84 @@ func Check(implName, testName string, opts Options) (*Result, error) {
 }
 
 // CheckImpl runs CheckFence on explicit implementation and test
-// structures.
+// structures. It executes the degradation ladder: the check is
+// attempted with the configured strategy and, when an attempt fails
+// degradably (budget exhausted, solver-internal Unknown, recovered
+// worker panic), retried with progressively cheaper strategies until
+// one produces a verdict, the deadline passes, or the ladder is
+// exhausted — in which case the result is VerdictUnknown with a
+// BudgetReport, not an error.
 func CheckImpl(impl *harness.Impl, test *harness.Test, opts Options) (*Result, error) {
 	start := time.Now()
 	if opts.MaxBoundRounds <= 0 {
 		opts.MaxBoundRounds = 12
 	}
-	res := &Result{Impl: impl.Name, Test: test.Name, Model: opts.Model}
+	var deadline time.Time
+	if opts.Deadline > 0 {
+		deadline = time.Now().Add(opts.Deadline)
+	}
+	var reports []RungReport
+	for i, rung := range opts.ladder() {
+		if i > 0 && !deadline.IsZero() && !time.Now().Before(deadline) {
+			break // no wall-clock left to retry with
+		}
+		attemptStart := time.Now()
+		res, err := checkAttempt(impl, test, rung.apply(opts), deadline)
+		if err == nil {
+			if len(reports) > 0 {
+				// The verdict came from a degraded rung; record the
+				// path that led there.
+				res.Budget = opts.budgetReport(reports)
+			}
+			return res, nil
+		}
+		if !degradable(err, opts) {
+			return nil, err
+		}
+		reports = append(reports, rungReport(rung, err, time.Since(attemptStart)))
+	}
+	res := &Result{
+		Impl: impl.Name, Test: test.Name, Model: opts.Model,
+		Verdict: VerdictUnknown,
+		Budget:  opts.budgetReport(reports),
+	}
+	res.Stats.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// checkAttempt runs one full pipeline pass (unroll, probe bounds,
+// mine, inclusion check) under a single ladder rung's strategy.
+func checkAttempt(impl *harness.Impl, test *harness.Test, opts Options,
+	deadline time.Time) (res *Result, err error) {
+
+	start := time.Now()
+	res = &Result{Impl: impl.Name, Test: test.Name, Model: opts.Model}
+	defer func() {
+		if res == nil {
+			return // error paths return a nil result
+		}
+		if err == nil {
+			if res.Pass {
+				res.Verdict = VerdictPass
+			} else {
+				res.Verdict = VerdictFail
+			}
+		}
+	}()
 	// TotalTime is set here, once, so every return path (early
 	// counterexample, bounds-already-sufficient, converged re-check)
 	// reports it consistently.
-	defer func() { res.Stats.TotalTime = time.Since(start) }()
+	defer func() {
+		if res != nil {
+			res.Stats.TotalTime = time.Since(start)
+		}
+	}()
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	defer func() {
+		if res == nil {
+			return
+		}
 		var memAfter runtime.MemStats
 		runtime.ReadMemStats(&memAfter)
 		res.Stats.AllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
@@ -271,7 +369,7 @@ func CheckImpl(impl *harness.Impl, test *harness.Test, opts Options) (*Result, e
 	}
 	info := analysisFor(unrolled, opts)
 	res.Stats.BoundRounds = 1
-	done, err := runCheck(res, impl, test, built, unrolled, info, bounds, opts)
+	done, err := runCheck(res, impl, test, built, unrolled, info, bounds, opts, deadline)
 	if err != nil {
 		return nil, err
 	}
@@ -285,7 +383,7 @@ func CheckImpl(impl *harness.Impl, test *harness.Test, opts Options) (*Result, e
 			return nil, fmt.Errorf("core: loop bounds did not converge after %d rounds", round)
 		}
 		probeStart := time.Now()
-		grew, err := probeBounds(unrolled, info, probeModel(opts.Model), bounds, opts)
+		grew, err := probeBounds(unrolled, info, probeModel(opts.Model), bounds, opts, deadline)
 		res.Stats.ProbeTime += time.Since(probeStart)
 		if err != nil {
 			return nil, err
@@ -304,7 +402,7 @@ func CheckImpl(impl *harness.Impl, test *harness.Test, opts Options) (*Result, e
 	if !grewAny {
 		return res, nil // initial bounds were already sufficient
 	}
-	if _, err := runCheck(res, impl, test, built, unrolled, info, bounds, opts); err != nil {
+	if _, err := runCheck(res, impl, test, built, unrolled, info, bounds, opts, deadline); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -315,7 +413,7 @@ func CheckImpl(impl *harness.Impl, test *harness.Test, opts Options) (*Result, e
 // sequential bug) was found, in which case bounds need not grow.
 func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 	built *harness.Built, unrolled *harness.Unrolled, info *ranges.Info,
-	bounds map[string]int, opts Options) (bool, error) {
+	bounds map[string]int, opts Options, deadline time.Time) (bool, error) {
 
 	res.Stats.Instrs = unrolled.Instrs
 	res.Stats.Loads = unrolled.Loads
@@ -340,20 +438,32 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 	mineStart := time.Now()
 	theSpec := opts.Spec
 	if theSpec == nil {
+		key := specKey(impl, test, bounds, opts.SpecSource)
 		var serialEnc *encode.Encoder
-		mine := func() (*spec.Set, int, error) {
+		mine := func(resume *spec.Set, resumeIters int) (*spec.Set, int, error) {
 			switch opts.SpecSource {
 			case SpecRef:
 				set, err := refimpl.Enumerate(impl, test)
 				return set, 0, err
 			default:
 				serialEnc = encode.NewWithConfig(memmodel.Serial, info, opts.encodeConfig())
-				applyCancel(serialEnc, opts)
+				applyLimits(serialEnc, opts, deadline)
 				if err := serialEnc.Encode(unrolled.Threads); err != nil {
 					return nil, 0, err
 				}
 				serialEnc.AssertNoOverflow()
-				mined, stats, err := spec.MineWith(serialEnc, built.Entries, opts.strategy(&pstats))
+				strat := opts.strategy(&pstats)
+				strat.Resume = resume
+				strat.ResumeIterations = resumeIters
+				if cache := opts.SpecCache; cache != nil {
+					// Periodically mirror the partial set to disk so an
+					// interrupted mine (budget, crash, ^C) resumes
+					// instead of restarting.
+					strat.Checkpoint = func(partial *spec.Set, iterations int) {
+						cache.StoreCheckpoint(key, partial, iterations)
+					}
+				}
+				mined, stats, err := spec.MineWith(serialEnc, built.Entries, strat)
 				return mined, stats.Iterations, err
 			}
 		}
@@ -363,16 +473,21 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 			err        error
 		)
 		if opts.SpecCache != nil {
-			var hit bool
-			key := specKey(impl, test, bounds, opts.SpecSource)
-			mined, iterations, hit, err = opts.SpecCache.GetOrMine(key, mine)
-			if hit {
+			var outcome CacheOutcome
+			mined, iterations, outcome, err = opts.SpecCache.GetOrMine(key, mine)
+			if outcome.Hit {
 				res.Stats.SpecCacheHits++
 			} else {
 				res.Stats.SpecCacheMisses++
 			}
+			if outcome.Corrupt {
+				res.Stats.SpecCacheCorrupt++
+			}
+			if outcome.Resumed {
+				res.Stats.SpecCacheResumed++
+			}
 		} else {
-			mined, iterations, err = mine()
+			mined, iterations, err = mine(nil, 0)
 		}
 		if err != nil {
 			if seqBug, ok := err.(*spec.SeqBugError); ok && serialEnc != nil {
@@ -402,7 +517,7 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 	// the worker count.
 	encodeStart := time.Now()
 	enc := encode.NewWithConfig(opts.Model, info, opts.encodeConfig())
-	applyCancel(enc, opts)
+	applyLimits(enc, opts, deadline)
 	if err := enc.Encode(unrolled.Threads); err != nil {
 		return false, err
 	}
@@ -461,21 +576,50 @@ func validateCex(t *trace.Trace, built *harness.Built, unrolled *harness.Unrolle
 	return nil
 }
 
-// applyCancel wires Options.Cancel into an encoder's solver as a stop
-// predicate, making long solves abort promptly on suite cancellation.
-func applyCancel(e *encode.Encoder, opts Options) {
+// applyLimits wires the check's resource governance into an encoder:
+// Options.Cancel becomes the solver's stop predicate (long solves
+// abort promptly on suite cancellation), the deadline and the
+// conflict/memory budgets arm the solver's typed-budget machinery,
+// and both cancellation and the deadline also abort the encoding
+// phase itself, which can dominate a short deadline on big harnesses.
+func applyLimits(e *encode.Encoder, opts Options, deadline time.Time) {
 	cancel := opts.Cancel
-	if cancel == nil {
-		return
+	if cancel != nil {
+		e.S.SetStop(func() bool {
+			select {
+			case <-cancel:
+				return true
+			default:
+				return false
+			}
+		})
 	}
-	e.S.SetStop(func() bool {
-		select {
-		case <-cancel:
-			return true
-		default:
-			return false
+	if !deadline.IsZero() {
+		e.S.SetDeadline(deadline)
+	}
+	if opts.ConflictBudget > 0 {
+		e.S.SetBudget(opts.ConflictBudget)
+	}
+	if opts.MemBudgetMB > 0 {
+		e.S.SetMemBudget(int64(opts.MemBudgetMB) << 20)
+	}
+	if cancel != nil || !deadline.IsZero() {
+		e.Cfg.Abort = func() error {
+			if cancel != nil {
+				select {
+				case <-cancel:
+					return fmt.Errorf("core: check cancelled during encoding: %w",
+						spec.ErrSolverUnknown)
+				default:
+				}
+			}
+			if !deadline.IsZero() && !time.Now().Before(deadline) {
+				return fmt.Errorf("core: encoding: %w",
+					&sat.ErrBudget{Kind: sat.BudgetDeadline})
+			}
+			return nil
 		}
-	})
+	}
 }
 
 func analysisFor(unrolled *harness.Unrolled, opts Options) *ranges.Info {
@@ -509,7 +653,7 @@ func probeModel(m memmodel.Model) memmodel.Model {
 // growth.
 func probeBounds(unrolled *harness.Unrolled,
 	info *ranges.Info, model memmodel.Model, bounds map[string]int,
-	opts Options) (bool, error) {
+	opts Options, deadline time.Time) (bool, error) {
 
 	hasMarkers := false
 	for _, li := range unrolled.Loops {
@@ -522,7 +666,7 @@ func probeBounds(unrolled *harness.Unrolled,
 		return false, nil
 	}
 	probe := encode.NewWithConfig(model, info, opts.encodeConfig())
-	applyCancel(probe, opts)
+	applyLimits(probe, opts, deadline)
 	if err := probe.Encode(unrolled.Threads); err != nil {
 		return false, err
 	}
@@ -532,6 +676,9 @@ func probeBounds(unrolled *harness.Unrolled,
 	case sat.Unsat:
 		return false, nil
 	default:
+		if be := probe.S.BudgetErr(); be != nil {
+			return false, fmt.Errorf("core: bound probe: %w: %w", spec.ErrSolverUnknown, be)
+		}
 		return false, fmt.Errorf("core: bound probe: %w", spec.ErrSolverUnknown)
 	}
 	grew := false

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"checkfence/internal/faultinject"
 	"checkfence/internal/harness"
 	"checkfence/internal/spec"
 )
@@ -27,10 +29,19 @@ import (
 // (SAT mining vs. reference enumeration). An optional directory
 // mirrors the sets on disk (spec.Set serialization), so they survive
 // the process and are reused across runs.
+//
+// The disk mirror is hardened against corruption: an entry that no
+// longer parses (truncated write, bit rot, foreign key) is quarantined
+// to <name>.bad and treated as a miss, so one damaged file costs a
+// re-mine, never a wrong specification or a crash. Interrupted mines
+// leave a <key>.part checkpoint (partial set plus iteration count)
+// that the next mine of the same key resumes from.
 type SpecCache struct {
 	mu      sync.Mutex
 	entries map[string]*specEntry
 	dir     string
+	faults  faultinject.Faults
+	corrupt int
 }
 
 type specEntry struct {
@@ -40,53 +51,128 @@ type specEntry struct {
 	ok         bool
 }
 
+// MineFunc mines an observation set, optionally seeded with a
+// checkpointed partial set and the cumulative iteration count that
+// produced it (nil and 0 for a fresh mine).
+type MineFunc func(resume *spec.Set, resumeIterations int) (*spec.Set, int, error)
+
+// CacheOutcome describes how a GetOrMine request was served.
+type CacheOutcome struct {
+	// Hit: the set came from the cache (memory or disk), not mine.
+	Hit bool
+	// Resumed: mining was seeded from an on-disk checkpoint left by an
+	// earlier interrupted mine.
+	Resumed bool
+	// Corrupt: a corrupt disk entry or checkpoint was quarantined
+	// while serving this request.
+	Corrupt bool
+}
+
 // NewSpecCache returns an empty cache. dir, when non-empty, enables
 // the on-disk mirror (the directory is created on first store).
 func NewSpecCache(dir string) *SpecCache {
 	return &SpecCache{entries: map[string]*specEntry{}, dir: dir}
 }
 
+// SetFaults arms fault injection on the cache's disk reads (the
+// CacheCorrupt site flips a byte of a loaded entry before parsing).
+func (c *SpecCache) SetFaults(f faultinject.Faults) {
+	c.mu.Lock()
+	c.faults = f
+	c.mu.Unlock()
+}
+
+func (c *SpecCache) getFaults() faultinject.Faults {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.faults
+}
+
+// CorruptCount returns how many corrupt disk files the cache has
+// quarantined over its lifetime.
+func (c *SpecCache) CorruptCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.corrupt
+}
+
 // GetOrMine returns the set for key, mining it with mine on a miss.
 // Concurrent callers with the same key block until the first
 // completes. Mining errors are never cached: the failing caller gets
 // its own error (it may need live solver state to build a trace, as
-// the sequential-bug path does), waiters re-mine for themselves, and
-// the key becomes free again.
-func (c *SpecCache) GetOrMine(key string, mine func() (*spec.Set, int, error)) (set *spec.Set, iterations int, hit bool, err error) {
+// the sequential-bug path does) together with whatever partial set was
+// mined, waiters re-mine for themselves, and the key becomes free
+// again. A failed mine that produced a partial set leaves a disk
+// checkpoint; the next mine of the key resumes from it.
+func (c *SpecCache) GetOrMine(key string, mine MineFunc) (set *spec.Set, iterations int, out CacheOutcome, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
 		<-e.done
 		if e.ok {
-			return e.set, e.iterations, true, nil
+			return e.set, e.iterations, CacheOutcome{Hit: true}, nil
 		}
 		// The miner failed; every caller needs its own failure
 		// context, so mine uncached.
-		set, iterations, err = mine()
-		return set, iterations, false, err
+		set, iterations, err = c.mineResumable(key, mine, &out)
+		return set, iterations, out, err
 	}
 	e := &specEntry{done: make(chan struct{})}
 	c.entries[key] = e
 	c.mu.Unlock()
 
-	if diskSet, ok := c.loadDisk(key); ok {
+	if diskSet, ok := c.loadDisk(key, &out); ok {
 		e.set, e.ok = diskSet, true
 		close(e.done)
-		return diskSet, 0, true, nil
+		out.Hit = true
+		return diskSet, 0, out, nil
 	}
 
-	set, iterations, err = mine()
+	set, iterations, err = func() (*spec.Set, int, error) {
+		// A miner that panics (injected fault, genuine crash) must
+		// release the single-flight entry before unwinding, or every
+		// waiter on the key would block forever on done.
+		defer func() {
+			if p := recover(); p != nil {
+				c.mu.Lock()
+				delete(c.entries, key)
+				c.mu.Unlock()
+				close(e.done)
+				panic(p)
+			}
+		}()
+		return c.mineResumable(key, mine, &out)
+	}()
 	if err != nil {
 		c.mu.Lock()
 		delete(c.entries, key)
 		c.mu.Unlock()
 		close(e.done)
-		return nil, iterations, false, err
+		return set, iterations, out, err
 	}
 	e.set, e.iterations, e.ok = set, iterations, true
 	close(e.done)
 	c.storeDisk(key, set)
-	return set, iterations, false, nil
+	return set, iterations, out, nil
+}
+
+// mineResumable runs mine seeded from any on-disk checkpoint for key,
+// checkpointing the partial set on failure and clearing the
+// checkpoint on success.
+func (c *SpecCache) mineResumable(key string, mine MineFunc, out *CacheOutcome) (*spec.Set, int, error) {
+	resume, resumeIters, ok := c.loadCheckpoint(key, out)
+	if ok {
+		out.Resumed = true
+	}
+	set, iterations, err := mine(resume, resumeIters)
+	if err != nil {
+		if set != nil && set.Len() > 0 {
+			c.StoreCheckpoint(key, set, iterations)
+		}
+		return set, iterations, err
+	}
+	c.removeCheckpoint(key)
+	return set, iterations, nil
 }
 
 // Len returns the number of cached sets (for tests and stats).
@@ -100,22 +186,95 @@ func (c *SpecCache) diskPath(key string) string {
 	return filepath.Join(c.dir, key+".obs")
 }
 
-func (c *SpecCache) loadDisk(key string) (*spec.Set, bool) {
+func (c *SpecCache) partPath(key string) string {
+	return filepath.Join(c.dir, key+".part")
+}
+
+// quarantine moves an unparseable cache file aside as <name>.bad so it
+// stops shadowing future stores but remains available for inspection,
+// and counts it.
+func (c *SpecCache) quarantine(path string) {
+	if err := os.Rename(path, path+".bad"); err != nil {
+		// Renaming failed (e.g. read-only directory); remove so the
+		// corrupt bytes at least stop being re-read. Best-effort.
+		os.Remove(path)
+	}
+	c.mu.Lock()
+	c.corrupt++
+	c.mu.Unlock()
+}
+
+func (c *SpecCache) loadDisk(key string, out *CacheOutcome) (*spec.Set, bool) {
 	if c.dir == "" {
 		return nil, false
 	}
-	f, err := os.Open(c.diskPath(key))
+	path := c.diskPath(key)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
-	defer f.Close()
-	set, err := spec.ReadSetKeyed(f, key)
+	if f := c.getFaults(); f != nil && f.Fire(faultinject.CacheCorrupt) && len(data) > 0 {
+		data[len(data)/2] ^= 0x40
+	}
+	set, err := spec.ReadSetKeyed(bytes.NewReader(data), key)
 	if err != nil {
-		// A corrupt, legacy, or foreign-key file is treated as a miss;
-		// mining overwrites it.
+		// A truncated, bit-flipped, legacy, or foreign-key file must
+		// never supply a specification; quarantine it and re-mine.
+		c.quarantine(path)
+		out.Corrupt = true
 		return nil, false
 	}
 	return set, true
+}
+
+func (c *SpecCache) loadCheckpoint(key string, out *CacheOutcome) (*spec.Set, int, bool) {
+	if c.dir == "" {
+		return nil, 0, false
+	}
+	path := c.partPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, false
+	}
+	set, iters, err := spec.ReadCheckpoint(bytes.NewReader(data), key)
+	if err != nil {
+		c.quarantine(path)
+		out.Corrupt = true
+		return nil, 0, false
+	}
+	return set, iters, true
+}
+
+// StoreCheckpoint mirrors a partial observation set and its iteration
+// count to disk so an interrupted mine of the same key can resume.
+// Best-effort, like storeDisk; safe for concurrent use (tmp+rename).
+func (c *SpecCache) StoreCheckpoint(key string, partial *spec.Set, iterations int) {
+	if c.dir == "" || partial == nil {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".part-tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := partial.WriteCheckpoint(tmp, key, iterations)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.partPath(key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+func (c *SpecCache) removeCheckpoint(key string) {
+	if c.dir == "" {
+		return
+	}
+	os.Remove(c.partPath(key))
 }
 
 func (c *SpecCache) storeDisk(key string, set *spec.Set) {

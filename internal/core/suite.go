@@ -2,9 +2,13 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"checkfence/internal/faultinject"
+	"checkfence/internal/sat"
 )
 
 // Job is one check of a suite: an implementation, a test, and the
@@ -45,6 +49,10 @@ type SuiteOptions struct {
 	// the job's index. Calls are serialized but arrive in completion
 	// order, not job order.
 	OnResult func(index int, r SuiteResult)
+	// Faults arms deterministic fault injection on every job that does
+	// not set its own, and on the suite's spec cache (tests and chaos
+	// runs only).
+	Faults faultinject.Faults
 }
 
 // RunSuite checks all jobs on a bounded worker pool and returns their
@@ -60,6 +68,9 @@ func RunSuite(jobs []Job, opts SuiteOptions) []SuiteResult {
 	cache := opts.SpecCache
 	if cache == nil {
 		cache = NewSpecCache(opts.SpecCacheDir)
+	}
+	if opts.Faults != nil {
+		cache.SetFaults(opts.Faults)
 	}
 	workers := opts.Parallelism
 	if workers <= 0 {
@@ -95,7 +106,10 @@ func RunSuite(jobs []Job, opts SuiteOptions) []SuiteResult {
 					if jopts.Cancel == nil {
 						jopts.Cancel = ctx.Done()
 					}
-					r.Res, r.Err = Check(job.Impl, job.Test, jopts)
+					if jopts.Faults == nil {
+						jopts.Faults = opts.Faults
+					}
+					r.Res, r.Err = safeCheck(job.Impl, job.Test, jopts)
 					if r.Err != nil && ctx.Err() != nil {
 						// An interrupted solve surfaces as a solver
 						// error; report the cancellation itself.
@@ -113,4 +127,19 @@ func RunSuite(jobs []Job, opts SuiteOptions) []SuiteResult {
 	}
 	wg.Wait()
 	return results
+}
+
+// safeCheck isolates one check: a panic anywhere in its pipeline
+// (encoder, miner, a serial solve outside the workers' own recovery)
+// becomes that check's error — carrying the recovered value and stack
+// as a *faultinject.RecoveredPanic — instead of killing the suite.
+func safeCheck(implName, testName string, opts Options) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = nil
+			err = fmt.Errorf("core: check %s/%s panicked: %w",
+				implName, testName, sat.RecoverAsError(p))
+		}
+	}()
+	return Check(implName, testName, opts)
 }

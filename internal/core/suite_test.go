@@ -110,12 +110,12 @@ func TestRunSuiteMinesOnce(t *testing.T) {
 
 	// The counting variant: route the same key through GetOrMine
 	// directly and confirm the miner does not run again.
-	set, _, hit, err := cache.GetOrMine(fixedKey(t, jobs[0]), func() (*spec.Set, int, error) {
+	set, _, out, err := cache.GetOrMine(fixedKey(t, jobs[0]), func(*spec.Set, int) (*spec.Set, int, error) {
 		mined.Add(1)
 		return nil, 0, errors.New("must not re-mine")
 	})
-	if err != nil || !hit || set == nil {
-		t.Fatalf("GetOrMine after suite: hit=%v err=%v", hit, err)
+	if err != nil || !out.Hit || set == nil {
+		t.Fatalf("GetOrMine after suite: outcome=%+v err=%v", out, err)
 	}
 	if mined.Load() != 0 {
 		t.Errorf("miner ran %d times for a cached key", mined.Load())
@@ -360,7 +360,7 @@ func TestSpecCacheCorruptDiskFile(t *testing.T) {
 func TestSpecCacheErrorNotCached(t *testing.T) {
 	cache := NewSpecCache("")
 	boom := errors.New("boom")
-	if _, _, _, err := cache.GetOrMine("k", func() (*spec.Set, int, error) {
+	if _, _, _, err := cache.GetOrMine("k", func(*spec.Set, int) (*spec.Set, int, error) {
 		return nil, 0, boom
 	}); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
@@ -369,10 +369,10 @@ func TestSpecCacheErrorNotCached(t *testing.T) {
 		t.Fatalf("failed mining left %d entries", cache.Len())
 	}
 	want := spec.NewSet()
-	set, _, hit, err := cache.GetOrMine("k", func() (*spec.Set, int, error) {
+	set, _, out, err := cache.GetOrMine("k", func(*spec.Set, int) (*spec.Set, int, error) {
 		return want, 7, nil
 	})
-	if err != nil || hit || set != want {
-		t.Errorf("re-mine after failure: set=%v hit=%v err=%v", set, hit, err)
+	if err != nil || out.Hit || set != want {
+		t.Errorf("re-mine after failure: set=%v outcome=%+v err=%v", set, out, err)
 	}
 }

@@ -96,6 +96,9 @@ func (c *compiler) condTruthy(r lsl.Reg, ctxMsg string) bitvec.Node {
 // mutated through pointers.
 func (c *compiler) stmts(list []lsl.Stmt, frames []*blockFrame) error {
 	for _, s := range list {
+		if err := c.e.pollAbort(); err != nil {
+			return err
+		}
 		if err := c.stmt(s, frames); err != nil {
 			return err
 		}

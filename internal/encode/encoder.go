@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"checkfence/internal/bitvec"
+	"checkfence/internal/faultinject"
 	"checkfence/internal/lsl"
 	"checkfence/internal/memmodel"
 	"checkfence/internal/ranges"
@@ -76,6 +77,15 @@ type Config struct {
 	// variable elimination, subsumption, self-subsuming resolution)
 	// before the first Solve; see PreprocessCNF.
 	Preprocess bool
+	// Abort, when non-nil, is polled between encode phases and
+	// periodically inside the heavy compilation and axiom loops; a
+	// non-nil return aborts Encode with that error. Budgeted checks
+	// install a deadline poll here so a formula too large to build in
+	// time fails promptly instead of after the full encode.
+	Abort func() error
+	// Faults, when non-nil, installs fault-injection hooks on the
+	// encoder and its solver (see internal/faultinject).
+	Faults faultinject.Faults
 }
 
 // DefaultConfig returns the full minimization pipeline.
@@ -106,6 +116,12 @@ type Encoder struct {
 
 	order     [][]bitvec.Node // order[i][j] for i<j: node for i <M j
 	numGroups int
+
+	// abortErr caches the first non-nil Cfg.Abort result; once set,
+	// every remaining encode loop bails without re-polling.
+	abortErr error
+	// stmtTick rate-limits the abort poll inside statement compilation.
+	stmtTick int
 }
 
 // New creates an encoder over a fresh solver with the default
@@ -121,6 +137,9 @@ func NewWithConfig(model memmodel.Model, info *ranges.Info, cfg Config) *Encoder
 	b := bitvec.NewBuilder(s)
 	b.SetRewriteLevel(cfg.RewriteLevel)
 	b.SetPolarityAware(cfg.PolarityAware)
+	if cfg.Faults != nil {
+		s.SetFaults(cfg.Faults)
+	}
 	e := &Encoder{
 		S:        s,
 		B:        b,
@@ -135,6 +154,28 @@ func NewWithConfig(model memmodel.Model, info *ranges.Info, cfg Config) *Encoder
 		e.D = 1
 	}
 	return e
+}
+
+// aborted polls the abort hook, caching the first error so the heavy
+// encode loops can stop mid-phase with one cheap comparison.
+func (e *Encoder) aborted() bool {
+	if e.abortErr != nil {
+		return true
+	}
+	if e.Cfg.Abort != nil {
+		e.abortErr = e.Cfg.Abort()
+	}
+	return e.abortErr != nil
+}
+
+// pollAbort is the rate-limited abort check used in the per-statement
+// compilation loop.
+func (e *Encoder) pollAbort() error {
+	e.stmtTick++
+	if e.stmtTick&63 == 0 && e.aborted() {
+		return e.abortErr
+	}
+	return nil
 }
 
 // PreprocessCNF runs CNF preprocessing over the clauses emitted so
@@ -182,17 +223,32 @@ func (e *Encoder) OrderSatVars() []int {
 // Encode compiles all threads and asserts the memory model axioms.
 // Thread 0 must be the initialization pseudo-thread (possibly empty);
 // its accesses are ordered before all others and execute sequentially.
+// A configured Abort hook can stop the build between phases and inside
+// the heavy loops; Encode then returns the hook's error.
 func (e *Encoder) Encode(threads []Thread) error {
+	if e.Cfg.Faults != nil && e.Cfg.Faults.Fire(faultinject.EncodePanic) {
+		panic(faultinject.Injected{Site: faultinject.EncodePanic})
+	}
 	for ti, th := range threads {
+		if e.aborted() {
+			return e.abortErr
+		}
 		env, err := e.compileThread(ti, th)
 		if err != nil {
 			return fmt.Errorf("encode: thread %d (%s): %w", ti, th.Name, err)
 		}
 		e.Envs = append(e.Envs, env)
 	}
-	e.buildOrder()
-	e.assertOrderAxioms()
-	e.assertValueAxioms()
+	for _, phase := range []func(){e.buildOrder, e.assertOrderAxioms, e.assertValueAxioms} {
+		if e.aborted() {
+			return e.abortErr
+		}
+		phase()
+	}
+	if e.abortErr != nil {
+		// A mid-phase abort leaves the formula incomplete; surface it.
+		return e.abortErr
+	}
 	return nil
 }
 
@@ -264,8 +320,13 @@ func (e *Encoder) progOrderFixed(a, b *Access) bool {
 func (e *Encoder) assertOrderAxioms() {
 	n := len(e.Accesses)
 
-	// Transitivity: two clauses per unordered triple.
+	// Transitivity: two clauses per unordered triple. The cubic loop
+	// dominates encode time on large harnesses, so poll the abort hook
+	// per row.
 	for i := 0; i < n; i++ {
+		if e.aborted() {
+			return
+		}
 		for j := i + 1; j < n; j++ {
 			a := e.mLess(i, j)
 			for k := j + 1; k < n; k++ {
@@ -415,6 +476,9 @@ func (e *Encoder) assertValueAxioms() {
 	for li, l := range e.Accesses {
 		if !l.IsLoad {
 			continue
+		}
+		if e.aborted() {
+			return
 		}
 		// visible(s, l) for every store that may alias.
 		type cand struct {

@@ -1,0 +1,294 @@
+package sat
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"checkfence/internal/faultinject"
+)
+
+// hardInstance loads a pigeonhole instance hard enough that no budget
+// under test lets the solver finish.
+func hardInstance(s *Solver) {
+	pigeonholeInstance(s, 9)
+}
+
+func TestConflictBudgetTyped(t *testing.T) {
+	s := New()
+	hardInstance(s)
+	s.SetBudget(50)
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("status = %v, want Unknown", st)
+	}
+	be := s.BudgetErr()
+	if be == nil {
+		t.Fatal("BudgetErr() = nil after conflict budget exhaustion")
+	}
+	if be.Kind != BudgetConflicts {
+		t.Errorf("Kind = %v, want conflicts", be.Kind)
+	}
+	if be.Spent < 50 {
+		t.Errorf("Spent = %d, want >= 50", be.Spent)
+	}
+	if !errors.Is(be, ErrBudgetExhausted) {
+		t.Error("errors.Is(be, ErrBudgetExhausted) = false")
+	}
+}
+
+func TestDeadlineBudget(t *testing.T) {
+	s := New()
+	hardInstance(s)
+	s.SetDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("status = %v, want Unknown", st)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("deadline stop took %v; check cadence is broken", elapsed)
+	}
+	be := s.BudgetErr()
+	if be == nil || be.Kind != BudgetDeadline {
+		t.Fatalf("BudgetErr() = %v, want deadline cause", be)
+	}
+}
+
+func TestDeadlineAlreadyPast(t *testing.T) {
+	s := New()
+	hardInstance(s)
+	s.SetDeadline(time.Now().Add(-time.Second))
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("status = %v, want Unknown", st)
+	}
+	if be := s.BudgetErr(); be == nil || be.Kind != BudgetDeadline {
+		t.Fatalf("BudgetErr() = %v, want deadline cause", be)
+	}
+}
+
+func TestPropagationBudget(t *testing.T) {
+	s := New()
+	hardInstance(s)
+	s.SetPropagationBudget(500)
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("status = %v, want Unknown", st)
+	}
+	be := s.BudgetErr()
+	if be == nil || be.Kind != BudgetPropagations {
+		t.Fatalf("BudgetErr() = %v, want propagations cause", be)
+	}
+	if be.Spent < 500 {
+		t.Errorf("Spent = %d, want >= 500", be.Spent)
+	}
+}
+
+func TestMemBudget(t *testing.T) {
+	s := New()
+	hardInstance(s)
+	// ~5 learnt clauses' worth: the forced reduction cannot get the
+	// database under this on a pigeonhole instance mid-search.
+	s.SetMemBudget(512)
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("status = %v, want Unknown", st)
+	}
+	be := s.BudgetErr()
+	if be == nil || be.Kind != BudgetMemory {
+		t.Fatalf("BudgetErr() = %v, want memory cause", be)
+	}
+	if be.Spent <= 512 {
+		t.Errorf("Spent = %d, want > budget", be.Spent)
+	}
+}
+
+// TestBudgetErrNilOnInterrupt: an interrupted solve is cancellation,
+// not exhaustion — BudgetErr must stay nil so callers can tell them
+// apart.
+func TestBudgetErrNilOnInterrupt(t *testing.T) {
+	s := New()
+	hardInstance(s)
+	done := make(chan Status, 1)
+	go func() { done <- s.Solve() }()
+	time.Sleep(20 * time.Millisecond)
+	s.Interrupt()
+	if st := <-done; st != Unknown {
+		t.Fatalf("status = %v, want Unknown", st)
+	}
+	if be := s.BudgetErr(); be != nil {
+		t.Fatalf("BudgetErr() = %v after Interrupt, want nil", be)
+	}
+}
+
+// TestBudgetClearedOnResolve: lifting the budget and re-solving on the
+// same solver reaches a definitive verdict and resets BudgetErr — the
+// solver state stays reusable after exhaustion.
+func TestBudgetClearedOnResolve(t *testing.T) {
+	s := New()
+	pigeonholeInstance(s, 5)
+	s.SetBudget(1)
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("status = %v, want Unknown", st)
+	}
+	if s.BudgetErr() == nil {
+		t.Fatal("BudgetErr() = nil after exhaustion")
+	}
+	s.SetBudget(0)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("status after lifting budget = %v, want Unsat", st)
+	}
+	if be := s.BudgetErr(); be != nil {
+		t.Fatalf("BudgetErr() = %v after definitive solve, want nil", be)
+	}
+}
+
+// TestInjectedBudget: the SolverBudget fault site forces a typed
+// injected exhaustion out of Solve.
+func TestInjectedBudget(t *testing.T) {
+	s := New()
+	hardInstance(s)
+	s.SetFaults(&faultinject.Always{Sites: []faultinject.Site{faultinject.SolverBudget}})
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("status = %v, want Unknown", st)
+	}
+	if be := s.BudgetErr(); be == nil || be.Kind != BudgetInjected {
+		t.Fatalf("BudgetErr() = %v, want injected cause", be)
+	}
+}
+
+// TestInjectedSolvePanic: the SolvePanic site panics inside the search
+// loop with the typed Injected value.
+func TestInjectedSolvePanic(t *testing.T) {
+	s := New()
+	hardInstance(s)
+	s.SetFaults(&faultinject.Always{Sites: []faultinject.Site{faultinject.SolvePanic}})
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("Solve did not panic under an armed SolvePanic site")
+		}
+		if site := faultinject.InjectedSite(p); site != faultinject.SolvePanic {
+			t.Fatalf("recovered %v, want injected solve-panic", p)
+		}
+	}()
+	s.Solve()
+}
+
+// TestInjectedAllocPanic: the SolverAlloc site panics in NewVar.
+func TestInjectedAllocPanic(t *testing.T) {
+	s := New()
+	s.SetFaults(&faultinject.Always{Sites: []faultinject.Site{faultinject.SolverAlloc}})
+	defer func() {
+		if site := faultinject.InjectedSite(recover()); site != faultinject.SolverAlloc {
+			t.Fatal("NewVar did not raise the injected alloc panic")
+		}
+	}()
+	s.NewVar()
+}
+
+// TestSolveSharedBudget: when every portfolio member exhausts its
+// (clone-inherited) conflict budget, SolveShared reports the typed
+// cause instead of a bare Unknown.
+func TestSolveSharedBudget(t *testing.T) {
+	base := New()
+	hardInstance(base)
+	base.SetBudget(50)
+	p := Portfolio{Configs: PortfolioConfigs(3)}
+	run := p.SolveShared(base)
+	if run.Status != Unknown {
+		t.Fatalf("status = %v, want Unknown", run.Status)
+	}
+	if run.Budget == nil || run.Budget.Kind != BudgetConflicts {
+		t.Fatalf("Budget = %v, want conflicts cause", run.Budget)
+	}
+}
+
+// TestSolveSharedPanicLoses: a member whose solve panics loses the
+// race; the surviving members still deliver the verdict.
+func TestSolveSharedPanicLoses(t *testing.T) {
+	base := New()
+	pigeonholeInstance(base, 5)
+	configs := PortfolioConfigs(3)
+	// Arm only member 1: Script fires once globally, and each member
+	// has its own Faults value so exactly one member crashes.
+	configs[1].Faults = &faultinject.Always{Sites: []faultinject.Site{faultinject.SolvePanic}}
+	p := Portfolio{Configs: configs}
+	run := p.SolveShared(base)
+	if run.Status != Unsat {
+		t.Fatalf("status = %v, want Unsat despite one crashed member", run.Status)
+	}
+}
+
+// TestSolveSharedAllPanic: when every member crashes, the recovered
+// panic surfaces as SharedRun.Panic instead of killing the process.
+func TestSolveSharedAllPanic(t *testing.T) {
+	base := New()
+	pigeonholeInstance(base, 5)
+	configs := PortfolioConfigs(2)
+	f := &faultinject.Always{Sites: []faultinject.Site{faultinject.SolvePanic}}
+	configs[0].Faults = f
+	configs[1].Faults = f
+	p := Portfolio{Configs: configs}
+	run := p.SolveShared(base)
+	if run.Status != Unknown {
+		t.Fatalf("status = %v, want Unknown", run.Status)
+	}
+	if run.Panic == nil {
+		t.Fatal("Panic = nil; crashed members were not recorded")
+	}
+	var rp *faultinject.RecoveredPanic
+	if !errors.As(run.Panic, &rp) {
+		t.Fatalf("Panic = %v, want a *RecoveredPanic in the chain", run.Panic)
+	}
+}
+
+// TestSolveCubesBudget: cube workers inherit base's budget via
+// CloneFormula, and exhaustion surfaces as CubeRun.Budget.
+func TestSolveCubesBudget(t *testing.T) {
+	base := New()
+	hardInstance(base)
+	base.SetBudget(20)
+	cubes := CubeSplitter{Depth: 2}.Split(base)
+	if len(cubes) == 0 {
+		t.Fatal("no cubes")
+	}
+	run := SolveCubes(base, cubes, 2)
+	if run.Status != Unknown {
+		t.Fatalf("status = %v, want Unknown", run.Status)
+	}
+	if run.Budget == nil || run.Budget.Kind != BudgetConflicts {
+		t.Fatalf("Budget = %v, want conflicts cause", run.Budget)
+	}
+}
+
+// TestSolveCubesPanicRecovered: a panicking cube worker is recorded in
+// CubeRun.Err; the process survives.
+func TestSolveCubesPanicRecovered(t *testing.T) {
+	base := New()
+	pigeonholeInstance(base, 5)
+	base.SetFaults(&faultinject.Always{Sites: []faultinject.Site{faultinject.SolvePanic}})
+	cubes := CubeSplitter{Depth: 2}.Split(base)
+	run := SolveCubes(base, cubes, 2)
+	if run.Err == nil {
+		t.Fatal("Err = nil; worker panics were not recovered")
+	}
+	if site := faultinject.InjectedSite(run.Err.(*faultinject.RecoveredPanic)); site != faultinject.SolvePanic {
+		t.Fatalf("Err = %v, want injected solve-panic", run.Err)
+	}
+	if run.Status != Unknown {
+		t.Fatalf("status = %v, want Unknown when all workers crash", run.Status)
+	}
+}
+
+// TestCloneCarriesBudgets: CloneFormula copies the budget axes, so a
+// clone stops exactly like its source would.
+func TestCloneCarriesBudgets(t *testing.T) {
+	base := New()
+	hardInstance(base)
+	base.SetBudget(30)
+	base.SetPropagationBudget(1 << 40)
+	c := base.CloneFormula()
+	if st := c.Solve(); st != Unknown {
+		t.Fatalf("clone status = %v, want Unknown", st)
+	}
+	if be := c.BudgetErr(); be == nil || be.Kind != BudgetConflicts {
+		t.Fatalf("clone BudgetErr() = %v, want conflicts cause", be)
+	}
+}

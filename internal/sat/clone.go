@@ -16,9 +16,10 @@ package sat
 // so sharing them between solvers would race. The elimination stack
 // is shared: Preprocess never mutates it after preprocessing
 // finishes, and model extension only reads it, so clones reconstruct
-// eliminated-variable values from the same record. Budget, restart
-// policy, and the external stop predicate carry over; the interrupt
-// flag and any adopted model overlay do not.
+// eliminated-variable values from the same record. Budgets (conflict,
+// propagation, deadline, memory), fault hooks, restart policy, and
+// the external stop predicate carry over; the interrupt flag and any
+// adopted model overlay do not.
 //
 // The receiver is backtracked to the root level and propagated to a
 // fixpoint first (mutations!), so CloneFormula must not run while
@@ -38,6 +39,10 @@ func (s *Solver) CloneFormula() *Solver {
 		maxLearnts:    s.maxLearnts,
 		learntGrowth:  s.learntGrowth,
 		budget:        s.budget,
+		deadline:      s.deadline,
+		propBudget:    s.propBudget,
+		memBudget:     s.memBudget,
+		faults:        s.faults,
 		stop:          s.stop,
 		restartPolicy: s.restartPolicy,
 		lbdFast:       s.lbdFast,
@@ -123,6 +128,7 @@ func (s *Solver) CloneFormula() *Solver {
 	for _, cl := range s.learnts {
 		copyClause(cl, true)
 	}
+	c.recountLearntLits()
 	return c
 }
 

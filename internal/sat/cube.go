@@ -111,6 +111,12 @@ type CubeRun struct {
 	Refuted int
 	// Work sums the search counters of all cube workers.
 	Work Stats
+	// Budget carries the typed budget exhaustion when Status is
+	// Unknown because some worker ran out of budget.
+	Budget *ErrBudget
+	// Err carries the first recovered worker panic (as a
+	// *faultinject.RecoveredPanic) when a worker crashed.
+	Err error
 }
 
 // SolveCubes solves base's formula as a partition over cubes on a
@@ -120,7 +126,9 @@ type CubeRun struct {
 // useful) for the next. Every cube is solved under assumptions
 // followed by the cube's literals. The first Sat interrupts all other
 // workers and wins; Unsat requires every cube refuted; anything else
-// (interrupt, stop predicate, budget) yields Unknown.
+// (interrupt, stop predicate, budget) yields Unknown. A worker that
+// panics (injected fault, genuine bug) records the recovered panic in
+// Err and stops claiming cubes instead of crashing the process.
 //
 // With no cubes, base is solved directly (serial fallback).
 func SolveCubes(base *Solver, cubes [][]Lit, workers int, assumptions ...Lit) CubeRun {
@@ -129,6 +137,8 @@ func SolveCubes(base *Solver, cubes [][]Lit, workers int, assumptions ...Lit) Cu
 		run.Status = base.Solve(assumptions...)
 		if run.Status == Sat {
 			run.Winner = base
+		} else if run.Status == Unknown {
+			run.Budget = base.BudgetErr()
 		}
 		return run
 	}
@@ -149,13 +159,19 @@ func SolveCubes(base *Solver, cubes [][]Lit, workers int, assumptions ...Lit) Cu
 		refuted atomic.Int64
 		mu      sync.Mutex
 		winner  *Solver
+		panics  = make([]error, workers)
 		wg      sync.WaitGroup
 	)
 	next.Store(-1)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(c *Solver) {
+		go func(w int, c *Solver) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[w] = RecoverAsError(p)
+				}
+			}()
 			var buf []Lit
 			for {
 				i := int(next.Add(1))
@@ -185,7 +201,7 @@ func SolveCubes(base *Solver, cubes [][]Lit, workers int, assumptions ...Lit) Cu
 					return
 				}
 			}
-		}(clones[w])
+		}(w, clones[w])
 	}
 	wg.Wait()
 	run.Refuted = int(refuted.Load())
@@ -205,6 +221,18 @@ func SolveCubes(base *Solver, cubes [][]Lit, workers int, assumptions ...Lit) Cu
 		run.Status = Unsat
 	default:
 		run.Status = Unknown
+		for _, c := range clones {
+			if be := c.BudgetErr(); be != nil {
+				run.Budget = be
+				break
+			}
+		}
+	}
+	for _, p := range panics {
+		if p != nil {
+			run.Err = p
+			break
+		}
 	}
 	return run
 }

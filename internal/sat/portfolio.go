@@ -11,7 +11,10 @@ package sat
 
 import (
 	"errors"
+	"runtime/debug"
 	"sync"
+
+	"checkfence/internal/faultinject"
 )
 
 // Config is one diversified solver configuration of a portfolio. The
@@ -24,6 +27,9 @@ type Config struct {
 	// ActivitySeed, when nonzero, seeds a deterministic permutation
 	// of the initial VSIDS branching order.
 	ActivitySeed int64
+	// Faults, when non-nil, installs fault-injection hooks on the
+	// member's solver (see internal/faultinject).
+	Faults faultinject.Faults
 }
 
 // Apply configures a freshly built solver. Call after the formula is
@@ -36,6 +42,17 @@ func (c Config) Apply(s *Solver) {
 	if c.ActivitySeed != 0 {
 		s.RandomizeActivity(c.ActivitySeed)
 	}
+	if c.Faults != nil {
+		s.SetFaults(c.Faults)
+	}
+}
+
+// RecoverAsError converts a recovered panic value into the typed
+// error the panic-isolation layers report
+// (*faultinject.RecoveredPanic, capturing the stack at the recovery
+// point). Call it from a deferred recover handler.
+func RecoverAsError(p any) error {
+	return &faultinject.RecoveredPanic{Value: p, Stack: debug.Stack()}
 }
 
 // PortfolioConfigs returns k diversified configurations. The first is
@@ -151,14 +168,29 @@ func (p *Portfolio) Solve(build func(Config) (*Solver, error), assumptions ...Li
 	solvers := make([]*Solver, len(configs))
 	errs := make([]error, len(configs))
 	winner := Race(configs, func(i int, cfg Config) (*Solver, func() bool) {
-		s, err := build(cfg)
+		s, err := func() (s *Solver, err error) {
+			// A member whose build panics (e.g. an injected alloc
+			// failure) loses the race instead of crashing the process.
+			defer func() {
+				if p := recover(); p != nil {
+					s, err = nil, RecoverAsError(p)
+				}
+			}()
+			return build(cfg)
+		}()
 		if err != nil {
 			errs[i] = err
 			return nil, func() bool { return false }
 		}
 		cfg.Apply(s)
 		solvers[i] = s
-		return s, func() bool {
+		return s, func() (definitive bool) {
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = RecoverAsError(p)
+					definitive = false
+				}
+			}()
 			statuses[i] = s.Solve(assumptions...)
 			return statuses[i] != Unknown
 		}
@@ -175,26 +207,45 @@ func (p *Portfolio) Solve(build func(Config) (*Solver, error), assumptions ...Li
 	return statuses[winner], solvers[winner], nil
 }
 
+// SharedRun is the outcome of SolveShared. Winner holds the winning
+// solver when Status is definitive (a clone unless the portfolio has
+// a single member, in which case base itself). On Unknown, Budget
+// carries the typed budget exhaustion when some member ran out of
+// budget, and Panic the first recovered member panic when no member
+// was definitive — so callers can tell exhaustion and crashes from
+// plain cancellation.
+type SharedRun struct {
+	Status Status
+	Winner *Solver
+	Work   Stats
+	Budget *ErrBudget
+	Panic  error
+}
+
 // SolveShared races the portfolio over CloneFormula snapshots of one
 // preprocessed base solver, so encoding and preprocessing run once
 // regardless of the portfolio width — the shared-formula counterpart
 // of Solve. With ShareClauses set, members exchange learned clauses
-// through a SharePool. It returns the winner's status, the winning
-// solver (a clone unless the portfolio has a single member, in which
-// case base itself is solved and returned), and the summed work
-// counters of every member. A caller that needs base positioned at
-// the winning model should AdoptModelFrom the returned solver.
-func (p *Portfolio) SolveShared(base *Solver, assumptions ...Lit) (Status, *Solver, Stats) {
+// through a SharePool. A member that panics (injected fault, genuine
+// bug) loses the race instead of crashing the process. A caller that
+// needs base positioned at the winning model should AdoptModelFrom
+// run.Winner.
+func (p *Portfolio) SolveShared(base *Solver, assumptions ...Lit) SharedRun {
 	configs := p.Configs
 	if len(configs) == 0 {
 		configs = PortfolioConfigs(4)
 	}
 	if len(configs) == 1 {
 		st := base.Solve(assumptions...)
+		run := SharedRun{Status: st}
 		if st == Unknown {
-			return Unknown, nil, Stats{}
+			if be := base.BudgetErr(); be != nil {
+				run.Budget = be
+			}
+			return run
 		}
-		return st, base, Stats{}
+		run.Winner = base
+		return run
 	}
 	var pool *SharePool
 	if p.ShareClauses {
@@ -207,31 +258,50 @@ func (p *Portfolio) SolveShared(base *Solver, assumptions ...Lit) (Status, *Solv
 		clones[i] = base.CloneFormula()
 	}
 	statuses := make([]Status, len(configs))
+	panics := make([]error, len(configs))
 	winner := Race(configs, func(i int, cfg Config) (*Solver, func() bool) {
 		s := clones[i]
 		cfg.Apply(s)
 		if pool != nil {
 			pool.Attach(i, s)
 		}
-		return s, func() bool {
+		return s, func() (definitive bool) {
+			defer func() {
+				if p := recover(); p != nil {
+					panics[i] = RecoverAsError(p)
+					definitive = false
+				}
+			}()
 			statuses[i] = s.Solve(assumptions...)
 			return statuses[i] != Unknown
 		}
 	})
-	var work Stats
+	var run SharedRun
 	for _, c := range clones {
 		st := c.Stats()
-		work.Conflicts += st.Conflicts
-		work.Decisions += st.Decisions
-		work.Propagations += st.Propagations
-		work.Restarts += st.Restarts
-		work.Learnts += st.Learnts
-		work.SharedExported += st.SharedExported
-		work.SharedImported += st.SharedImported
-		work.SharedUseful += st.SharedUseful
+		run.Work.Conflicts += st.Conflicts
+		run.Work.Decisions += st.Decisions
+		run.Work.Propagations += st.Propagations
+		run.Work.Restarts += st.Restarts
+		run.Work.Learnts += st.Learnts
+		run.Work.SharedExported += st.SharedExported
+		run.Work.SharedImported += st.SharedImported
+		run.Work.SharedUseful += st.SharedUseful
 	}
 	if winner < 0 {
-		return Unknown, nil, work
+		run.Status = Unknown
+		for _, c := range clones {
+			if be := c.BudgetErr(); be != nil {
+				run.Budget = be
+				break
+			}
+		}
+		if run.Budget == nil {
+			run.Panic = errors.Join(panics...)
+		}
+		return run
 	}
-	return statuses[winner], clones[winner], work
+	run.Status = statuses[winner]
+	run.Winner = clones[winner]
+	return run
 }

@@ -15,11 +15,12 @@
 package sat
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"checkfence/internal/faultinject"
 )
 
 // Lit is a literal: variable index shifted left once, low bit set for
@@ -98,10 +99,6 @@ func (s Status) String() string {
 		return "UNKNOWN"
 	}
 }
-
-// ErrBudget is returned by Solve when the conflict budget set with
-// SetBudget is exhausted.
-var ErrBudget = errors.New("sat: conflict budget exhausted")
 
 type clause struct {
 	lits     []Lit
@@ -250,6 +247,19 @@ type Solver struct {
 	seen     []bool
 	analyzeT []Lit // temporary for minimization
 
+	// Resource budgets beyond the conflict cap (see budget.go):
+	// wall-clock deadline, propagation cap, and the approximate byte
+	// ceiling on the learned-clause database tracked via learntLits.
+	// budgetErr records why the last Solve returned Unknown when a
+	// budget was the cause; faults is the optional fault-injection
+	// hook.
+	deadline   time.Time
+	propBudget int64
+	memBudget  int64
+	learntLits int64
+	budgetErr  *ErrBudget
+	faults     faultinject.Faults
+
 	// lbdStamp/lbdGen implement the reusable stamp array of
 	// computeLBD: lbdStamp[level] == lbdGen marks a decision level as
 	// counted for the current clause, avoiding a map allocation per
@@ -368,6 +378,12 @@ func New() *Solver {
 
 // NewVar introduces a fresh variable and returns its index.
 func (s *Solver) NewVar() int {
+	if s.faults != nil && s.faults.Fire(faultinject.SolverAlloc) {
+		// Simulated allocation failure: a real one would be a runtime
+		// panic here too, so the hook panics and relies on the
+		// isolation layer above to convert it into a typed error.
+		panic(faultinject.Injected{Site: faultinject.SolverAlloc})
+	}
 	v := len(s.assigns)
 	s.assigns = append(s.assigns, lUndef)
 	s.phase = append(s.phase, false)
@@ -804,6 +820,7 @@ func (s *Solver) record(lits []Lit) {
 	}
 	c := &clause{lits: lits, learnt: true, lbd: s.computeLBD(lits)}
 	s.learnts = append(s.learnts, c)
+	s.learntLits += int64(len(lits))
 	s.attach(c)
 	s.bumpClause(c)
 	s.uncheckedEnqueue(lits[0], c)
@@ -846,6 +863,7 @@ func (s *Solver) reduceDB() {
 		}
 	}
 	s.learnts = keep
+	s.recountLearntLits()
 }
 
 func (s *Solver) locked(c *clause) bool {
@@ -885,12 +903,31 @@ func luby(i int64) int64 {
 }
 
 // Solve searches for a model extending the given assumptions. It
-// returns Sat, Unsat, or Unknown (budget exhausted).
+// returns Sat, Unsat, or Unknown (interrupted, stopped, or budget
+// exhausted — BudgetErr tells which).
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	s.adopted = nil
+	s.budgetErr = nil
 	if !s.ok {
 		return Unsat
 	}
+	// Check the external stop predicate once at entry: a multi-solve
+	// procedure (mining, the two-phase inclusion check) whose
+	// individual solves are too short to reach the periodic in-loop
+	// checkpoint still observes a cancellation raised between solves.
+	if s.interrupted.Load() || (s.stop != nil && s.stop()) {
+		return Unknown
+	}
+	var solveStart time.Time
+	if !s.deadline.IsZero() {
+		solveStart = time.Now()
+		if solveStart.After(s.deadline) {
+			// Already past the deadline: don't start at all.
+			s.budgetErr = &ErrBudget{Kind: BudgetDeadline, Spent: 0}
+			return Unknown
+		}
+	}
+	startProps := s.stats.Propagations
 	for _, a := range assumptions {
 		if s.eliminated[a.Var()] {
 			panic(fmt.Sprintf("sat: assumption %v references eliminated variable", a))
@@ -914,12 +951,20 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 
 	for {
 		// Interruption check points: the atomic flag every iteration
-		// (one load), the external predicate every 128 iterations (it
-		// may be a deadline or context check).
+		// (one load); the external predicate, the slow budget axes
+		// (deadline, propagations, memory), and the fault hooks every
+		// 128 iterations.
 		ticks++
 		if s.interrupted.Load() || (s.stop != nil && ticks&127 == 0 && s.stop()) {
 			s.cancelUntil(0)
 			return Unknown
+		}
+		if ticks&127 == 0 {
+			if be := s.checkBudgets(solveStart, startProps); be != nil {
+				s.budgetErr = be
+				s.cancelUntil(0)
+				return Unknown
+			}
 		}
 		confl := s.propagate()
 		if confl != nil {
@@ -939,6 +984,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		}
 
 		if s.budget > 0 && conflicts >= s.budget {
+			s.budgetErr = &ErrBudget{Kind: BudgetConflicts, Spent: conflicts}
 			s.cancelUntil(0)
 			return Unknown
 		}

@@ -165,6 +165,7 @@ func (s *Solver) addShared(lits []Lit, lbd int) bool {
 	default:
 		c := &clause{lits: out, learnt: true, shared: true, lbd: lbd}
 		s.learnts = append(s.learnts, c)
+		s.learntLits += int64(len(out))
 		s.attach(c)
 	}
 	return true

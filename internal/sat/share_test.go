@@ -45,14 +45,14 @@ func TestSolveSharedUnsat(t *testing.T) {
 	base := New()
 	pigeonholeInstance(base, 7)
 	p := Portfolio{Configs: PortfolioConfigs(4), ShareClauses: true}
-	st, _, work := p.SolveShared(base)
-	if st != Unsat {
-		t.Fatalf("verdict = %v, want Unsat", st)
+	run := p.SolveShared(base)
+	if run.Status != Unsat {
+		t.Fatalf("verdict = %v, want Unsat", run.Status)
 	}
-	if work.SharedExported == 0 {
+	if run.Work.SharedExported == 0 {
 		t.Error("no clauses exported; sharing is wired up wrong")
 	}
-	if work.SharedImported == 0 {
+	if run.Work.SharedImported == 0 {
 		t.Error("no clauses imported; restart-boundary import never ran")
 	}
 }
@@ -63,13 +63,13 @@ func TestSolveSharedSat(t *testing.T) {
 	base := New()
 	clauses := plantedInstance(base, 40, 160, 21)
 	p := Portfolio{Configs: PortfolioConfigs(3), ShareClauses: true}
-	st, winner, _ := p.SolveShared(base)
-	if st != Sat {
-		t.Fatalf("verdict = %v, want Sat", st)
+	run := p.SolveShared(base)
+	if run.Status != Sat {
+		t.Fatalf("verdict = %v, want Sat", run.Status)
 	}
-	modelSatisfies(t, winner, clauses)
-	if winner != base {
-		base.AdoptModelFrom(winner)
+	modelSatisfies(t, run.Winner, clauses)
+	if run.Winner != base {
+		base.AdoptModelFrom(run.Winner)
 	}
 	modelSatisfies(t, base, clauses)
 }
@@ -79,11 +79,11 @@ func TestSolveSharedSingleMember(t *testing.T) {
 	base := New()
 	clauses := plantedInstance(base, 20, 80, 5)
 	p := Portfolio{Configs: PortfolioConfigs(1)}
-	st, winner, _ := p.SolveShared(base)
-	if st != Sat {
-		t.Fatalf("verdict = %v, want Sat", st)
+	run := p.SolveShared(base)
+	if run.Status != Sat {
+		t.Fatalf("verdict = %v, want Sat", run.Status)
 	}
-	if winner != base {
+	if run.Winner != base {
 		t.Fatal("single-member portfolio must solve base itself")
 	}
 	modelSatisfies(t, base, clauses)

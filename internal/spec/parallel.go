@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"checkfence/internal/encode"
+	"checkfence/internal/faultinject"
 	"checkfence/internal/sat"
 )
 
@@ -72,6 +73,28 @@ type Strategy struct {
 	MaxMineIterations int
 	// Stats, when non-nil, accumulates parallel-work counters.
 	Stats *ParStats
+	// Resume seeds the enumeration with a previously mined partial
+	// set: its observations are excluded up front (the exclusion
+	// clauses block every model of each observation, a superset of the
+	// per-model blocking clauses the original run added) and included
+	// in the result, so an interrupted mine continues instead of
+	// restarting.
+	Resume *Set
+	// ResumeIterations is the iteration count already spent producing
+	// Resume; the continued run's count and the iteration limit are
+	// cumulative across it.
+	ResumeIterations int
+	// Checkpoint, when non-nil, is called with the partial set and the
+	// cumulative iteration count every CheckpointEvery iterations, so
+	// an interrupted mine can later resume. The callback must not
+	// retain the set: mining keeps mutating it.
+	Checkpoint func(partial *Set, iterations int)
+	// CheckpointEvery is the iteration period between Checkpoint calls
+	// (0 = 32).
+	CheckpointEvery int
+	// Faults, when non-nil, installs fault-injection hooks on the
+	// mining path (see internal/faultinject).
+	Faults faultinject.Faults
 }
 
 // ParStats counts the parallel work of a check.
@@ -91,6 +114,24 @@ func (st Strategy) maxIter() int {
 		return st.MaxMineIterations
 	}
 	return DefaultMaxMineIterations
+}
+
+func (st Strategy) checkpointEvery() int {
+	if st.CheckpointEvery > 0 {
+		return st.CheckpointEvery
+	}
+	return 32
+}
+
+// unknownErr wraps a non-definitive solver status into the
+// ErrSolverUnknown chain, preserving the typed cause (a *sat.ErrBudget
+// or a recovered panic) when one is known so upstream layers can tell
+// budget exhaustion from cancellation.
+func unknownErr(phase string, st sat.Status, cause error) error {
+	if cause != nil {
+		return fmt.Errorf("%w during %s: %w", ErrSolverUnknown, phase, cause)
+	}
+	return fmt.Errorf("%w during %s (status %v)", ErrSolverUnknown, phase, st)
 }
 
 func (st Strategy) fold(work sat.Stats) {
@@ -115,28 +156,40 @@ func decodeObs(e *encode.Encoder, s *sat.Solver, svs []encode.SymVal) Observatio
 // solveOne performs one single-verdict solve under the strategy: a
 // shared-formula portfolio when configured, the encoder's own solver
 // otherwise. On Sat the model is readable through e.S (a winning
-// clone's model is adopted).
-func solveOne(e *encode.Encoder, strat Strategy, assumptions ...sat.Lit) sat.Status {
+// clone's model is adopted). On Unknown the second result carries the
+// typed cause — a *sat.ErrBudget or a recovered member panic — when
+// one is known, and nil for plain cancellation.
+func solveOne(e *encode.Encoder, strat Strategy, assumptions ...sat.Lit) (sat.Status, error) {
 	if strat.Portfolio > 1 {
 		p := sat.Portfolio{
 			Configs:      sat.PortfolioConfigs(strat.Portfolio),
 			ShareClauses: strat.ShareClauses,
 			ShareLBD:     strat.ShareLBD,
 		}
-		status, winner, work := p.SolveShared(e.S, assumptions...)
-		strat.fold(work)
-		if status == sat.Sat && winner != e.S {
-			e.S.AdoptModelFrom(winner)
+		run := p.SolveShared(e.S, assumptions...)
+		strat.fold(run.Work)
+		if run.Status == sat.Sat && run.Winner != e.S {
+			e.S.AdoptModelFrom(run.Winner)
 		}
-		return status
+		if run.Budget != nil {
+			return run.Status, run.Budget
+		}
+		return run.Status, run.Panic
 	}
-	return e.S.Solve(assumptions...)
+	st := e.S.Solve(assumptions...)
+	if st == sat.Unknown {
+		if be := e.S.BudgetErr(); be != nil {
+			return st, be
+		}
+	}
+	return st, nil
 }
 
 // solvePhase2 solves the final (unassumed) query of the inclusion
 // check: cube-and-conquer when configured, solveOne otherwise. On Sat
-// the model is readable through e.S.
-func solvePhase2(e *encode.Encoder, strat Strategy) sat.Status {
+// the model is readable through e.S. The error result mirrors
+// solveOne's.
+func solvePhase2(e *encode.Encoder, strat Strategy) (sat.Status, error) {
 	if strat.Cube <= 1 {
 		return solveOne(e, strat)
 	}
@@ -156,13 +209,22 @@ func solvePhase2(e *encode.Encoder, strat Strategy) sat.Status {
 	if run.Status == sat.Sat && run.Winner != e.S {
 		e.S.AdoptModelFrom(run.Winner)
 	}
-	return run.Status
+	if run.Budget != nil {
+		return run.Status, run.Budget
+	}
+	return run.Status, run.Err
 }
 
 // MineWith is Mine under a parallelism strategy. The mined set and
 // iteration count are identical to the serial enumeration for every
-// strategy; only the wall-clock schedule differs.
+// strategy; only the wall-clock schedule differs. When mining stops
+// early (iteration limit, budget, cancellation), the partial set mined
+// so far is returned alongside the error so callers can checkpoint and
+// later resume it instead of discarding the work.
 func MineWith(e *encode.Encoder, entries []Entry, strat Strategy) (*Set, MineStats, error) {
+	if strat.Faults != nil && strat.Faults.Fire(faultinject.MinePanic) {
+		panic(faultinject.Injected{Site: faultinject.MinePanic})
+	}
 	svs, err := obsVals(e, entries)
 	if err != nil {
 		return nil, MineStats{}, err
@@ -181,34 +243,62 @@ func MineWith(e *encode.Encoder, entries []Entry, strat Strategy) (*Set, MineSta
 
 	// Sequential bug check: is any erroneous serial execution
 	// possible?
-	switch st := solveOne(e, strat, errLit); st {
+	switch st, cause := solveOne(e, strat, errLit); st {
 	case sat.Sat:
 		return nil, MineStats{}, &SeqBugError{Obs: decodeObs(e, e.S, svs)}
 	case sat.Unsat:
 	default:
-		return nil, MineStats{}, fmt.Errorf("%w during sequential bug check (status %v)", ErrSolverUnknown, st)
+		return nil, MineStats{}, unknownErr("sequential bug check", st, cause)
 	}
 
 	// Enumerate error-free serial observations.
 	e.S.AddClause(errLit.Not())
+	if strat.Resume != nil {
+		// Exclude everything the checkpoint already mined. Each
+		// exclusion blocks all models of its observation — a superset
+		// of the per-model blocking clauses the original run added —
+		// so checkpoint ∪ continued enumeration is the full set.
+		for _, o := range strat.Resume.All() {
+			if err := assertNotObservation(e, svs, o); err != nil {
+				return nil, MineStats{}, err
+			}
+		}
+	}
 	if strat.Cube > 1 {
 		return minePartitioned(e, svs, lits, strat)
 	}
 	return mineSerial(e, svs, lits, strat)
 }
 
+// seedSet returns the set mining accumulates into, pre-populated with
+// the resumed checkpoint's observations.
+func (st Strategy) seedSet() *Set {
+	set := NewSet()
+	if st.Resume != nil {
+		for _, o := range st.Resume.All() {
+			set.Add(o)
+		}
+	}
+	return set
+}
+
 // mineSerial is the classical blocking-clause enumeration on e.S.
 func mineSerial(e *encode.Encoder, svs []encode.SymVal, lits []sat.Lit, strat Strategy) (*Set, MineStats, error) {
-	set := NewSet()
-	stats := MineStats{}
+	set := strat.seedSet()
+	stats := MineStats{Iterations: strat.ResumeIterations}
 	limit := strat.maxIter()
+	every := strat.checkpointEvery()
 	for {
 		st := e.S.Solve()
 		if st == sat.Unsat {
 			return set, stats, nil
 		}
 		if st != sat.Sat {
-			return nil, stats, fmt.Errorf("%w during mining (status %v)", ErrSolverUnknown, st)
+			var cause error
+			if be := e.S.BudgetErr(); be != nil {
+				cause = be
+			}
+			return set, stats, unknownErr("mining", st, cause)
 		}
 		stats.Iterations++
 		set.Add(decodeObs(e, e.S, svs))
@@ -216,8 +306,11 @@ func mineSerial(e *encode.Encoder, svs []encode.SymVal, lits []sat.Lit, strat St
 		// model (not just this observation's canonical value): the
 		// bits fully determine the observation.
 		e.S.AddClause(blockingClause(e.S, lits)...)
+		if strat.Checkpoint != nil && stats.Iterations%every == 0 {
+			strat.Checkpoint(set, stats.Iterations)
+		}
 		if stats.Iterations > limit {
-			return nil, stats, fmt.Errorf("%w (%d iterations)", ErrMineLimit, stats.Iterations)
+			return set, stats, fmt.Errorf("%w (%d iterations)", ErrMineLimit, stats.Iterations)
 		}
 	}
 }
@@ -308,16 +401,18 @@ func minePartitioned(e *encode.Encoder, svs []encode.SymVal, lits []sat.Lit, str
 		clones[i] = e.S.CloneFormula()
 	}
 
-	set := NewSet()
+	set := strat.seedSet()
 	limit := strat.maxIter()
+	every := strat.checkpointEvery()
 	var (
 		next     atomic.Int64
 		iters    atomic.Int64
 		refuted  atomic.Int64
-		mu       sync.Mutex // guards set and firstErr
+		mu       sync.Mutex // guards set, firstErr, and Checkpoint calls
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	iters.Store(int64(strat.ResumeIterations))
 	next.Store(-1)
 	fail := func(err error) {
 		mu.Lock()
@@ -333,6 +428,14 @@ func minePartitioned(e *encode.Encoder, svs []encode.SymVal, lits []sat.Lit, str
 		wg.Add(1)
 		go func(s *sat.Solver) {
 			defer wg.Done()
+			// A panicking worker (injected fault, genuine bug) fails
+			// the mine with a typed error instead of crashing the
+			// process; the other workers are interrupted.
+			defer func() {
+				if p := recover(); p != nil {
+					fail(sat.RecoverAsError(p))
+				}
+			}()
 			for {
 				i := int(next.Add(1))
 				if i >= len(cubes) {
@@ -345,16 +448,24 @@ func minePartitioned(e *encode.Encoder, svs []encode.SymVal, lits []sat.Lit, str
 						break // cube exhausted; steal the next one
 					}
 					if st != sat.Sat {
-						fail(fmt.Errorf("%w during mining (status %v)", ErrSolverUnknown, st))
+						var cause error
+						if be := s.BudgetErr(); be != nil {
+							cause = be
+						}
+						fail(unknownErr("mining", st, cause))
 						return
 					}
-					if n := iters.Add(1); n > int64(limit) {
+					n := iters.Add(1)
+					if n > int64(limit) {
 						fail(fmt.Errorf("%w (%d iterations)", ErrMineLimit, n))
 						return
 					}
 					obs := decodeObs(e, s, svs)
 					mu.Lock()
 					set.Add(obs)
+					if strat.Checkpoint != nil && n%int64(every) == 0 {
+						strat.Checkpoint(set, int(n))
+					}
 					mu.Unlock()
 					s.AddClause(blockingClause(s, lits)...)
 				}
@@ -368,7 +479,9 @@ func minePartitioned(e *encode.Encoder, svs []encode.SymVal, lits []sat.Lit, str
 		strat.Stats.CubesRefuted += int(refuted.Load())
 	}
 	if firstErr != nil {
-		return nil, stats, firstErr
+		// The partial set remains sound — every observation in it is a
+		// real serial observation — so return it for checkpointing.
+		return set, stats, firstErr
 	}
 	return set, stats, nil
 }
@@ -394,7 +507,7 @@ func CheckInclusionWith(e *encode.Encoder, entries []Entry, set *Set, strat Stra
 	e.PreprocessCNF(roots...)
 
 	// Phase 1: any execution with a runtime error is a counterexample.
-	switch st := solveOne(e, strat, errLit); st {
+	switch st, cause := solveOne(e, strat, errLit); st {
 	case sat.Sat:
 		obs := decodeObs(e, e.S, svs)
 		msg := ""
@@ -407,7 +520,7 @@ func CheckInclusionWith(e *encode.Encoder, entries []Entry, set *Set, strat Stra
 		return &Counterexample{Obs: obs, IsErr: true, Err: msg}, nil
 	case sat.Unsat:
 	default:
-		return nil, fmt.Errorf("%w during error check (status %v)", ErrSolverUnknown, st)
+		return nil, unknownErr("error check", st, cause)
 	}
 
 	// Phase 2: exclude the specification's observations and solve.
@@ -417,12 +530,12 @@ func CheckInclusionWith(e *encode.Encoder, entries []Entry, set *Set, strat Stra
 			return nil, err
 		}
 	}
-	switch st := solvePhase2(e, strat); st {
+	switch st, cause := solvePhase2(e, strat); st {
 	case sat.Unsat:
 		return nil, nil
 	case sat.Sat:
 		return &Counterexample{Obs: decodeObs(e, e.S, svs)}, nil
 	default:
-		return nil, fmt.Errorf("%w during inclusion check (status %v)", ErrSolverUnknown, st)
+		return nil, unknownErr("inclusion check", st, cause)
 	}
 }

@@ -33,6 +33,11 @@ import (
 const (
 	setFormatHeader   = "checkfence-obs 1" // legacy unkeyed format
 	setFormatHeaderV2 = "checkfence-obs 2"
+	// partFormatHeader marks a mining checkpoint: a partial set plus
+	// the cumulative iteration count that produced it. The distinct
+	// header keeps checkpoints out of the strict keyed reader — a
+	// partial set must never be mistaken for a complete one.
+	partFormatHeader = "checkfence-obs-part 1"
 )
 
 // WriteTo serializes the set in deterministic (sorted key) order.
@@ -72,6 +77,71 @@ func (s *Set) WriteKeyed(w io.Writer, key string) (int64, error) {
 		}
 	}
 	return n, bw.Flush()
+}
+
+// WriteCheckpoint serializes a partial set as a mining checkpoint:
+// the keyed format plus an "iterations N" line recording the
+// cumulative enumeration count, so an interrupted mine can resume
+// where it stopped.
+func (s *Set) WriteCheckpoint(w io.Writer, key string, iterations int) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "%s\nkey %s\niterations %d\n%d\n",
+		partFormatHeader, key, iterations, s.Len())); err != nil {
+		return n, err
+	}
+	for _, o := range s.All() {
+		if err := count(fmt.Fprintln(bw, o.Key())); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadCheckpoint parses a mining checkpoint previously written with
+// WriteCheckpoint, returning the partial set and the iteration count.
+// Checkpoints under a different mining key are rejected like keyed
+// sets.
+func ReadCheckpoint(r io.Reader, key string) (*Set, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, 0, fmt.Errorf("spec: empty checkpoint stream")
+	}
+	if got := sc.Text(); got != partFormatHeader {
+		return nil, 0, fmt.Errorf("spec: bad checkpoint header %q", got)
+	}
+	if !sc.Scan() {
+		return nil, 0, fmt.Errorf("spec: checkpoint stream missing key line")
+	}
+	gotKey, ok := strings.CutPrefix(sc.Text(), "key ")
+	if !ok {
+		return nil, 0, fmt.Errorf("spec: malformed key line %q", sc.Text())
+	}
+	if gotKey != key {
+		return nil, 0, fmt.Errorf("spec: checkpoint mined for a different problem (key %.12s…, want %.12s…)",
+			gotKey, key)
+	}
+	if !sc.Scan() {
+		return nil, 0, fmt.Errorf("spec: checkpoint stream missing iterations line")
+	}
+	itersStr, ok := strings.CutPrefix(sc.Text(), "iterations ")
+	if !ok {
+		return nil, 0, fmt.Errorf("spec: malformed iterations line %q", sc.Text())
+	}
+	iters, err := strconv.Atoi(strings.TrimSpace(itersStr))
+	if err != nil || iters < 0 {
+		return nil, 0, fmt.Errorf("spec: bad checkpoint iteration count %q", itersStr)
+	}
+	set, err := readSetBody(sc)
+	if err != nil {
+		return nil, 0, err
+	}
+	return set, iters, nil
 }
 
 // ReadSetKeyed parses a keyed set previously written with WriteKeyed,
