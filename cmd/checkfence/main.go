@@ -117,6 +117,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stats     = fs.Bool("stats", false, "print Fig. 10-style statistics")
 		simplify  = fs.Int("simplify", 0, "circuit simplification: 0 = full (default), 1/2 = AIG rewriting level, -1 = off (classic Tseitin)")
 		noPreproc = fs.Bool("no-preprocess", false, "disable SatELite-style CNF preprocessing before solving")
+		inproc    = fs.Bool("inprocess", true, "enable solver inprocessing (vivification, subsumption, tiered clause DB, chronological backtracking)")
+		ordReduce = fs.Bool("order-reduce", true, "enable the model-aware memory-order encoding reduction")
 		validate  = fs.Bool("validate", true, "independently re-check counterexamples (axiom re-verification + interpreter replay)")
 	)
 	fs.Var(&models, "model", "memory model: sc, tso, pso, relaxed, serial (repeatable)")
@@ -154,6 +156,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			MaxMineIterations:    *maxMine,
 			SimplifyLevel:        *simplify,
 			NoPreprocess:         *noPreproc,
+			NoInprocess:          !*inproc,
+			NoOrderReduce:        !*ordReduce,
 			Deadline:             *timeout,
 			ConflictBudget:       *conflicts,
 			MemBudgetMB:          *memMB,
@@ -208,6 +212,9 @@ func report(w io.Writer, res *core.Result, showSpec, stats bool) int {
 		fmt.Fprintf(w, "unrolled: %d instrs, %d loads, %d stores\n", s.Instrs, s.Loads, s.Stores)
 		fmt.Fprintf(w, "circuit: %d gates\n", s.Gates)
 		fmt.Fprintf(w, "cnf: %d vars, %d clauses\n", s.CNFVars, s.CNFClauses)
+		if s.OrderVarsFixed+s.OrderVarsMerged > 0 {
+			fmt.Fprintf(w, "order reduction: %d vars fixed, %d merged\n", s.OrderVarsFixed, s.OrderVarsMerged)
+		}
 		if s.PreCNFClauses != s.CNFClauses || s.PreCNFVars != s.CNFVars {
 			fmt.Fprintf(w, "preprocessing: %d -> %d clauses in %v (%d vars eliminated, %d subsumed, %d strengthened)\n",
 				s.PreCNFClauses, s.CNFClauses, s.PreprocessTime, s.VarsEliminated, s.ClausesSubsumed, s.ClausesStrengthened)
@@ -225,6 +232,13 @@ func report(w io.Writer, res *core.Result, showSpec, stats bool) int {
 		if s.SharedExported+s.SharedImported > 0 {
 			fmt.Fprintf(w, "clause sharing: %d exported, %d imported, %d useful\n",
 				s.SharedExported, s.SharedImported, s.SharedUseful)
+		}
+		if s.VivifiedLits+s.SubsumedLearnts+s.ChronoBacktracks > 0 {
+			fmt.Fprintf(w, "inprocessing: %d lits vivified from %d clauses, %d learnts subsumed, %d chrono backtracks\n",
+				s.VivifiedLits, s.VivifiedClauses, s.SubsumedLearnts, s.ChronoBacktracks)
+		}
+		if s.TierCore+s.TierMid+s.TierLocal > 0 {
+			fmt.Fprintf(w, "learnt tiers: %d core, %d mid, %d local\n", s.TierCore, s.TierMid, s.TierLocal)
 		}
 		fmt.Fprintf(w, "times: probe=%v mine=%v encode=%v refute=%v total=%v\n",
 			s.ProbeTime, s.MineTime, s.EncodeTime, s.RefuteTime, s.TotalTime)

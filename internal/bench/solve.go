@@ -1,10 +1,12 @@
 package bench
 
-// This file measures intra-check parallelism: the slowest
-// inclusion-check rows of the study set run three ways — serial,
-// clause-sharing portfolio, and cube-and-conquer — verifying identical
+// This file measures intra-check parallelism and the inprocessing
+// optimizations: the slowest inclusion-check rows of the study set run
+// four ways — serial (inprocessing + order reduction on, the default),
+// clause-sharing portfolio, cube-and-conquer, and serial with
+// inprocessing and the order reduction disabled — verifying identical
 // verdicts and observation sets, and recording the solve-time speedups
-// as the BENCH_solve.json artifact. The three runs of a row execute
+// as the BENCH_solve.json artifact. The runs of a row execute
 // sequentially (never overlapped) so wall-clock speedups are honest.
 
 import (
@@ -50,16 +52,33 @@ type SolveRow struct {
 	SerialSolveSec    float64 `json:"serial_solve_sec"`
 	PortfolioSolveSec float64 `json:"portfolio_solve_sec"`
 	CubeSolveSec      float64 `json:"cube_solve_sec"`
+	// InprocOffSolveSec is the serial solve with inprocessing and the
+	// order-encoding reduction both disabled — the pre-optimization
+	// baseline the inproc_speedup column is measured against.
+	InprocOffSolveSec float64 `json:"inproc_off_solve_sec"`
 
-	// Speedups are serial_solve_sec over the parallel variant.
+	// Speedups are serial_solve_sec over the parallel variant;
+	// InprocSpeedup is inproc_off_solve_sec over serial_solve_sec.
 	PortfolioSpeedup float64 `json:"portfolio_speedup"`
 	CubeSpeedup      float64 `json:"cube_speedup"`
+	InprocSpeedup    float64 `json:"inproc_speedup"`
+
+	// ConflictsOn/ConflictsOff compare the serial search effort with
+	// the features on vs. off.
+	ConflictsOn  int64 `json:"conflicts_on"`
+	ConflictsOff int64 `json:"conflicts_off"`
 
 	Cubes          int   `json:"cubes"`
 	CubesRefuted   int   `json:"cubes_refuted"`
 	SharedExported int64 `json:"shared_exported"`
 	SharedImported int64 `json:"shared_imported"`
 	SharedUseful   int64 `json:"shared_useful"`
+
+	// Inprocessing and order-reduction work of the default serial run.
+	OrderVarsFixed  int   `json:"order_vars_fixed"`
+	OrderVarsMerged int   `json:"order_vars_merged"`
+	VivifiedLits    int64 `json:"vivified_lits"`
+	SubsumedLearnts int64 `json:"subsumed_learnts"`
 }
 
 // SolveArtifact is the BENCH_solve.json schema.
@@ -75,6 +94,7 @@ type SolveArtifact struct {
 	MedianPortfolioSpeedup float64    `json:"median_portfolio_speedup"`
 	MedianCubeSpeedup      float64    `json:"median_cube_speedup"`
 	MedianBestSpeedup      float64    `json:"median_best_speedup"`
+	MedianInprocSpeedup    float64    `json:"median_inproc_speedup"`
 }
 
 // SolveReport runs the slowest inclusion-check rows serially, as a
@@ -94,12 +114,13 @@ func (r *Runner) SolveReport(jsonPath string, width int) error {
 		{"serial", core.Options{Model: model}},
 		{"portfolio", core.Options{Model: model, Portfolio: width, ShareClauses: true}},
 		{"cube", core.Options{Model: model, Cube: width}},
+		{"inproc-off", core.Options{Model: model, NoInprocess: true, NoOrderReduce: true}},
 	}
 
-	r.printf("Intra-check parallelism: solve time, serial vs. portfolio vs. cube (model: %s, width: %d)\n",
+	r.printf("Intra-check parallelism and inprocessing: solve time per strategy (model: %s, width: %d)\n",
 		model, width)
-	r.printf("%-9s %-7s | %9s %9s %9s | %6s %6s | %s\n",
-		"impl", "test", "serial[s]", "portf[s]", "cube[s]", "p-spd", "c-spd", "verdict")
+	r.printf("%-9s %-7s | %9s %9s %9s %9s | %6s %6s %6s | %s\n",
+		"impl", "test", "serial[s]", "portf[s]", "cube[s]", "inoff[s]", "p-spd", "c-spd", "i-spd", "verdict")
 
 	art := SolveArtifact{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -111,7 +132,7 @@ func (r *Runner) SolveReport(jsonPath string, width int) error {
 		r.printf("note: %d CPUs < width %d; parallel variants time-slice and speedups below 1x are expected\n",
 			art.CPUs, width)
 	}
-	var pSpeedups, cSpeedups, bestSpeedups []float64
+	var pSpeedups, cSpeedups, bestSpeedups, iSpeedups []float64
 	for _, pair := range solvePairs {
 		if r.Quick && !quickSolvePairs[pair.impl+"/"+pair.test] {
 			continue
@@ -129,12 +150,15 @@ func (r *Runner) SolveReport(jsonPath string, width int) error {
 				return fmt.Errorf("bench: %s/%s (%s): %w", pair.impl, pair.test, strat.name, err)
 			}
 		}
-		serial, portf, cube := rows[0], rows[1], rows[2]
+		serial, portf, cube, inoff := rows[0], rows[1], rows[2], rows[3]
 		if err := checkAgreement(serial, portf); err != nil {
 			return fmt.Errorf("portfolio disagrees: %w", err)
 		}
 		if err := checkAgreement(serial, cube); err != nil {
 			return fmt.Errorf("cube disagrees: %w", err)
+		}
+		if err := checkAgreement(serial, inoff); err != nil {
+			return fmt.Errorf("inprocessing ablation disagrees: %w", err)
 		}
 		verdict := "pass"
 		if !serial.Res.Pass {
@@ -148,32 +172,43 @@ func (r *Runner) SolveReport(jsonPath string, width int) error {
 			SerialSolveSec:    serial.Res.Stats.RefuteTime.Seconds(),
 			PortfolioSolveSec: portf.Res.Stats.RefuteTime.Seconds(),
 			CubeSolveSec:      cube.Res.Stats.RefuteTime.Seconds(),
+			InprocOffSolveSec: inoff.Res.Stats.RefuteTime.Seconds(),
+			ConflictsOn:       serial.Res.Stats.SolverStats.Conflicts,
+			ConflictsOff:      inoff.Res.Stats.SolverStats.Conflicts,
 			Cubes:             cube.Res.Stats.Cubes,
 			CubesRefuted:      cube.Res.Stats.CubesRefuted,
 			SharedExported:    portf.Res.Stats.SharedExported,
 			SharedImported:    portf.Res.Stats.SharedImported,
 			SharedUseful:      portf.Res.Stats.SharedUseful,
+			OrderVarsFixed:    serial.Res.Stats.OrderVarsFixed,
+			OrderVarsMerged:   serial.Res.Stats.OrderVarsMerged,
+			VivifiedLits:      serial.Res.Stats.VivifiedLits,
+			SubsumedLearnts:   serial.Res.Stats.SubsumedLearnts,
 		}
 		row.PortfolioSpeedup = speedup(row.SerialSolveSec, row.PortfolioSolveSec)
 		row.CubeSpeedup = speedup(row.SerialSolveSec, row.CubeSolveSec)
+		row.InprocSpeedup = speedup(row.InprocOffSolveSec, row.SerialSolveSec)
 		art.Rows = append(art.Rows, row)
 		pSpeedups = append(pSpeedups, row.PortfolioSpeedup)
 		cSpeedups = append(cSpeedups, row.CubeSpeedup)
+		iSpeedups = append(iSpeedups, row.InprocSpeedup)
 		best := row.PortfolioSpeedup
 		if row.CubeSpeedup > best {
 			best = row.CubeSpeedup
 		}
 		bestSpeedups = append(bestSpeedups, best)
-		r.printf("%-9s %-7s | %9.3f %9.3f %9.3f | %5.2fx %5.2fx | %s\n",
+		r.printf("%-9s %-7s | %9.3f %9.3f %9.3f %9.3f | %5.2fx %5.2fx %5.2fx | %s\n",
 			row.Impl, row.Test, row.SerialSolveSec, row.PortfolioSolveSec, row.CubeSolveSec,
-			row.PortfolioSpeedup, row.CubeSpeedup, verdict)
+			row.InprocOffSolveSec, row.PortfolioSpeedup, row.CubeSpeedup, row.InprocSpeedup, verdict)
 	}
 	if len(art.Rows) > 0 {
 		art.MedianPortfolioSpeedup = median(pSpeedups)
 		art.MedianCubeSpeedup = median(cSpeedups)
 		art.MedianBestSpeedup = median(bestSpeedups)
-		r.printf("median speedups: portfolio %.2fx, cube %.2fx, best-of-both %.2fx\n",
-			art.MedianPortfolioSpeedup, art.MedianCubeSpeedup, art.MedianBestSpeedup)
+		art.MedianInprocSpeedup = median(iSpeedups)
+		r.printf("median speedups: portfolio %.2fx, cube %.2fx, best-of-both %.2fx, inprocessing %.2fx\n",
+			art.MedianPortfolioSpeedup, art.MedianCubeSpeedup, art.MedianBestSpeedup,
+			art.MedianInprocSpeedup)
 	}
 
 	if jsonPath != "" {

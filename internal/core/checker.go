@@ -112,6 +112,15 @@ type Options struct {
 	// that otherwise runs before the first solve of mining and of the
 	// inclusion check.
 	NoPreprocess bool
+	// NoInprocess disables the solver's inprocessing layer (clause
+	// vivification, on-the-fly subsumption, the tiered learnt-clause
+	// database, chronological backtracking), which is otherwise on for
+	// every solver of the check.
+	NoInprocess bool
+	// NoOrderReduce disables the model-aware memory-order encoding
+	// reduction (constant-fixing of forced order variables, merging of
+	// interchangeable pairs, skeleton-only transitivity).
+	NoOrderReduce bool
 	// ValidateTraces controls the independent re-validation of every
 	// decoded counterexample (internal/validate): the memory-model
 	// axioms are re-checked over the concrete event list and each
@@ -150,6 +159,8 @@ func (o Options) encodeConfig() encode.Config {
 		cfg.RewriteLevel = o.SimplifyLevel
 	}
 	cfg.Preprocess = !o.NoPreprocess
+	cfg.Inprocess = !o.NoInprocess
+	cfg.OrderReduce = !o.NoOrderReduce
 	cfg.Faults = o.Faults
 	return cfg
 }
@@ -213,6 +224,28 @@ type Stats struct {
 	SharedExported int64
 	SharedImported int64
 	SharedUseful   int64
+
+	// Inprocessing work of the inclusion check (base solver plus
+	// portfolio/cube workers): literals removed by clause vivification
+	// (and the clauses they came from), learnt clauses deleted by
+	// on-the-fly subsumption, and conflicts resolved by a chronological
+	// backtrack. Zero with Options.NoInprocess.
+	VivifiedLits     int64
+	VivifiedClauses  int64
+	SubsumedLearnts  int64
+	ChronoBacktracks int64
+	// Learnt-database tier sizes of the inclusion check's base solver
+	// at the end of the check.
+	TierCore  int
+	TierMid   int
+	TierLocal int
+
+	// Order-encoding reduction of the inclusion-check formula: order
+	// variables fixed to constants beyond the baseline program-order
+	// rules, and pairs merged into an already-allocated variable. Zero
+	// with Options.NoOrderReduce.
+	OrderVarsFixed  int
+	OrderVarsMerged int
 
 	ProbeTime   time.Duration // lazy loop bound probes
 	MineTime    time.Duration // specification mining
@@ -428,6 +461,10 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 		res.Stats.SharedExported += pstats.SharedExported
 		res.Stats.SharedImported += pstats.SharedImported
 		res.Stats.SharedUseful += pstats.SharedUseful
+		res.Stats.VivifiedClauses += pstats.VivifiedClauses
+		res.Stats.VivifiedLits += pstats.VivifiedLits
+		res.Stats.SubsumedLearnts += pstats.SubsumedLearnts
+		res.Stats.ChronoBacktracks += pstats.ChronoBacktracks
 	}()
 
 	// Specification. The mining procedure is wrapped in a closure so
@@ -541,6 +578,17 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 	res.Stats.ClausesSubsumed = st.ClausesSubsumed
 	res.Stats.ClausesStrengthened = st.ClausesStrengthened
 	res.Stats.PreprocessTime = st.PreprocessTime
+	// Base-solver inprocessing work; the parallel workers' share is
+	// folded in from pstats when runCheck returns.
+	res.Stats.VivifiedClauses += st.VivifiedClauses
+	res.Stats.VivifiedLits += st.VivifiedLits
+	res.Stats.SubsumedLearnts += st.SubsumedLearnts
+	res.Stats.ChronoBacktracks += st.ChronoBacktracks
+	res.Stats.TierCore = st.TierCore
+	res.Stats.TierMid = st.TierMid
+	res.Stats.TierLocal = st.TierLocal
+	res.Stats.OrderVarsFixed = enc.OrderVarsFixed
+	res.Stats.OrderVarsMerged = enc.OrderVarsMerged
 	if st.PreClauses == 0 {
 		// Preprocessing did not run; pre-minimization size is the
 		// final size.

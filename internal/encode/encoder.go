@@ -77,6 +77,17 @@ type Config struct {
 	// variable elimination, subsumption, self-subsuming resolution)
 	// before the first Solve; see PreprocessCNF.
 	Preprocess bool
+	// OrderReduce enables the model-aware reduction of the memory-order
+	// encoding: order variables forced by program order together with
+	// the fence and same-address axioms become constants, the
+	// interchangeable order pairs of an atomic block (and, under
+	// Serial, of an operation) collapse into one variable, and the
+	// transitivity axioms are emitted only over the reduced skeleton.
+	OrderReduce bool
+	// Inprocess enables the solver's inprocessing layer (clause
+	// vivification, on-the-fly subsumption, the tiered learnt-clause
+	// database, chronological backtracking); see internal/sat.
+	Inprocess bool
 	// Abort, when non-nil, is polled between encode phases and
 	// periodically inside the heavy compilation and axiom loops; a
 	// non-nil return aborts Encode with that error. Budgeted checks
@@ -90,7 +101,8 @@ type Config struct {
 
 // DefaultConfig returns the full minimization pipeline.
 func DefaultConfig() Config {
-	return Config{RewriteLevel: 2, PolarityAware: true, Preprocess: true}
+	return Config{RewriteLevel: 2, PolarityAware: true, Preprocess: true,
+		OrderReduce: true, Inprocess: true}
 }
 
 // Encoder assembles Φ for one (test, model) pair.
@@ -117,6 +129,15 @@ type Encoder struct {
 	order     [][]bitvec.Node // order[i][j] for i<j: node for i <M j
 	numGroups int
 
+	// Order-encoding reduction state (Cfg.OrderReduce): orderRep maps
+	// each access to the representative of its merge class (identity
+	// when reduction is off), and the counters record how many pairs
+	// were fixed to constants beyond the baseline rules and how many
+	// shared an already-allocated variable.
+	orderRep        []int
+	OrderVarsFixed  int
+	OrderVarsMerged int
+
 	// abortErr caches the first non-nil Cfg.Abort result; once set,
 	// every remaining encode loop bails without re-polling.
 	abortErr error
@@ -134,6 +155,7 @@ func New(model memmodel.Model, info *ranges.Info) *Encoder {
 // explicit minimization configuration.
 func NewWithConfig(model memmodel.Model, info *ranges.Info, cfg Config) *Encoder {
 	s := sat.New()
+	s.SetInprocess(cfg.Inprocess)
 	b := bitvec.NewBuilder(s)
 	b.SetRewriteLevel(cfg.RewriteLevel)
 	b.SetPolarityAware(cfg.PolarityAware)
@@ -207,12 +229,15 @@ func (e *Encoder) PreprocessCNF(roots ...sat.Lit) {
 // executions.
 func (e *Encoder) OrderSatVars() []int {
 	var vars []int
+	seen := map[int]bool{}
 	for _, row := range e.order {
 		for _, n := range row {
 			if n == bitvec.True || n == bitvec.False {
 				continue
 			}
-			if v, ok := e.B.SatVar(n); ok {
+			// Merged pairs share one variable; report it once.
+			if v, ok := e.B.SatVar(n); ok && !seen[v] {
+				seen[v] = true
 				vars = append(vars, v)
 			}
 		}
@@ -267,27 +292,215 @@ func (e *Encoder) mLess(i, j int) bitvec.Node {
 // which shrinks the formula considerably without losing executions:
 // the order of non-executed accesses is irrelevant to all other
 // axioms, so fixing it is always sound.
+//
+// With Cfg.OrderReduce, two further model-aware reductions apply
+// before any variable is allocated. First, pairs forced by the fence
+// or same-address axioms under constant-true execution guards become
+// constants too (orderForced): the axiom's clause would be a unit, so
+// substituting the constant is equivalence-preserving. Second, the
+// accesses of one atomic block (and, under Serial, of one operation)
+// form a merge class: the atomicity/seriality axioms force every
+// member to relate identically to any outside access, so all pairs
+// (member, z) share a single variable keyed on the class
+// representatives. A constant reaching one member pair therefore fixes
+// the whole class pair — exactly what the equivalence axioms would
+// have propagated — and assertContiguous/assertOrderAxioms skip the
+// constraints the identification already discharges.
 func (e *Encoder) buildOrder() {
 	n := len(e.Accesses)
+	e.orderRep = e.orderClasses()
 	e.order = make([][]bitvec.Node, n)
 	for i := 0; i < n; i++ {
 		e.order[i] = make([]bitvec.Node, n-i-1)
+	}
+
+	type pair [2]int
+	// Pass 1: collect constants per class pair. Keys are ordered rep
+	// pairs; the node is oriented "k[0] before k[1]".
+	fixed := map[pair]bitvec.Node{}
+	before := func(i, j int) { // access i is forced before access j
+		a, b := e.orderRep[i], e.orderRep[j]
+		if a == b {
+			return // intra-class pairs are handled in pass 2
+		}
+		node := bitvec.True
+		if a > b {
+			a, b = b, a
+			node = bitvec.False
+		}
+		if old, ok := fixed[pair{a, b}]; ok {
+			if old != node {
+				// The forcing rules only ever order program-order-earlier
+				// members of one class before later outsiders (and dually),
+				// so two members can never disagree; reaching this branch
+				// would mean the merge classes are unsound.
+				panic("encode: contradictory forced memory order in reduction")
+			}
+			return
+		}
+		fixed[pair{a, b}] = node
+	}
+	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			a, b := e.Accesses[i], e.Accesses[j]
-			var node bitvec.Node
 			switch {
 			case a.Thread == 0 && b.Thread != 0:
-				node = bitvec.True // init precedes everything
+				before(i, j) // init precedes everything
 			case b.Thread == 0 && a.Thread != 0:
-				node = bitvec.False
+				before(j, i)
 			case a.Thread == b.Thread && e.progOrderFixed(a, b):
-				node = bitvec.True // accesses are created in program order
-			default:
-				node = e.B.Var()
+				before(i, j) // accesses are created in program order
+			case e.orderForced(i, j):
+				before(i, j)
+			}
+		}
+	}
+
+	// Pass 2: assign nodes, allocating one variable per unfixed class
+	// pair and counting the reduction's wins against the baseline rules.
+	vars := map[pair]bitvec.Node{}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ra, rb := e.orderRep[i], e.orderRep[j]
+			if ra == rb {
+				// Same class: members are created in program order and
+				// the class grouping guarantees the pair is fixed.
+				e.order[i][j-i-1] = bitvec.True
+				continue
+			}
+			k, inv := pair{ra, rb}, false
+			if ra > rb {
+				k, inv = pair{rb, ra}, true
+			}
+			node, isFixed := fixed[k]
+			if !isFixed {
+				var seen bool
+				if node, seen = vars[k]; !seen {
+					node = e.B.Var()
+					vars[k] = node
+				} else {
+					e.OrderVarsMerged++
+				}
+			} else if !e.baselineFixed(i, j) {
+				e.OrderVarsFixed++
+			}
+			if inv {
+				node = node.Not()
 			}
 			e.order[i][j-i-1] = node
 		}
 	}
+}
+
+// orderClasses computes the merge classes of the reduction: the
+// accesses of one atomic block always relate identically to outsiders
+// (atomicity axiom), as do the accesses of one operation under Serial
+// (seriality axiom), so each class needs only one order variable per
+// outside class. Returns the representative (lowest member index) per
+// access; the identity map when reduction is off.
+func (e *Encoder) orderClasses() []int {
+	n := len(e.Accesses)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	if !e.Cfg.OrderReduce {
+		return parent
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra // smaller index becomes the representative
+	}
+	firstGroup := map[int]int{}
+	firstOp := map[[2]int]int{}
+	for i, a := range e.Accesses {
+		if a.Group >= 0 {
+			if f, ok := firstGroup[a.Group]; ok {
+				union(f, i)
+			} else {
+				firstGroup[a.Group] = i
+			}
+		}
+		if e.Model == memmodel.Serial && a.Thread != 0 && a.OpID >= 0 {
+			k := [2]int{a.Thread, a.OpID}
+			if f, ok := firstOp[k]; ok {
+				union(f, i)
+			} else {
+				firstOp[k] = i
+			}
+		}
+	}
+	rep := make([]int, n)
+	for i := range rep {
+		rep[i] = find(i)
+	}
+	return rep
+}
+
+// baselineFixed reports whether the pair (i, j) is a constant under
+// the baseline rules alone (without OrderReduce) — used to attribute
+// the OrderVarsFixed counter to the reduction's own rules.
+func (e *Encoder) baselineFixed(i, j int) bool {
+	a, b := e.Accesses[i], e.Accesses[j]
+	return a.Thread == 0 && b.Thread != 0 ||
+		b.Thread == 0 && a.Thread != 0 ||
+		a.Thread == b.Thread && e.progOrderFixed(a, b)
+}
+
+// orderForced reports whether the fence or same-address axioms force
+// access i (program-order-earlier, same thread) before access j
+// unconditionally. Only pairs whose execution guards are the constant
+// True qualify: the axioms order the pair when every participant
+// executes, and a constant guard discharges that hypothesis, so the
+// axiom clause degenerates to the unit i <M j.
+func (e *Encoder) orderForced(i, j int) bool {
+	if !e.Cfg.OrderReduce {
+		return false
+	}
+	a, b := e.Accesses[i], e.Accesses[j]
+	if a.Thread != b.Thread || a.Thread == 0 || a.ProgIdx >= b.ProgIdx {
+		return false
+	}
+	switch e.Model {
+	case memmodel.TSO, memmodel.PSO, memmodel.Relaxed:
+	default:
+		return false // SC/Serial: program order is already unconditional
+	}
+	if a.Exec != bitvec.True || b.Exec != bitvec.True {
+		return false
+	}
+	// A matching fence between the pair (assertFences).
+	for _, f := range e.Fences {
+		if f.Thread != a.Thread || f.Exec != bitvec.True {
+			continue
+		}
+		if a.ProgIdx < f.ProgIdx && f.ProgIdx < b.ProgIdx &&
+			f.Kind.OrdersBefore(a.IsLoad) && f.Kind.OrdersAfter(b.IsLoad) {
+			return true
+		}
+	}
+	// The same-address program-order axiom with statically equal
+	// addresses (assertSameAddrProgramOrder; Relaxed and the PSO
+	// store→store case — TSO has no conditional same-address axiom).
+	if e.Model != memmodel.TSO && !b.IsLoad && !(e.Model == memmodel.PSO && a.IsLoad) {
+		if la := e.ConstAddrLoc(a); la != "" && la == e.ConstAddrLoc(b) {
+			return true
+		}
+	}
+	return false
 }
 
 // progOrderFixed reports whether the model forces a (earlier in
@@ -320,20 +533,38 @@ func (e *Encoder) progOrderFixed(a, b *Access) bool {
 func (e *Encoder) assertOrderAxioms() {
 	n := len(e.Accesses)
 
-	// Transitivity: two clauses per unordered triple. The cubic loop
-	// dominates encode time on large harnesses, so poll the abort hook
-	// per row.
+	// Transitivity: two clauses per unordered triple, emitted over the
+	// merge-class skeleton only — one representative per class. Merged
+	// pairs share their representative's node, so a representative
+	// triple covers every member triple, and triples touching a class
+	// twice reduce to tautologies over the intra-class constants.
+	// Clauses trivially satisfied by constants or a repeated node are
+	// skipped up front. The cubic loop dominates encode time on large
+	// harnesses, so poll the abort hook per row.
+	reps := make([]int, 0, n)
 	for i := 0; i < n; i++ {
+		if e.orderRep[i] == i {
+			reps = append(reps, i)
+		}
+	}
+	for ii := 0; ii < len(reps); ii++ {
 		if e.aborted() {
 			return
 		}
-		for j := i + 1; j < n; j++ {
+		i := reps[ii]
+		for jj := ii + 1; jj < len(reps); jj++ {
+			j := reps[jj]
 			a := e.mLess(i, j)
-			for k := j + 1; k < n; k++ {
+			for kk := jj + 1; kk < len(reps); kk++ {
+				k := reps[kk]
 				b := e.mLess(j, k)
 				c := e.mLess(i, k)
-				e.B.AssertOr(a.Not(), b.Not(), c)
-				e.B.AssertOr(a, b, c.Not())
+				if !(a == bitvec.False || b == bitvec.False || c == bitvec.True || c == a || c == b) {
+					e.B.AssertOr(a.Not(), b.Not(), c)
+				}
+				if !(a == bitvec.True || b == bitvec.True || c == bitvec.False || a == c || b == c) {
+					e.B.AssertOr(a, b, c.Not())
+				}
 			}
 		}
 	}
@@ -461,6 +692,9 @@ func (e *Encoder) assertContiguous(members []int, include func(*Access) bool) {
 			g1, g2 := members[mi], members[mi+1]
 			a := e.mLess(g1, z)
 			b := e.mLess(g2, z)
+			if a == b {
+				continue // identified by the order reduction
+			}
 			// a <-> b
 			e.B.AssertOr(a.Not(), b)
 			e.B.AssertOr(a, b.Not())

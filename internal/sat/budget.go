@@ -134,6 +134,9 @@ func (s *Solver) learntBytes() int64 {
 func (s *Solver) recountLearntLits() {
 	var n int64
 	for _, c := range s.learnts {
+		if c.deleted {
+			continue
+		}
 		n += int64(len(c.lits))
 	}
 	s.learntLits = n

@@ -17,9 +17,9 @@ package sat
 // is shared: Preprocess never mutates it after preprocessing
 // finishes, and model extension only reads it, so clones reconstruct
 // eliminated-variable values from the same record. Budgets (conflict,
-// propagation, deadline, memory), fault hooks, restart policy, and
-// the external stop predicate carry over; the interrupt flag and any
-// adopted model overlay do not.
+// propagation, deadline, memory), fault hooks, restart policy, the
+// inprocessing configuration, and the external stop predicate carry
+// over; the interrupt flag and any adopted model overlay do not.
 //
 // The receiver is backtracked to the root level and propagated to a
 // fixpoint first (mutations!), so CloneFormula must not run while
@@ -47,9 +47,11 @@ func (s *Solver) CloneFormula() *Solver {
 		restartPolicy: s.restartPolicy,
 		lbdFast:       s.lbdFast,
 		lbdSlow:       s.lbdSlow,
+		inpro:         s.inpro, // value copy; vivification cadence restarts with the clone's counters
 		elimStack:     s.elimStack, // read-only after Preprocess
 		preStats:      s.preStats,
 	}
+	c.inpro.lastVivify = 0
 	c.assigns = append([]lbool(nil), s.assigns...)
 	c.phase = append([]bool(nil), s.phase...)
 	c.levels = append([]int(nil), s.levels...)
@@ -89,6 +91,9 @@ func (s *Solver) CloneFormula() *Solver {
 	}
 	arena := make([]Lit, 0, total)
 	copyClause := func(cl *clause, learnt bool) {
+		if cl.deleted {
+			return
+		}
 		start := len(arena)
 		for _, l := range cl.lits {
 			switch s.value(l) {
@@ -112,7 +117,7 @@ func (s *Solver) CloneFormula() *Solver {
 			}
 		default:
 			nc := &clause{lits: lits, learnt: learnt,
-				activity: cl.activity, lbd: cl.lbd}
+				activity: cl.activity, lbd: cl.lbd, tier: cl.tier}
 			if learnt {
 				c.learnts = append(c.learnts, nc)
 			} else {

@@ -170,3 +170,68 @@ func TestAdoptModelFrom(t *testing.T) {
 	}
 	modelSatisfies(t, s, clauses) // now the solver's own model
 }
+
+// TestCloneFormulaAfterInprocess: a clone taken after vivification and
+// a tiered reduction solves to the same verdict as the original —
+// logically deleted clauses must not leak into the clone, and shrunk
+// clauses must carry over in their shrunk form.
+func TestCloneFormulaAfterInprocess(t *testing.T) {
+	s := New()
+	s.inpro.vivifyInterval = 10
+	clauses := plantedInstance(s, 60, 250, 7)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("original verdict = %v, want Sat", st)
+	}
+	// Force the full inprocessing cycle at the root so the clone is
+	// taken from a database that has definitely been vivified, demoted,
+	// and purged.
+	s.cancelUntil(0)
+	if !s.vivify() {
+		t.Fatal("vivify reported unsat on a satisfiable formula")
+	}
+	s.reduceDBTiered()
+
+	c := s.CloneFormula()
+	for _, cl := range c.learnts {
+		if cl.deleted {
+			t.Fatal("clone copied a logically deleted learnt clause")
+		}
+	}
+	if st := c.Solve(); st != Sat {
+		t.Fatalf("clone verdict = %v, want Sat", st)
+	}
+	modelSatisfies(t, c, clauses)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("original re-solve = %v, want Sat", st)
+	}
+	modelSatisfies(t, s, clauses)
+}
+
+// TestCloneFormulaCarriesConfig: the solver configuration knobs —
+// restart policy, randomized branching activities, and the
+// inprocessing switch — carry over to CloneFormula snapshots, so a
+// portfolio member's diversification survives cloning.
+func TestCloneFormulaCarriesConfig(t *testing.T) {
+	s := New()
+	plantedInstance(s, 20, 60, 5)
+	s.SetRestartPolicy(RestartLuby)
+	s.RandomizeActivity(42)
+	s.SetInprocess(false)
+
+	c := s.CloneFormula()
+	if c.restartPolicy != RestartLuby {
+		t.Fatalf("clone restart policy = %v, want RestartLuby", c.restartPolicy)
+	}
+	if c.InprocessEnabled() {
+		t.Fatal("clone re-enabled inprocessing disabled on the original")
+	}
+	for v := range s.order.activity {
+		if c.order.activity[v] != s.order.activity[v] {
+			t.Fatalf("clone activity of var %d = %g, want %g",
+				v, c.order.activity[v], s.order.activity[v])
+		}
+	}
+	if st := c.Solve(); st != Sat {
+		t.Fatalf("configured clone verdict = %v, want Sat", st)
+	}
+}

@@ -49,6 +49,9 @@ func (cs CubeSplitter) Split(s *Solver) [][]Lit {
 	neg := make([]int32, n)
 	count := func(cls []*clause) {
 		for _, c := range cls {
+			if c.deleted {
+				continue
+			}
 			for _, l := range c.lits {
 				if l.Sign() {
 					neg[l.Var()]++
@@ -212,6 +215,10 @@ func SolveCubes(base *Solver, cubes [][]Lit, workers int, assumptions ...Lit) Cu
 		run.Work.Propagations += st.Propagations
 		run.Work.Restarts += st.Restarts
 		run.Work.Learnts += st.Learnts
+		run.Work.VivifiedClauses += st.VivifiedClauses
+		run.Work.VivifiedLits += st.VivifiedLits
+		run.Work.SubsumedLearnts += st.SubsumedLearnts
+		run.Work.ChronoBacktracks += st.ChronoBacktracks
 	}
 	switch {
 	case winner != nil:

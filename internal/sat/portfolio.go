@@ -287,6 +287,10 @@ func (p *Portfolio) SolveShared(base *Solver, assumptions ...Lit) SharedRun {
 		run.Work.SharedExported += st.SharedExported
 		run.Work.SharedImported += st.SharedImported
 		run.Work.SharedUseful += st.SharedUseful
+		run.Work.VivifiedClauses += st.VivifiedClauses
+		run.Work.VivifiedLits += st.VivifiedLits
+		run.Work.SubsumedLearnts += st.SubsumedLearnts
+		run.Work.ChronoBacktracks += st.ChronoBacktracks
 	}
 	if winner < 0 {
 		run.Status = Unknown

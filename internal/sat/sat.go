@@ -111,6 +111,14 @@ type clause struct {
 	// SharedUseful counts each imported clause at most once.
 	shared     bool
 	sharedUsed bool
+
+	// Inprocessing state (see inprocess.go): the clause's tier in the
+	// learnt database, whether it took part in a conflict since the
+	// last reduction (resets there), and whether it has been logically
+	// deleted (subsumed or vivified away) pending the next purge.
+	tier    int8
+	used    bool
+	deleted bool
 }
 
 type watcher struct {
@@ -220,6 +228,20 @@ type Stats struct {
 	SharedExported int64
 	SharedImported int64
 	SharedUseful   int64
+
+	// Inprocessing counters (see inprocess.go); zero when the layer is
+	// off. VivifiedLits counts literals removed from VivifiedClauses
+	// clauses; SubsumedLearnts counts learnt clauses deleted by
+	// on-the-fly backward subsumption; ChronoBacktracks counts
+	// conflicts resolved by a chronological (one-level) backtrack.
+	// TierCore/TierMid/TierLocal snapshot the learnt-database tiers.
+	VivifiedClauses  int64
+	VivifiedLits     int64
+	SubsumedLearnts  int64
+	ChronoBacktracks int64
+	TierCore         int
+	TierMid          int
+	TierLocal        int
 }
 
 // Solver is an incremental CDCL SAT solver. The zero value is not
@@ -266,6 +288,18 @@ type Solver struct {
 	// learnt clause.
 	lbdStamp []int64
 	lbdGen   int64
+
+	// Inprocessing state (see inprocess.go): the knob block, the learnt
+	// antecedents of the current conflict (for on-the-fly subsumption),
+	// a literal stamp array for the subset test, and scratch buffers
+	// for vivification and the tiered reduceDB.
+	inpro     inprocessConfig
+	ante      []*clause
+	litStamp  []int64
+	litGen    int64
+	vivTmp    []Lit
+	vivOut    []Lit
+	reduceTmp []*clause
 
 	// interrupted is the asynchronous stop flag set by Interrupt();
 	// stop is an optional external stop predicate (e.g. a context
@@ -365,7 +399,8 @@ func (s *Solver) RandomizeActivity(seed int64) {
 	s.order.rebuild()
 }
 
-// New returns an empty solver.
+// New returns an empty solver. Inprocessing (see inprocess.go) is on
+// by default; SetInprocess(false) disables it.
 func New() *Solver {
 	return &Solver{
 		ok:           true,
@@ -373,6 +408,7 @@ func New() *Solver {
 		claInc:       1.0,
 		maxLearnts:   4000,
 		learntGrowth: 1.3,
+		inpro:        defaultInprocess(),
 	}
 }
 
@@ -424,7 +460,21 @@ func (s *Solver) NumClauses() int { return s.stats.Clauses }
 // Stats returns a snapshot of the work counters.
 func (s *Solver) Stats() Stats {
 	st := s.stats
-	st.Learnts = len(s.learnts)
+	st.Learnts = 0
+	for _, c := range s.learnts {
+		if c.deleted {
+			continue
+		}
+		st.Learnts++
+		switch c.tier {
+		case tierCore:
+			st.TierCore++
+		case tierMid:
+			st.TierMid++
+		default:
+			st.TierLocal++
+		}
+	}
 	st.PreVars = s.preStats.preVars
 	st.PreClauses = s.preStats.preClauses
 	st.VarsEliminated = s.preStats.varsEliminated
@@ -664,11 +714,29 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	var p Lit = -1
 	idx := len(s.trail) - 1
 
+	s.ante = s.ante[:0]
 	for {
 		s.bumpClause(confl)
 		if confl.shared && !confl.sharedUsed {
 			confl.sharedUsed = true
 			s.stats.SharedUseful++
+		}
+		if confl.learnt && s.inpro.on {
+			// Remember learnt antecedents for on-the-fly subsumption,
+			// mark them used (tier retention), and tighten their LBD —
+			// every literal of an antecedent is assigned here, so the
+			// recomputation is exact; a better LBD can promote the
+			// clause into a longer-lived tier.
+			s.ante = append(s.ante, confl)
+			confl.used = true
+			if confl.lbd > 2 {
+				if nl := s.computeLBD(confl.lits); nl < confl.lbd {
+					confl.lbd = nl
+					if t := s.tierFor(nl); t < confl.tier {
+						confl.tier = t
+					}
+				}
+			}
 		}
 		start := 0
 		if p != -1 {
@@ -819,6 +887,7 @@ func (s *Solver) record(lits []Lit) {
 		return
 	}
 	c := &clause{lits: lits, learnt: true, lbd: s.computeLBD(lits)}
+	c.tier = s.tierFor(c.lbd)
 	s.learnts = append(s.learnts, c)
 	s.learntLits += int64(len(lits))
 	s.attach(c)
@@ -846,6 +915,10 @@ func (s *Solver) updateLBD(lbd float64) {
 }
 
 func (s *Solver) reduceDB() {
+	if s.inpro.on {
+		s.reduceDBTiered()
+		return
+	}
 	sort.Slice(s.learnts, func(i, j int) bool {
 		a, b := s.learnts[i], s.learnts[j]
 		if a.lbd != b.lbd {
@@ -856,6 +929,9 @@ func (s *Solver) reduceDB() {
 	keep := s.learnts[:0]
 	limit := len(s.learnts) / 2
 	for i, c := range s.learnts {
+		if c.deleted {
+			continue
+		}
 		if i < limit || c.lbd <= 3 || s.locked(c) {
 			keep = append(keep, c)
 		} else {
@@ -976,8 +1052,21 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 				return Unsat
 			}
 			learnt, btLevel := s.analyze(confl)
+			if s.inpro.on && s.inpro.chrono > 0 && len(learnt) > 1 &&
+				s.decisionLevel()-btLevel > s.inpro.chrono {
+				// Chronological backtracking: the asserting level is far
+				// below; undo one level and assert the learnt literal
+				// there instead of discarding the whole prefix. The
+				// trail stays level-monotone, so analysis invariants
+				// hold unchanged.
+				btLevel = s.decisionLevel() - 1
+				s.stats.ChronoBacktracks++
+			}
 			s.cancelUntil(btLevel)
 			s.record(learnt)
+			if s.inpro.on {
+				s.subsumeAntecedents(learnt)
+			}
 			s.varInc /= 0.95
 			s.claInc /= 0.999
 			continue
@@ -1012,6 +1101,15 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			if !s.importShared() {
 				s.ok = false
 				return Unsat
+			}
+			// They are also the vivification points: distillation
+			// probes on a scratch decision level above the root.
+			if s.inpro.on && s.stats.Conflicts-s.inpro.lastVivify >= s.inpro.vivifyInterval {
+				s.inpro.lastVivify = s.stats.Conflicts
+				if !s.vivify() {
+					s.ok = false
+					return Unsat
+				}
 			}
 			continue
 		}

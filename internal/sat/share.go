@@ -164,6 +164,7 @@ func (s *Solver) addShared(lits []Lit, lbd int) bool {
 		}
 	default:
 		c := &clause{lits: out, learnt: true, shared: true, lbd: lbd}
+		c.tier = s.tierFor(lbd)
 		s.learnts = append(s.learnts, c)
 		s.learntLits += int64(len(out))
 		s.attach(c)

@@ -107,6 +107,13 @@ type ParStats struct {
 	SharedExported int64
 	SharedImported int64
 	SharedUseful   int64
+	// Inprocessing work summed over portfolio and cube workers (the
+	// base solver's own counters are reported separately via
+	// core.Stats.SolverStats).
+	VivifiedClauses  int64
+	VivifiedLits     int64
+	SubsumedLearnts  int64
+	ChronoBacktracks int64
 }
 
 func (st Strategy) maxIter() int {
@@ -141,6 +148,10 @@ func (st Strategy) fold(work sat.Stats) {
 	st.Stats.SharedExported += work.SharedExported
 	st.Stats.SharedImported += work.SharedImported
 	st.Stats.SharedUseful += work.SharedUseful
+	st.Stats.VivifiedClauses += work.VivifiedClauses
+	st.Stats.VivifiedLits += work.VivifiedLits
+	st.Stats.SubsumedLearnts += work.SubsumedLearnts
+	st.Stats.ChronoBacktracks += work.ChronoBacktracks
 }
 
 // decodeObs reads the observation vector from s's model (s is e.S or
@@ -202,6 +213,7 @@ func solvePhase2(e *encode.Encoder, strat Strategy) (sat.Status, error) {
 	}
 	cubes := sat.CubeSplitter{Depth: depth, Prefer: e.OrderSatVars()}.Split(e.S)
 	run := sat.SolveCubes(e.S, cubes, strat.Cube)
+	strat.fold(run.Work)
 	if strat.Stats != nil {
 		strat.Stats.Cubes += run.Cubes
 		strat.Stats.CubesRefuted += run.Refuted
