@@ -92,6 +92,26 @@ const (
 // VerdictUnknown instead of hanging.
 type Options = core.Options
 
+// Backend selects the verdict engine of a check (Options.Backend).
+type Backend = core.Backend
+
+// The backends. BackendAuto (the zero value) routes per check: small
+// fragment programs go to the polynomial reads-from engine, everything
+// else to SAT with a formula-size-aware parallelism choice. The forced
+// backends pin one engine; a forced rf backend still degrades to SAT
+// when it cannot answer.
+const (
+	BackendAuto      = core.BackendAuto
+	BackendRF        = core.BackendRF
+	BackendSAT       = core.BackendSAT
+	BackendPortfolio = core.BackendPortfolio
+	BackendCube      = core.BackendCube
+)
+
+// ParseBackend converts a -backend flag value ("auto", "rf", "sat",
+// "portfolio", "cube") to a Backend.
+func ParseBackend(s string) (Backend, error) { return core.ParseBackend(s) }
+
 // Result is the outcome of a check. Verdict is three-valued: pass,
 // fail (Cex holds the decoded counterexample and SeqBug tells whether
 // the failure is already present in serial executions), or unknown

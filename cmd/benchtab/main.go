@@ -12,6 +12,7 @@
 //	benchtab -fig sc-vs-relaxed §4.4: model choice impact on runtime
 //	benchtab -fig encode       formula minimization on/off (writes BENCH_encode.json)
 //	benchtab -fig solve        intra-check parallelism: serial vs portfolio vs cube (writes BENCH_solve.json)
+//	benchtab -fig backend      multi-backend routing: rf vs SAT, auto vs forced (writes BENCH_backend.json)
 //
 // Absolute times differ from the paper's 2007 testbed; the shapes
 // (growth trends, ratios, who wins) are the reproduction target. Use
@@ -37,6 +38,7 @@ func main() {
 		jobs    = flag.Int("j", 1, "number of checks run concurrently (> 1 disables -budget's early exit)")
 		encJSON = flag.String("encode-json", "BENCH_encode.json", "artifact path for -fig encode (\"\" = print only)")
 		slvJSON = flag.String("solve-json", "BENCH_solve.json", "artifact path for -fig solve (\"\" = print only)")
+		bakJSON = flag.String("backend-json", "BENCH_backend.json", "artifact path for -fig backend (\"\" = print only)")
 		width   = flag.Int("width", 4, "worker count for -fig solve (portfolio members / cube workers)")
 	)
 	flag.Parse()
@@ -66,6 +68,8 @@ func main() {
 		err = r.EncodeReport(*encJSON)
 	case *fig == "solve":
 		err = r.SolveReport(*slvJSON, *width)
+	case *fig == "backend":
+		err = r.BackendReport(*bakJSON)
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -102,6 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		implName  = fs.String("impl", "", "implementation to check (see -list)")
 		testName  = fs.String("test", "", "symbolic test name or Fig. 8 notation")
 		specSrc   = fs.String("spec", "sat", "specification source: sat (mine from implementation) or refset")
+		backend   = fs.String("backend", "auto", "verdict engine: auto (cost-based routing), rf (polynomial reads-from), sat, portfolio, cube")
 		noRanges  = fs.Bool("no-range-analysis", false, "disable the range analysis of paper §3.4")
 		jobs      = fs.Int("j", 1, "number of checks run concurrently (0 = GOMAXPROCS)")
 		portfolio = fs.Int("portfolio", 0, "race this many diversified SAT configurations per solve (shared formula)")
@@ -144,11 +145,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(models) == 0 {
 		models = modelList{memmodel.Relaxed}
 	}
+	be, err := core.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintln(stderr, "checkfence:", err)
+		return exitError
+	}
 
 	suite := make([]core.Job, len(models))
 	for i, model := range models {
 		opts := core.Options{
 			Model:                model,
+			Backend:              be,
 			DisableRangeAnalysis: *noRanges,
 			Portfolio:            *portfolio,
 			ShareClauses:         *shareCls,
@@ -209,6 +216,14 @@ func report(w io.Writer, res *core.Result, showSpec, stats bool) int {
 	}
 	if stats {
 		s := res.Stats
+		fmt.Fprintf(w, "backend: %s (router: %s)\n", s.Backend, s.RouterDecision)
+		if s.AutoSerial {
+			fmt.Fprintln(w, "auto guard: formula below parallelism thresholds, solved serially")
+		}
+		if s.RFSteps+s.RFExecs > 0 {
+			fmt.Fprintf(w, "rf engine: %d steps, %d consistent of %d executions, %d case splits\n",
+				s.RFSteps, s.RFConsistent, s.RFExecs, s.RFSplits)
+		}
 		fmt.Fprintf(w, "unrolled: %d instrs, %d loads, %d stores\n", s.Instrs, s.Loads, s.Stores)
 		fmt.Fprintf(w, "circuit: %d gates\n", s.Gates)
 		fmt.Fprintf(w, "cnf: %d vars, %d clauses\n", s.CNFVars, s.CNFClauses)

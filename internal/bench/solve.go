@@ -111,10 +111,12 @@ func (r *Runner) SolveReport(jsonPath string, width int) error {
 		name string
 		opts core.Options
 	}{
-		{"serial", core.Options{Model: model}},
-		{"portfolio", core.Options{Model: model, Portfolio: width, ShareClauses: true}},
-		{"cube", core.Options{Model: model, Cube: width}},
-		{"inproc-off", core.Options{Model: model, NoInprocess: true, NoOrderReduce: true}},
+		// Backends are pinned so the auto router's small-instance guard
+		// cannot silently serialize the parallel variants being measured.
+		{"serial", core.Options{Model: model, Backend: core.BackendSAT}},
+		{"portfolio", core.Options{Model: model, Backend: core.BackendPortfolio, Portfolio: width, ShareClauses: true}},
+		{"cube", core.Options{Model: model, Backend: core.BackendCube, Cube: width}},
+		{"inproc-off", core.Options{Model: model, Backend: core.BackendSAT, NoInprocess: true, NoOrderReduce: true}},
 	}
 
 	r.printf("Intra-check parallelism and inprocessing: solve time per strategy (model: %s, width: %d)\n",

@@ -59,6 +59,12 @@ func (s SpecSource) String() string {
 type Options struct {
 	// Model is the memory model of the inclusion check.
 	Model memmodel.Model
+	// Backend selects the verdict engine: BackendAuto (the default)
+	// routes per check between the polynomial reads-from engine and
+	// SAT via the static cost model; BackendRF/BackendSAT/
+	// BackendPortfolio/BackendCube force one strategy (rf still
+	// degrades to SAT when it cannot answer).
+	Backend Backend
 	// DisableRangeAnalysis turns §3.4 off (Fig. 11c comparison).
 	DisableRangeAnalysis bool
 	// SpecSource selects the mining method.
@@ -204,6 +210,19 @@ type Stats struct {
 	MineIterations int
 	BoundRounds    int
 
+	// Multi-backend routing: the backend that produced the verdict
+	// ("rf" or "sat"), the router's reasoning, whether the auto
+	// backend's small-instance guard stripped portfolio/cube from a
+	// SAT solve, and the rf engine's work counters (zero on pure SAT
+	// checks).
+	Backend        string
+	RouterDecision string
+	AutoSerial     bool
+	RFSteps        int
+	RFExecs        int
+	RFConsistent   int
+	RFSplits       int
+
 	// Spec-cache traffic of this check: how many of its mining
 	// requests were served from Options.SpecCache vs. mined fresh.
 	// Both stay zero when no cache is configured.
@@ -305,6 +324,7 @@ func Check(implName, testName string, opts Options) (*Result, error) {
 // BudgetReport, not an error.
 func CheckImpl(impl *harness.Impl, test *harness.Test, opts Options) (*Result, error) {
 	start := time.Now()
+	opts = opts.normalizeBackend()
 	if opts.MaxBoundRounds <= 0 {
 		opts.MaxBoundRounds = 12
 	}
@@ -467,6 +487,29 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 		res.Stats.ChronoBacktracks += pstats.ChronoBacktracks
 	}()
 
+	// Multi-backend routing: run the reads-from engine when the
+	// backend selection and cost model pick it. Under auto, an rf
+	// budget failure falls back to SAT within this same attempt (no
+	// ladder hop); under a forced rf backend the error propagates so
+	// the ladder's SAT rungs take over.
+	dec := routeRF(opts, unrolled)
+	res.Stats.RouterDecision = dec.reason
+	if opts.Backend == BackendRF && !dec.useRF {
+		return false, dec.err
+	}
+	if dec.useRF {
+		done, rfErr := runCheckRF(res, built, unrolled, dec.prog, opts)
+		if rfErr == nil {
+			res.Stats.Backend = "rf"
+			return done, nil
+		}
+		if opts.Backend == BackendRF || !rfFallbackable(rfErr) {
+			return false, rfErr
+		}
+		res.Stats.RouterDecision = "sat (rf fell back: " + rfErr.Error() + ")"
+	}
+	res.Stats.Backend = "sat"
+
 	// Specification. The mining procedure is wrapped in a closure so
 	// the spec cache can single-flight it across concurrent checks;
 	// serialEnc escapes for the sequential-bug trace, and is only ever
@@ -489,7 +532,7 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 					return nil, 0, err
 				}
 				serialEnc.AssertNoOverflow()
-				strat := opts.strategy(&pstats)
+				strat := opts.solveStrategy(serialEnc, &pstats, res)
 				strat.Resume = resume
 				strat.ResumeIterations = resumeIters
 				if cache := opts.SpecCache; cache != nil {
@@ -562,7 +605,7 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 	res.Stats.EncodeTime += time.Since(encodeStart)
 
 	refuteStart := time.Now()
-	cex, err := spec.CheckInclusionWith(enc, built.Entries, theSpec, opts.strategy(&pstats))
+	cex, err := spec.CheckInclusionWith(enc, built.Entries, theSpec, opts.solveStrategy(enc, &pstats, res))
 	res.Stats.RefuteTime += time.Since(refuteStart)
 	if err != nil {
 		return false, err

@@ -54,8 +54,8 @@ func TestMSNT0RelaxedUnfencedFails(t *testing.T) {
 func TestCexValidatesUnderAllConfigs(t *testing.T) {
 	configs := map[string]Options{
 		"serial":    {Model: memmodel.Relaxed, ValidateTraces: ValidateOn},
-		"portfolio": {Model: memmodel.Relaxed, Portfolio: 3},
-		"cube":      {Model: memmodel.Relaxed, Cube: 2},
+		"portfolio": {Model: memmodel.Relaxed, Backend: BackendPortfolio, Portfolio: 3},
+		"cube":      {Model: memmodel.Relaxed, Backend: BackendCube, Cube: 2},
 		"tseitin":   {Model: memmodel.Relaxed, SimplifyLevel: -1, NoPreprocess: true},
 	}
 	for name, opts := range configs {

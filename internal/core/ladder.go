@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"checkfence/internal/faultinject"
+	"checkfence/internal/rf"
 	"checkfence/internal/sat"
 	"checkfence/internal/spec"
 )
@@ -50,6 +51,7 @@ func (v Verdict) String() string {
 // factors, at the cost of raw speed on hard instances.
 type Rung struct {
 	Name         string
+	Backend      Backend
 	Portfolio    int
 	ShareClauses bool
 	Cube         int
@@ -58,6 +60,7 @@ type Rung struct {
 
 // apply substitutes the rung's strategy into the options.
 func (r Rung) apply(opts Options) Options {
+	opts.Backend = r.Backend
 	opts.Portfolio = r.Portfolio
 	opts.ShareClauses = r.ShareClauses
 	opts.Cube = r.Cube
@@ -107,9 +110,18 @@ func (o Options) ladder() []Rung {
 	if len(o.Ladder) > 0 {
 		return o.Ladder
 	}
-	cur := Rung{Name: "configured", Portfolio: o.Portfolio, ShareClauses: o.ShareClauses,
-		Cube: o.Cube, NoPreprocess: o.NoPreprocess}
-	rungs := []Rung{cur}
+	var rungs []Rung
+	satBackend := o.Backend
+	if o.Backend == BackendRF {
+		// A forced rf backend gets its own leading rung; exhaustion
+		// (budget, inapplicability) degrades to the SAT rungs below —
+		// never the reverse.
+		rungs = append(rungs, Rung{Name: "rf", Backend: BackendRF})
+		satBackend = BackendSAT
+	}
+	cur := Rung{Name: "configured", Backend: satBackend, Portfolio: o.Portfolio,
+		ShareClauses: o.ShareClauses, Cube: o.Cube, NoPreprocess: o.NoPreprocess}
+	rungs = append(rungs, cur)
 	if cur.Cube > 1 {
 		cur.Cube = 0
 		cur.Name = "no-cube"
@@ -150,6 +162,10 @@ func degradable(err error, opts Options) bool {
 		return false
 	}
 	if errors.Is(err, sat.ErrBudgetExhausted) {
+		return true
+	}
+	if errors.Is(err, rf.ErrBudget) || errors.Is(err, rf.ErrNotApplicable) {
+		// The reads-from rung could not answer; SAT rungs remain.
 		return true
 	}
 	if errors.Is(err, spec.ErrMineLimit) {

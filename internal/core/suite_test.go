@@ -218,6 +218,7 @@ func TestPortfolioCheckParity(t *testing.T) {
 		t.Fatal(err)
 	}
 	port := base
+	port.Backend = BackendPortfolio
 	port.Portfolio = 3
 	raced, err := Check("harris", "Sac", port)
 	if err != nil {

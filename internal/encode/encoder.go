@@ -516,16 +516,7 @@ func (e *Encoder) progOrderFixed(a, b *Access) bool {
 	if a.Group >= 0 && a.Group == b.Group {
 		return true
 	}
-	switch e.Model {
-	case memmodel.SequentialConsistency, memmodel.Serial:
-		return true
-	case memmodel.TSO:
-		return !(!a.IsLoad && b.IsLoad)
-	case memmodel.PSO:
-		return a.IsLoad
-	default:
-		return false
-	}
+	return e.Model.KeepsProgramOrder(a.IsLoad, b.IsLoad)
 }
 
 // assertOrderAxioms emits transitivity, the model's program-order
@@ -772,13 +763,7 @@ func (e *Encoder) assertValueAxioms() {
 
 // forwards reports whether the model has a store buffer with local
 // forwarding.
-func (e *Encoder) forwards() bool {
-	switch e.Model {
-	case memmodel.TSO, memmodel.PSO, memmodel.Relaxed:
-		return true
-	}
-	return false
-}
+func (e *Encoder) forwards() bool { return e.Model.Forwards() }
 
 // ErrorNode returns the disjunction of all runtime error conditions
 // (assertion failures and undefined-value uses).

@@ -13,6 +13,10 @@
 //     -cube);
 //   - verdicts must be monotone in model strength (an execution of a
 //     stronger model is an execution of every weaker one);
+//   - the polynomial reads-from engine (internal/rf) must accept every
+//     generated program, reproduce the interpreter's serial set, and
+//     match the SAT-mined observation set and inclusion verdict
+//     bit-identically on every model;
 //   - every counterexample trace must survive the full validate
 //     pipeline (axiom re-check plus interpreter replay).
 package litmus
@@ -26,6 +30,7 @@ import (
 	"checkfence/internal/lsl"
 	"checkfence/internal/memmodel"
 	"checkfence/internal/ranges"
+	"checkfence/internal/rf"
 	"checkfence/internal/spec"
 	"checkfence/internal/trace"
 	"checkfence/internal/validate"
@@ -243,6 +248,22 @@ func RunDifferential(data []byte) error {
 		}
 	}
 
+	// Stage 1b: the polynomial reads-from backend. Every generated
+	// program lies inside its fragment, so Scan must accept, and its
+	// Serial enumeration must reproduce the interpreter set.
+	rfProg, err := rf.Scan(p.Threads)
+	if err != nil {
+		return fmt.Errorf("rf scan rejected a generated program: %v\nprogram:\n%s", err, p.Desc())
+	}
+	rfSerial, _, err := rfProg.Observations(memmodel.Serial, p.Entries, rf.Budget{})
+	if err != nil {
+		return fmt.Errorf("rf serial enumeration: %v\nprogram:\n%s", err, p.Desc())
+	}
+	if !rfSerial.Equal(want) {
+		return fmt.Errorf("divergence: rf serial set != interpreter enumeration\nprogram:\n%s\nrf:         %v\nenumerated: %v",
+			p.Desc(), rfSerial.All(), want.All())
+	}
+
 	// Stage 2: inclusion verdicts per model must agree across
 	// configurations, and every counterexample must validate.
 	models := memmodel.All()
@@ -274,6 +295,41 @@ func RunDifferential(data []byte) error {
 			}
 		}
 		fail[model] = verdicts[0]
+
+		// The rf backend on the same model: its full observation set must
+		// be bit-identical to SAT blocking-clause mining, its inclusion
+		// verdict must match, and its witness trace must survive the same
+		// validation pipeline as the SAT counterexamples.
+		rfSet, _, err := rfProg.Observations(model, p.Entries, rf.Budget{})
+		if err != nil {
+			return fmt.Errorf("rf enumeration %s: %v\nprogram:\n%s", model, err, p.Desc())
+		}
+		e := encode.New(model, info)
+		if err := e.Encode(p.Threads); err != nil {
+			return fmt.Errorf("encode %s [rf-mine]: %v\nprogram:\n%s", model, err, p.Desc())
+		}
+		satSet, _, err := spec.MineWith(e, p.Entries, spec.Strategy{})
+		if err != nil {
+			return fmt.Errorf("mine %s [rf-mine]: %v\nprogram:\n%s", model, err, p.Desc())
+		}
+		if !rfSet.Equal(satSet) {
+			return fmt.Errorf("divergence: rf observation set != SAT-mined set on %s\nprogram:\n%s\nrf:  %v\nsat: %v",
+				model, p.Desc(), rfSet.All(), satSet.All())
+		}
+		rfCex, _, err := rfProg.CheckInclusion(model, p.Entries, want, p.Names, rf.Budget{})
+		if err != nil {
+			return fmt.Errorf("rf inclusion %s: %v\nprogram:\n%s", model, err, p.Desc())
+		}
+		if (rfCex != nil) != verdicts[0] {
+			return fmt.Errorf("divergence: rf verdict on %s (cex=%v) != SAT verdict (cex=%v)\nprogram:\n%s",
+				model, rfCex != nil, verdicts[0], p.Desc())
+		}
+		if rfCex != nil {
+			if verr := validate.Check(rfCex, p.Threads, p.Prog); verr != nil {
+				return fmt.Errorf("divergence: rf counterexample on %s failed validation: %v\nprogram:\n%s\nsuspect trace:\n%s",
+					model, verr, p.Desc(), rfCex)
+			}
+		}
 	}
 
 	// The serial executions define the specification, so checking the

@@ -2,6 +2,7 @@ package litmus
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 )
 
@@ -64,6 +65,24 @@ func TestDifferentialSeeds(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestDifferentialRandom drives the full differential pipeline —
+// which now pits the rf backend's enumeration against the interpreter
+// and SAT mining on every model — over a deterministic random sample
+// of the generator's program space.
+func TestDifferentialRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized differential run is not short")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 60; i++ {
+		data := make([]byte, 1+rng.Intn(12))
+		rng.Read(data)
+		if err := RunDifferential(data); err != nil {
+			t.Fatalf("iteration %d, data %v: %v", i, data, err)
+		}
 	}
 }
 

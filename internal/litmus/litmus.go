@@ -9,12 +9,15 @@ package litmus
 
 import (
 	"fmt"
+	"sort"
 
 	"checkfence/internal/encode"
 	"checkfence/internal/lsl"
 	"checkfence/internal/memmodel"
 	"checkfence/internal/ranges"
+	"checkfence/internal/rf"
 	"checkfence/internal/sat"
+	"checkfence/internal/spec"
 )
 
 // litmusTest is a hand-built multi-threaded program plus a forbidden/
@@ -194,4 +197,45 @@ func (t Test) Observable(model memmodel.Model) (bool, error) {
 		}
 	}
 	return e.S.Solve() == sat.Sat, nil
+}
+
+// ObservableRF answers the same question through the polynomial
+// reads-from backend: it enumerates the model's complete observation
+// set over the outcome registers and tests membership. The test suite
+// asserts agreement with the SAT answer on every model.
+func (t Test) ObservableRF(model memmodel.Model) (bool, error) {
+	bodies := [][]lsl.Stmt{initLitmus()}
+	bodies = append(bodies, t.threads...)
+	threads := make([]encode.Thread, len(bodies))
+	for i, b := range bodies {
+		threads[i] = encode.Thread{Name: fmt.Sprintf("t%d", i),
+			Segments: [][]lsl.Stmt{b}, OpIDs: []int{0}}
+	}
+	p, err := rf.Scan(threads)
+	if err != nil {
+		return false, err
+	}
+	var entries []spec.Entry
+	var want spec.Observation
+	for ti := 1; ti < len(bodies); ti++ {
+		regs, ok := t.outcome[ti]
+		if !ok {
+			continue
+		}
+		// Deterministic entry order: registers sorted within a thread.
+		keys := make([]string, 0, len(regs))
+		for reg := range regs {
+			keys = append(keys, string(reg))
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			entries = append(entries, spec.Entry{Label: k, Thread: ti, Reg: lsl.Reg(k)})
+			want = append(want, regs[lsl.Reg(k)])
+		}
+	}
+	set, _, err := p.Observations(model, entries, rf.Budget{})
+	if err != nil {
+		return false, err
+	}
+	return set.Has(want), nil
 }

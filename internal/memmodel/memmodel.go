@@ -105,3 +105,55 @@ func (m Model) StrongerThan(other Model) bool {
 func All() []Model {
 	return []Model{Serial, SequentialConsistency, TSO, PSO, Relaxed}
 }
+
+// The per-model ordering predicates below are the single shared
+// definition of each model's axioms; the SAT encoder
+// (internal/encode), the trace validator (internal/validate), and the
+// polynomial reads-from engine (internal/rf) all consult them so the
+// three implementations cannot drift apart on what a model permits.
+
+// KeepsProgramOrder reports whether the model unconditionally orders a
+// same-thread access pair a <p b of the given kinds in memory order
+// (paper §2.3): strong models keep every pair, TSO relaxes only
+// store→load (FIFO store buffer), PSO additionally relaxes
+// store→store (loads stay ordered), and Relaxed keeps nothing
+// unconditionally.
+func (m Model) KeepsProgramOrder(aIsLoad, bIsLoad bool) bool {
+	switch m {
+	case SequentialConsistency, Serial:
+		return true
+	case TSO:
+		return !(!aIsLoad && bIsLoad)
+	case PSO:
+		return aIsLoad
+	default:
+		return false
+	}
+}
+
+// OrdersSameAddrStore reports whether the model's conditional
+// same-address axiom orders a same-thread pair a <p b when both access
+// the same address and b is a store (Relaxed axiom 1 of §2.3.2; for
+// PSO only the store→store case remains conditional — its load-first
+// pairs are already unconditional per KeepsProgramOrder).
+func (m Model) OrdersSameAddrStore(aIsLoad bool) bool {
+	switch m {
+	case Relaxed:
+		return true
+	case PSO:
+		return !aIsLoad
+	default:
+		return false
+	}
+}
+
+// Forwards reports whether the model has a store buffer with local
+// forwarding: a program-order-earlier store of the same thread is
+// visible to a load regardless of their global memory order.
+func (m Model) Forwards() bool {
+	switch m {
+	case TSO, PSO, Relaxed:
+		return true
+	}
+	return false
+}

@@ -313,8 +313,12 @@ type Solver struct {
 
 	// Clause-sharing hooks (see SetShare). shareExport receives each
 	// learnt clause with LBD <= shareLBD; shareImport is drained at
-	// restart boundaries.
+	// restart boundaries and, because easy formulas may never satisfy a
+	// restart policy at all, at a forced cadence of shareEvery conflicts
+	// (the solver hops to the root for the import, which is just an
+	// extra restart).
 	shareLBD    int
+	shareEvery  int64
 	shareExport func(lits []Lit, lbd int)
 	shareImport func(add func(lits []Lit, lbd int))
 
@@ -1021,6 +1025,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 
 	conflicts := int64(0)
 	sinceRestart := int64(0)
+	sinceImport := int64(0)
 	lubyIdx := int64(1)
 	lubyLimit := luby(lubyIdx) * 100
 	var ticks int64
@@ -1046,6 +1051,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if confl != nil {
 			conflicts++
 			sinceRestart++
+			sinceImport++
 			s.stats.Conflicts++
 			if s.decisionLevel() == 0 {
 				s.ok = false
@@ -1091,8 +1097,17 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		default:
 			restart = sinceRestart >= 100 && s.lbdFast > 1.25*s.lbdSlow
 		}
+		if !restart && s.shareImport != nil && s.shareEvery > 0 && sinceImport >= s.shareEvery {
+			// Forced import cadence: the restart policies can go whole
+			// short solves without firing (glucose needs drifting LBDs,
+			// Luby needs 100+ conflicts), which used to starve portfolio
+			// members of their peers' exports entirely. An import needs
+			// the trail at the root, so this is simply an extra restart.
+			restart = true
+		}
 		if restart {
 			sinceRestart = 0
+			sinceImport = 0
 			s.stats.Restarts++
 			s.cancelUntil(0)
 			// Restart boundaries are the import points of clause

@@ -121,6 +121,23 @@ func (s *Solver) SetShare(lbdMax int, export func(lits []Lit, lbd int), imp func
 	s.shareLBD = lbdMax
 	s.shareExport = export
 	s.shareImport = imp
+	if imp != nil && s.shareEvery == 0 {
+		// Default forced-import cadence: without it, a solve short
+		// enough never to trip a restart policy would also never import
+		// (see the search loop), making sharing one-directional.
+		s.shareEvery = 32
+	}
+}
+
+// SetShareImportInterval overrides the forced import cadence: with an
+// import hook attached, the solver drains the pool at least every n
+// conflicts even when the restart policy does not fire (n <= 0 restores
+// the default).
+func (s *Solver) SetShareImportInterval(n int64) {
+	if n <= 0 {
+		n = 32
+	}
+	s.shareEvery = n
 }
 
 // importShared drains foreign clauses at a restart boundary. Each

@@ -89,6 +89,41 @@ func TestSolveSharedSingleMember(t *testing.T) {
 	modelSatisfies(t, base, clauses)
 }
 
+// TestForcedImportCadence: a solve too short to trip a restart policy
+// (glucose needs 100+ conflicts) must still drain the import hook on
+// the forced cadence — a clause planted mid-solve gets imported. This
+// regressed silently before: short portfolio solves exported clauses
+// but imported none (entry-time and restart-boundary drains only).
+func TestForcedImportCadence(t *testing.T) {
+	s := New()
+	pigeonholeInstance(s, 4)
+	s.SetShareImportInterval(1)
+	calls := 0
+	planted := false
+	s.SetShare(6, nil, func(add func(lits []Lit, lbd int)) {
+		calls++
+		if calls == 2 && !planted {
+			planted = true
+			// An already-true tautology-free clause over real variables:
+			// imported, attached, and harmless to the verdict.
+			add([]Lit{Pos(0), Neg(0+1), Pos(2)}, 2)
+		}
+	})
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("verdict = %v, want Unsat", st)
+	}
+	stats := s.Stats()
+	if stats.Conflicts < 2 || stats.Conflicts >= 100 {
+		t.Fatalf("premise broken: %d conflicts (want 2..99 so no glucose restart fires)", stats.Conflicts)
+	}
+	if calls < 2 {
+		t.Fatalf("import hook ran %d times; forced cadence never fired", calls)
+	}
+	if !planted || stats.SharedImported != 1 {
+		t.Fatalf("planted clause not imported: planted=%v imported=%d", planted, stats.SharedImported)
+	}
+}
+
 // TestImportSharedSound: a directly injected foreign clause is
 // simplified against the root assignment and participates in
 // propagation.

@@ -61,6 +61,15 @@ type Trace struct {
 func Build(enc *encode.Encoder, built *harness.Built, unrolled *harness.Unrolled,
 	cex *spec.Counterexample) *Trace {
 
+	names, threadNames := HarnessNames(built, unrolled)
+	t := Decode(enc, cex, built.Entries, names, threadNames)
+	return t
+}
+
+// HarnessNames derives the address-naming map and thread names Build
+// uses, for backends (internal/rf) that construct traces without an
+// encoder model to decode.
+func HarnessNames(built *harness.Built, unrolled *harness.Unrolled) (map[int64]string, []string) {
 	names := map[int64]string{}
 	for _, g := range built.Unit.Prog.Globals {
 		names[g.Base] = g.Name
@@ -72,8 +81,7 @@ func Build(enc *encode.Encoder, built *harness.Built, unrolled *harness.Unrolled
 	for i, th := range unrolled.Threads {
 		threadNames[i] = th.Name
 	}
-	t := Decode(enc, cex, built.Entries, names, threadNames)
-	return t
+	return names, threadNames
 }
 
 // Decode extracts a trace from an encoder whose solver holds a
@@ -196,6 +204,13 @@ func shortSite(site string, base int64) string {
 		}
 	}
 	return fmt.Sprintf("node%d(%s)", base, fn)
+}
+
+// RenderAddr renders a concrete pointer address with the
+// global/allocation names of the harness (shared with the rf
+// backend's trace builder).
+func RenderAddr(addr lsl.Value, names map[int64]string) string {
+	return renderAddr(addr, names)
 }
 
 func renderAddr(addr lsl.Value, names map[int64]string) string {

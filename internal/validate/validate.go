@@ -231,16 +231,10 @@ func checkContiguity(t *trace.Trace) error {
 	return nil
 }
 
-// forwards mirrors encode.forwards: models with a store buffer let a
-// program-order-earlier store of the same thread be visible to a load
-// regardless of their global order.
-func forwards(model memmodel.Model) bool {
-	switch model {
-	case memmodel.TSO, memmodel.PSO, memmodel.Relaxed:
-		return true
-	}
-	return false
-}
+// forwards mirrors encode.forwards via the shared memmodel predicate:
+// models with a store buffer let a program-order-earlier store of the
+// same thread be visible to a load regardless of their global order.
+func forwards(model memmodel.Model) bool { return model.Forwards() }
 
 // checkReadsFrom verifies the value rule (axioms 2 and 3 of §2.3.2):
 // every load reads the memory-order-maximal visible store to its

@@ -42,9 +42,12 @@ func TestIntraCheckDifferential(t *testing.T) {
 		name string
 		opts checkfence.Options
 	}{
-		{"serial", checkfence.Options{}},
-		{"portfolio", checkfence.Options{Portfolio: 4, ShareClauses: true}},
-		{"cube", checkfence.Options{Cube: 4}},
+		// Backends are pinned: the differential is about the parallel
+		// machinery, which the auto router's small-instance guard would
+		// otherwise strip on the easy rows.
+		{"serial", checkfence.Options{Backend: checkfence.BackendSAT}},
+		{"portfolio", checkfence.Options{Backend: checkfence.BackendPortfolio, Portfolio: 4, ShareClauses: true}},
+		{"cube", checkfence.Options{Backend: checkfence.BackendCube, Cube: 4}},
 	}
 
 	var jobs []checkfence.Job
