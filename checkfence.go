@@ -175,6 +175,24 @@ type SuiteResult = core.SuiteResult
 // context, spec cache sharing, completion callback).
 type SuiteOptions = core.SuiteOptions
 
+// SweepMode controls model-sweep grouping in CheckSuite: under
+// SweepAuto (the default) jobs identical in everything but Model are
+// checked on one shared selector-guarded encoding, solved per model
+// under assumption literals with learned clauses carried across the
+// sweep; SweepOff checks every job independently. Verdicts and
+// observation sets are identical either way.
+type SweepMode = core.SweepMode
+
+// The sweep modes.
+const (
+	SweepAuto = core.SweepAuto
+	SweepOff  = core.SweepOff
+)
+
+// ParseSweepMode converts a -sweep flag value ("auto", "on", "off")
+// to a SweepMode.
+func ParseSweepMode(s string) (SweepMode, error) { return core.ParseSweepMode(s) }
+
 // SpecCache memoizes mined observation sets across checks. The
 // specification is model-independent (paper §3.2), so a suite checking
 // one (implementation, test) pair under several memory models mines

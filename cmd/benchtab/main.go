@@ -13,6 +13,7 @@
 //	benchtab -fig encode       formula minimization on/off (writes BENCH_encode.json)
 //	benchtab -fig solve        intra-check parallelism: serial vs portfolio vs cube (writes BENCH_solve.json)
 //	benchtab -fig backend      multi-backend routing: rf vs SAT, auto vs forced (writes BENCH_backend.json)
+//	benchtab -fig sweep        model-sweep grouping: shared encoding vs independent checks (writes BENCH_sweep.json)
 //
 // Absolute times differ from the paper's 2007 testbed; the shapes
 // (growth trends, ratios, who wins) are the reproduction target. Use
@@ -39,6 +40,7 @@ func main() {
 		encJSON = flag.String("encode-json", "BENCH_encode.json", "artifact path for -fig encode (\"\" = print only)")
 		slvJSON = flag.String("solve-json", "BENCH_solve.json", "artifact path for -fig solve (\"\" = print only)")
 		bakJSON = flag.String("backend-json", "BENCH_backend.json", "artifact path for -fig backend (\"\" = print only)")
+		swpJSON = flag.String("sweep-json", "BENCH_sweep.json", "artifact path for -fig sweep (\"\" = print only)")
 		width   = flag.Int("width", 4, "worker count for -fig solve (portfolio members / cube workers)")
 	)
 	flag.Parse()
@@ -70,6 +72,8 @@ func main() {
 		err = r.SolveReport(*slvJSON, *width)
 	case *fig == "backend":
 		err = r.BackendReport(*bakJSON)
+	case *fig == "sweep":
+		err = r.SweepReport(*swpJSON)
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -12,7 +12,11 @@
 // -model may be repeated to check several memory models in one run;
 // with -j N the checks run on a worker pool of N workers sharing one
 // observation-set cache (the specification is model-independent, so it
-// is mined once).
+// is mined once). Repeated models are by default checked as one model
+// sweep: a single selector-guarded encoding solved once per model
+// under assumption literals, with mining, preprocessing, and learned
+// clauses shared across the sweep (-sweep off restores independent
+// checks; verdicts are identical either way).
 //
 // Resource governance: -timeout, -conflicts, and -mem-mb budget each
 // check's wall clock, SAT conflicts per solve, and learned-clause
@@ -120,6 +124,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		noPreproc = fs.Bool("no-preprocess", false, "disable SatELite-style CNF preprocessing before solving")
 		inproc    = fs.Bool("inprocess", true, "enable solver inprocessing (vivification, subsumption, tiered clause DB, chronological backtracking)")
 		ordReduce = fs.Bool("order-reduce", true, "enable the model-aware memory-order encoding reduction")
+		sweepFlag = fs.String("sweep", "auto", "model-sweep grouping across repeated -model values: auto (one shared encoding solved per model under assumptions) or off (independent checks)")
 		validate  = fs.Bool("validate", true, "independently re-check counterexamples (axiom re-verification + interpreter replay)")
 	)
 	fs.Var(&models, "model", "memory model: sc, tso, pso, relaxed, serial (repeatable)")
@@ -146,6 +151,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		models = modelList{memmodel.Relaxed}
 	}
 	be, err := core.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintln(stderr, "checkfence:", err)
+		return exitError
+	}
+	sweep, err := core.ParseSweepMode(*sweepFlag)
 	if err != nil {
 		fmt.Fprintln(stderr, "checkfence:", err)
 		return exitError
@@ -181,6 +191,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	results := core.RunSuite(suite, core.SuiteOptions{
 		Parallelism:  *jobs,
 		SpecCacheDir: *cacheDir,
+		Sweep:        sweep,
 	})
 
 	exit := exitPass
@@ -217,6 +228,19 @@ func report(w io.Writer, res *core.Result, showSpec, stats bool) int {
 	if stats {
 		s := res.Stats
 		fmt.Fprintf(w, "backend: %s (router: %s)\n", s.Backend, s.RouterDecision)
+		if s.SweepGroups > 0 {
+			fmt.Fprintf(w, "sweep: group of %d models, %d selector vars, %d guarded units\n",
+				s.SweepModels, s.SelectorVars, s.SelectorUnits)
+			if s.EncodesReused > 0 {
+				fmt.Fprintf(w, "sweep sharing: encoding reused, %d observations seeded\n", s.SeededObs)
+			}
+			if s.SweepEarlyExit > 0 {
+				fmt.Fprintln(w, "sweep sharing: decided by replaying a stronger model's counterexample")
+			}
+			if s.FrontCacheHits > 0 {
+				fmt.Fprintf(w, "sweep sharing: %d build/unroll cache hits\n", s.FrontCacheHits)
+			}
+		}
 		if s.AutoSerial {
 			fmt.Fprintln(w, "auto guard: formula below parallelism thresholds, solved serially")
 		}

@@ -151,6 +151,22 @@ type Options struct {
 	// Faults arms deterministic fault injection at the solver,
 	// encoder, and mining hook points (tests and chaos runs only).
 	Faults faultinject.Faults
+	// Sweep controls whether this job may join a model-sweep group
+	// when checked through RunSuite: jobs identical in everything but
+	// Model are grouped onto one shared selector-guarded encoding and
+	// each model's verdict is solved under assumption literals, with
+	// the specification mined once and bound probing shared
+	// (SweepAuto, the default, joins when the suite sweeps). SweepOff
+	// opts the job out. Direct Check/CheckImpl calls ignore the field:
+	// a sweep needs at least two models. A group shares one
+	// Deadline window across its models; a member that falls back to
+	// an independent check gets a fresh window.
+	Sweep SweepMode
+
+	// front, when non-nil, memoizes harness.Build and per-bounds
+	// Unroll results across the members and rounds of a sweep group.
+	// Set by RunSuite's group scheduler only.
+	front *frontCache
 }
 
 // encodeConfig maps the simplification options onto the encoder's
@@ -265,6 +281,31 @@ type Stats struct {
 	// with Options.NoOrderReduce.
 	OrderVarsFixed  int
 	OrderVarsMerged int
+
+	// Model-sweep counters (RunSuite sweep groups; all zero on
+	// independent checks). SweepGroups is 1 when the verdict came from
+	// a shared sweep encoding and SweepModels counts the models that
+	// encoding served; SelectorVars/SelectorUnits size the selector
+	// instrumentation. EncodesReused is 1 on results that reused the
+	// group's encoding instead of building their own, and SeededObs
+	// counts specification observations whose exclusion clauses such a
+	// result shared rather than re-encoded. SweepEarlyExit is 1 when
+	// the verdict came from replaying a stronger model's
+	// counterexample under this model's axioms without solving.
+	// FrontCacheHits counts harness build/unroll results served from
+	// the group's front cache (reported on the group leader). Shared
+	// group costs — mining, encoding, preprocessing, probe time,
+	// solver counters — are attributed to the leader (the strongest
+	// model); every group member reports the group's wall-clock time
+	// as its TotalTime.
+	SweepGroups    int
+	SweepModels    int
+	SelectorVars   int
+	SelectorUnits  int
+	EncodesReused  int
+	SeededObs      int
+	SweepEarlyExit int
+	FrontCacheHits int
 
 	ProbeTime   time.Duration // lazy loop bound probes
 	MineTime    time.Duration // specification mining
@@ -399,7 +440,7 @@ func checkAttempt(impl *harness.Impl, test *harness.Test, opts Options,
 		res.Stats.AllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
 	}()
 
-	built, err := harness.Build(impl, test)
+	built, err := opts.buildHarness(impl, test)
 	if err != nil {
 		return nil, err
 	}
@@ -416,7 +457,7 @@ func checkAttempt(impl *harness.Impl, test *harness.Test, opts Options,
 	for k, v := range opts.InitialBounds {
 		bounds[k] = v
 	}
-	unrolled, err := built.Unroll(bounds)
+	unrolled, err := opts.unrollHarness(built, bounds)
 	if err != nil {
 		return nil, err
 	}
@@ -446,7 +487,7 @@ func checkAttempt(impl *harness.Impl, test *harness.Test, opts Options,
 		}
 		grewAny = true
 		res.Stats.BoundRounds = round + 2
-		unrolled, err = built.Unroll(bounds)
+		unrolled, err = opts.unrollHarness(built, bounds)
 		if err != nil {
 			return nil, err
 		}
@@ -510,82 +551,23 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 	}
 	res.Stats.Backend = "sat"
 
-	// Specification. The mining procedure is wrapped in a closure so
-	// the spec cache can single-flight it across concurrent checks;
-	// serialEnc escapes for the sequential-bug trace, and is only ever
-	// set by this check's own invocation (the cache never shares
-	// failures).
+	// Specification: mined once per (impl, test, bounds, source) via
+	// mineSpec (shared with the sweep scheduler).
 	mineStart := time.Now()
-	theSpec := opts.Spec
-	if theSpec == nil {
-		key := specKey(impl, test, bounds, opts.SpecSource)
-		var serialEnc *encode.Encoder
-		mine := func(resume *spec.Set, resumeIters int) (*spec.Set, int, error) {
-			switch opts.SpecSource {
-			case SpecRef:
-				set, err := refimpl.Enumerate(impl, test)
-				return set, 0, err
-			default:
-				serialEnc = encode.NewWithConfig(memmodel.Serial, info, opts.encodeConfig())
-				applyLimits(serialEnc, opts, deadline)
-				if err := serialEnc.Encode(unrolled.Threads); err != nil {
-					return nil, 0, err
-				}
-				serialEnc.AssertNoOverflow()
-				strat := opts.solveStrategy(serialEnc, &pstats, res)
-				strat.Resume = resume
-				strat.ResumeIterations = resumeIters
-				if cache := opts.SpecCache; cache != nil {
-					// Periodically mirror the partial set to disk so an
-					// interrupted mine (budget, crash, ^C) resumes
-					// instead of restarting.
-					strat.Checkpoint = func(partial *spec.Set, iterations int) {
-						cache.StoreCheckpoint(key, partial, iterations)
-					}
-				}
-				mined, stats, err := spec.MineWith(serialEnc, built.Entries, strat)
-				return mined, stats.Iterations, err
-			}
-		}
-		var (
-			mined      *spec.Set
-			iterations int
-			err        error
-		)
-		if opts.SpecCache != nil {
-			var outcome CacheOutcome
-			mined, iterations, outcome, err = opts.SpecCache.GetOrMine(key, mine)
-			if outcome.Hit {
-				res.Stats.SpecCacheHits++
-			} else {
-				res.Stats.SpecCacheMisses++
-			}
-			if outcome.Corrupt {
-				res.Stats.SpecCacheCorrupt++
-			}
-			if outcome.Resumed {
-				res.Stats.SpecCacheResumed++
-			}
-		} else {
-			mined, iterations, err = mine(nil, 0)
-		}
-		if err != nil {
-			if seqBug, ok := err.(*spec.SeqBugError); ok && serialEnc != nil {
-				res.SeqBug = true
-				res.Pass = false
-				cex := &spec.Counterexample{Obs: seqBug.Obs, IsErr: true,
-					Err: "runtime error in serial execution"}
-				res.Cex = trace.Build(serialEnc, built, unrolled, cex)
-				res.Stats.MineTime += time.Since(mineStart)
-				if err := validateCex(res.Cex, built, unrolled, opts); err != nil {
-					return false, err
-				}
-				return true, nil
-			}
+	theSpec, seqTrace, err := mineSpec(impl, test, built, unrolled, info, bounds,
+		opts, deadline, &pstats, res)
+	if err != nil {
+		return false, err
+	}
+	if seqTrace != nil {
+		res.SeqBug = true
+		res.Pass = false
+		res.Cex = seqTrace
+		res.Stats.MineTime += time.Since(mineStart)
+		if err := validateCex(res.Cex, built, unrolled, opts); err != nil {
 			return false, err
 		}
-		theSpec = mined
-		res.Stats.MineIterations = iterations
+		return true, nil
 	}
 	res.Spec = theSpec
 	res.Stats.ObsSetSize = theSpec.Len()
@@ -649,6 +631,86 @@ func runCheck(res *Result, impl *harness.Impl, test *harness.Test,
 		return false, err
 	}
 	return true, nil
+}
+
+// mineSpec obtains the observation set for a check at the given
+// bounds: Options.Spec verbatim, the refset enumeration, or the §3.2
+// SAT mine — through the spec cache when one is configured (the
+// mining closure is single-flighted across concurrent checks, and the
+// escaping serialEnc is only ever set by this check's own invocation:
+// the cache never shares failures). Cache traffic and the iteration
+// count land in res.Stats. When a serial execution reaches a runtime
+// error, the decoded sequential-bug trace is returned instead of a
+// set; the caller owns its validation.
+func mineSpec(impl *harness.Impl, test *harness.Test, built *harness.Built,
+	unrolled *harness.Unrolled, info *ranges.Info, bounds map[string]int,
+	opts Options, deadline time.Time, pstats *spec.ParStats,
+	res *Result) (*spec.Set, *trace.Trace, error) {
+
+	if opts.Spec != nil {
+		return opts.Spec, nil, nil
+	}
+	key := specKey(impl, test, bounds, opts.SpecSource)
+	var serialEnc *encode.Encoder
+	mine := func(resume *spec.Set, resumeIters int) (*spec.Set, int, error) {
+		switch opts.SpecSource {
+		case SpecRef:
+			set, err := refimpl.Enumerate(impl, test)
+			return set, 0, err
+		default:
+			serialEnc = encode.NewWithConfig(memmodel.Serial, info, opts.encodeConfig())
+			applyLimits(serialEnc, opts, deadline)
+			if err := serialEnc.Encode(unrolled.Threads); err != nil {
+				return nil, 0, err
+			}
+			serialEnc.AssertNoOverflow()
+			strat := opts.solveStrategy(serialEnc, pstats, res)
+			strat.Resume = resume
+			strat.ResumeIterations = resumeIters
+			if cache := opts.SpecCache; cache != nil {
+				// Periodically mirror the partial set to disk so an
+				// interrupted mine (budget, crash, ^C) resumes
+				// instead of restarting.
+				strat.Checkpoint = func(partial *spec.Set, iterations int) {
+					cache.StoreCheckpoint(key, partial, iterations)
+				}
+			}
+			mined, stats, err := spec.MineWith(serialEnc, built.Entries, strat)
+			return mined, stats.Iterations, err
+		}
+	}
+	var (
+		mined      *spec.Set
+		iterations int
+		err        error
+	)
+	if opts.SpecCache != nil {
+		var outcome CacheOutcome
+		mined, iterations, outcome, err = opts.SpecCache.GetOrMine(key, mine)
+		if outcome.Hit {
+			res.Stats.SpecCacheHits++
+		} else {
+			res.Stats.SpecCacheMisses++
+		}
+		if outcome.Corrupt {
+			res.Stats.SpecCacheCorrupt++
+		}
+		if outcome.Resumed {
+			res.Stats.SpecCacheResumed++
+		}
+	} else {
+		mined, iterations, err = mine(nil, 0)
+	}
+	if err != nil {
+		if seqBug, ok := err.(*spec.SeqBugError); ok && serialEnc != nil {
+			cex := &spec.Counterexample{Obs: seqBug.Obs, IsErr: true,
+				Err: "runtime error in serial execution"}
+			return nil, trace.Build(serialEnc, built, unrolled, cex), nil
+		}
+		return nil, nil, err
+	}
+	res.Stats.MineIterations = iterations
+	return mined, nil, nil
 }
 
 // validateCex independently re-checks a decoded counterexample (axiom

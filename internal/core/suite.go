@@ -53,6 +53,12 @@ type SuiteOptions struct {
 	// not set its own, and on the suite's spec cache (tests and chaos
 	// runs only).
 	Faults faultinject.Faults
+	// Sweep controls model-sweep grouping: under SweepAuto (the
+	// default), jobs identical in everything but Model are checked on
+	// one shared selector-guarded encoding, solved per model under
+	// assumptions (see sweep.go). SweepOff checks every job
+	// independently. Individual jobs opt out with Options.Sweep.
+	Sweep SweepMode
 }
 
 // RunSuite checks all jobs on a bounded worker pool and returns their
@@ -72,61 +78,112 @@ func RunSuite(jobs []Job, opts SuiteOptions) []SuiteResult {
 	if opts.Faults != nil {
 		cache.SetFaults(opts.Faults)
 	}
+	// Effective per-job options, with the suite's injections applied
+	// up front: sweep grouping must key on what will actually run.
+	eff := make([]Options, len(jobs))
+	for i, job := range jobs {
+		jopts := job.Opts
+		if jopts.SpecCache == nil {
+			jopts.SpecCache = cache
+		}
+		if jopts.Cancel == nil {
+			jopts.Cancel = ctx.Done()
+		}
+		if jopts.Faults == nil {
+			jopts.Faults = opts.Faults
+		}
+		eff[i] = jopts
+	}
+	units := planUnits(jobs, eff, opts.Sweep != SweepOff)
+
 	workers := opts.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(units) {
+		workers = len(units)
 	}
 
 	results := make([]SuiteResult, len(jobs))
 	var next atomic.Int64
 	next.Store(-1)
 	var cbMu sync.Mutex
+	emit := func(i int, r SuiteResult) {
+		results[i] = r
+		if opts.OnResult != nil {
+			cbMu.Lock()
+			opts.OnResult(i, r)
+			cbMu.Unlock()
+		}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1))
-				if i >= len(jobs) {
+				u := int(next.Add(1))
+				if u >= len(units) {
 					return
 				}
+				unit := units[u]
+				if unit.group != nil {
+					runSweepGroup(unit.group, jobs, ctx, emit)
+					continue
+				}
+				i := unit.single
 				job := jobs[i]
 				r := SuiteResult{Job: job}
 				if err := ctx.Err(); err != nil {
 					r.Err = err
 				} else {
-					jopts := job.Opts
-					if jopts.SpecCache == nil {
-						jopts.SpecCache = cache
-					}
-					if jopts.Cancel == nil {
-						jopts.Cancel = ctx.Done()
-					}
-					if jopts.Faults == nil {
-						jopts.Faults = opts.Faults
-					}
-					r.Res, r.Err = safeCheck(job.Impl, job.Test, jopts)
+					r.Res, r.Err = safeCheck(job.Impl, job.Test, eff[i])
 					if r.Err != nil && ctx.Err() != nil {
 						// An interrupted solve surfaces as a solver
 						// error; report the cancellation itself.
 						r.Err = ctx.Err()
 					}
 				}
-				results[i] = r
-				if opts.OnResult != nil {
-					cbMu.Lock()
-					opts.OnResult(i, r)
-					cbMu.Unlock()
-				}
+				emit(i, r)
 			}
 		}()
 	}
 	wg.Wait()
 	return results
+}
+
+// runSweepGroup checks one sweep group and emits a SuiteResult for
+// every member job. Duplicate jobs of the same model share the check:
+// the second and later consumers receive a shallow copy of the result.
+func runSweepGroup(g *sweepGroup, jobs []Job, ctx context.Context,
+	emit func(int, SuiteResult)) {
+	if err := ctx.Err(); err != nil {
+		for _, idxs := range g.jobs {
+			for _, i := range idxs {
+				emit(i, SuiteResult{Job: jobs[i], Err: err})
+			}
+		}
+		return
+	}
+	outs := g.run()
+	for _, m := range g.models {
+		o := outs[m]
+		for k, i := range g.jobs[m] {
+			r := SuiteResult{Job: jobs[i], Err: o.err}
+			if o.res != nil {
+				if k == 0 {
+					r.Res = o.res
+				} else {
+					cp := *o.res
+					r.Res = &cp
+				}
+			}
+			if r.Err != nil && ctx.Err() != nil {
+				r.Err = ctx.Err()
+			}
+			emit(i, r)
+		}
+	}
 }
 
 // safeCheck isolates one check: a panic anywhere in its pipeline

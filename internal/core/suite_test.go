@@ -77,10 +77,12 @@ func TestRunSuiteMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestRunSuiteMinesOnce asserts the memoization contract: a suite
-// checking the same (implementation, test, bounds) under several
-// models mines the observation set exactly once, and every other job
-// reports a cache hit.
+// TestRunSuiteMinesOnce asserts the memoization contract for
+// independent jobs: a suite checking the same (implementation, test,
+// bounds) under several models mines the observation set exactly once,
+// and every other job reports a cache hit. Sweep grouping is off —
+// a sweep group mines once for the whole group and touches the cache
+// once, which is a different (stronger) sharing contract.
 func TestRunSuiteMinesOnce(t *testing.T) {
 	jobs := modelSweep("ms2", "T0")
 	var mined atomic.Int64
@@ -88,6 +90,7 @@ func TestRunSuiteMinesOnce(t *testing.T) {
 	results := RunSuite(jobs, SuiteOptions{
 		Parallelism: 4,
 		SpecCache:   cache,
+		Sweep:       SweepOff,
 	})
 	requireAllRan(t, results)
 	hits, misses := 0, 0
@@ -263,12 +266,13 @@ func TestTotalTimeOnAllPaths(t *testing.T) {
 }
 
 // TestSpecCacheDisk: a second cache rooted at the same directory loads
-// the mined set from disk instead of re-mining.
+// the mined set from disk instead of re-mining. Independent jobs only
+// (Sweep off) — the per-job hit/miss counts are the subject here.
 func TestSpecCacheDisk(t *testing.T) {
 	dir := t.TempDir()
 	jobs := modelSweep("ms2", "T0")
 
-	first := RunSuite(jobs, SuiteOptions{Parallelism: 2, SpecCacheDir: dir})
+	first := RunSuite(jobs, SuiteOptions{Parallelism: 2, SpecCacheDir: dir, Sweep: SweepOff})
 	requireAllRan(t, first)
 	files, err := filepath.Glob(filepath.Join(dir, "*.obs"))
 	if err != nil || len(files) != 1 {
@@ -277,7 +281,7 @@ func TestSpecCacheDisk(t *testing.T) {
 
 	// A fresh cache over the same dir must serve the set without
 	// mining: every job reports a hit, none a miss.
-	second := RunSuite(jobs, SuiteOptions{Parallelism: 2, SpecCacheDir: dir})
+	second := RunSuite(jobs, SuiteOptions{Parallelism: 2, SpecCacheDir: dir, Sweep: SweepOff})
 	requireAllRan(t, second)
 	hits, misses := 0, 0
 	for _, r := range second {

@@ -1,0 +1,716 @@
+package core
+
+// This file implements model-sweep groups: RunSuite jobs that are
+// identical in everything but Model are checked on one shared
+// selector-guarded encoding (encode.NewSweepWithConfig +
+// spec.SweepCheck) instead of independently. Everything
+// model-independent is paid once per group — harness build, loop
+// unrolling, range analysis, specification mining, circuit
+// construction, CNF translation and preprocessing, bound probing —
+// and each model's verdict is a pair of solves under assumption
+// literals on the shared solver, with learned clauses carried across
+// the whole sweep. Verdict semantics are identical to independent
+// checks; the differential guarantees are enforced by TestSweepAblation
+// and the sweep bench harness.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"checkfence/internal/encode"
+	"checkfence/internal/harness"
+	"checkfence/internal/memmodel"
+	"checkfence/internal/ranges"
+	"checkfence/internal/sat"
+	"checkfence/internal/spec"
+	"checkfence/internal/trace"
+	"checkfence/internal/validate"
+)
+
+// SweepMode controls model-sweep grouping.
+type SweepMode int
+
+const (
+	// SweepAuto (the zero value) lets a job join a sweep group when
+	// the suite sweeps and a compatible group exists.
+	SweepAuto SweepMode = iota
+	// SweepOff always checks the job independently.
+	SweepOff
+)
+
+func (m SweepMode) String() string {
+	if m == SweepOff {
+		return "off"
+	}
+	return "auto"
+}
+
+// ParseSweepMode converts a CLI flag value to a SweepMode.
+func ParseSweepMode(s string) (SweepMode, error) {
+	switch s {
+	case "", "auto", "on":
+		return SweepAuto, nil
+	case "off":
+		return SweepOff, nil
+	}
+	return 0, fmt.Errorf("core: unknown sweep mode %q (want auto, on, or off)", s)
+}
+
+// frontCache memoizes the model-independent front end of a check —
+// harness.Build and the per-bounds Unroll — across the members and
+// rounds of one sweep group, including members that fall back to
+// independent checks. The results are treated as immutable by every
+// consumer (the regular pipeline already reuses one Built across
+// bound rounds).
+type frontCache struct {
+	mu       sync.Mutex
+	built    *harness.Built
+	unrolled map[string]*harness.Unrolled
+	hits     int
+}
+
+func boundsKey(bounds map[string]int) string {
+	keys := make([]string, 0, len(bounds))
+	for k := range bounds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d;", k, bounds[k])
+	}
+	return b.String()
+}
+
+func (f *frontCache) build(impl *harness.Impl, test *harness.Test) (*harness.Built, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.built != nil {
+		f.hits++
+		return f.built, nil
+	}
+	built, err := harness.Build(impl, test)
+	if err != nil {
+		return nil, err
+	}
+	f.built = built
+	return built, nil
+}
+
+func (f *frontCache) unroll(built *harness.Built, bounds map[string]int) (*harness.Unrolled, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := boundsKey(bounds)
+	if u, ok := f.unrolled[key]; ok {
+		f.hits++
+		return u, nil
+	}
+	u, err := built.Unroll(bounds)
+	if err != nil {
+		return nil, err
+	}
+	if f.unrolled == nil {
+		f.unrolled = map[string]*harness.Unrolled{}
+	}
+	f.unrolled[key] = u
+	return u, nil
+}
+
+// buildHarness and unrollHarness route the pipeline's front end
+// through the sweep group's cache when one is attached.
+func (o Options) buildHarness(impl *harness.Impl, test *harness.Test) (*harness.Built, error) {
+	if o.front != nil {
+		return o.front.build(impl, test)
+	}
+	return harness.Build(impl, test)
+}
+
+func (o Options) unrollHarness(built *harness.Built, bounds map[string]int) (*harness.Unrolled, error) {
+	if o.front != nil {
+		return o.front.unroll(built, bounds)
+	}
+	return built.Unroll(bounds)
+}
+
+// sweepEligible reports whether a job may join a sweep group at all.
+// Serial is excluded structurally (its seriality axioms and operation
+// merge classes reshape the encoding); a forced rf backend never
+// touches SAT; fault injection is per-check machinery the shared
+// pipeline must not multiplex.
+func sweepEligible(o Options) bool {
+	return o.Sweep != SweepOff && o.Model != memmodel.Serial &&
+		o.Backend != BackendRF && o.Faults == nil
+}
+
+// sweepFingerprint renders every Options field except Model into a
+// grouping key: two jobs sweep together only when nothing but the
+// model distinguishes them. Pointer-typed fields group by identity —
+// conservative (equal contents behind distinct pointers do not group)
+// and therefore always sound.
+func sweepFingerprint(o Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "be=%d ra=%t src=%d spec=%p mbr=%d pf=%d shc=%t cube=%d mmi=%d "+
+		"simp=%d nopre=%t noinp=%t noord=%t vt=%d dl=%d cb=%d mem=%d cache=%p cancel=%p",
+		o.Backend, o.DisableRangeAnalysis, o.SpecSource, o.Spec, o.MaxBoundRounds,
+		o.Portfolio, o.ShareClauses, o.Cube, o.MaxMineIterations,
+		o.SimplifyLevel, o.NoPreprocess, o.NoInprocess, o.NoOrderReduce,
+		o.ValidateTraces, o.Deadline, o.ConflictBudget, o.MemBudgetMB,
+		o.SpecCache, o.Cancel)
+	keys := make([]string, 0, len(o.InitialBounds))
+	for k := range o.InitialBounds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " ib:%s=%d", k, o.InitialBounds[k])
+	}
+	for _, r := range o.Ladder {
+		fmt.Fprintf(&b, " rung=%+v", r)
+	}
+	return b.String()
+}
+
+// sweepGroup is one scheduled sweep: a set of suite jobs over the same
+// (impl, test, options) differing only in model.
+type sweepGroup struct {
+	implName, testName string
+	// models holds the group's distinct models, strongest-first —
+	// the sweep order monotonic seeding and early-exit rely on.
+	models []memmodel.Model
+	// jobs maps each model to the suite job indices it serves (more
+	// than one when a suite repeats a job verbatim).
+	jobs map[memmodel.Model][]int
+	// opts is the shared option template (Model set to the strongest
+	// member, front to the group's cache).
+	opts Options
+}
+
+// suiteUnit is one work item of RunSuite's pool: a single job or a
+// whole sweep group.
+type suiteUnit struct {
+	single int // job index; -1 for a group
+	group  *sweepGroup
+}
+
+// planUnits partitions the suite's jobs into schedulable units. eff
+// holds each job's effective options (after the suite injected cache,
+// cancellation, and faults) — grouping must see what will actually
+// run. Groups need at least two distinct models; everything else
+// stays an independent unit in original job order.
+func planUnits(jobs []Job, eff []Options, sweepOn bool) []suiteUnit {
+	type proto struct {
+		firstIdx int
+		indices  []int
+	}
+	protos := map[string]*proto{}
+	var order []string
+	grouped := make([]bool, len(jobs))
+	if sweepOn {
+		for i, job := range jobs {
+			if !sweepEligible(eff[i]) {
+				continue
+			}
+			key := job.Impl + "\x00" + job.Test + "\x00" + sweepFingerprint(eff[i])
+			p := protos[key]
+			if p == nil {
+				p = &proto{firstIdx: i}
+				protos[key] = p
+				order = append(order, key)
+			}
+			p.indices = append(p.indices, i)
+			grouped[i] = true
+		}
+	}
+	type slot struct {
+		pos  int
+		unit suiteUnit
+	}
+	var slots []slot
+	for _, key := range order {
+		p := protos[key]
+		byModel := map[memmodel.Model][]int{}
+		var models []memmodel.Model
+		for _, idx := range p.indices {
+			m := eff[idx].Model
+			if len(byModel[m]) == 0 {
+				models = append(models, m)
+			}
+			byModel[m] = append(byModel[m], idx)
+		}
+		if len(models) < 2 {
+			// Nothing to sweep; the members run independently.
+			for _, idx := range p.indices {
+				grouped[idx] = false
+			}
+			continue
+		}
+		sort.Slice(models, func(i, j int) bool {
+			a, b := models[i], models[j]
+			return a.StrongerThan(b) && !b.StrongerThan(a)
+		})
+		opts := eff[byModel[models[0]][0]]
+		opts.Model = models[0]
+		slots = append(slots, slot{pos: p.firstIdx, unit: suiteUnit{
+			single: -1,
+			group: &sweepGroup{
+				implName: jobs[p.firstIdx].Impl,
+				testName: jobs[p.firstIdx].Test,
+				models:   models,
+				jobs:     byModel,
+				opts:     opts,
+			},
+		}})
+	}
+	for i := range jobs {
+		if !grouped[i] {
+			slots = append(slots, slot{pos: i, unit: suiteUnit{single: i}})
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i].pos < slots[j].pos })
+	units := make([]suiteUnit, len(slots))
+	for i, s := range slots {
+		units[i] = s.unit
+	}
+	return units
+}
+
+// modelOutcome is one model's result within a group run.
+type modelOutcome struct {
+	res *Result
+	err error
+}
+
+// errSweepFallback routes a whole group to independent checks without
+// signalling a failure: the router picked the polynomial reads-from
+// path, which is per-model and has no SAT work to amortize.
+var errSweepFallback = errors.New("core: sweep group routed to independent checks")
+
+// run checks every model of the group. Models the shared attempt
+// cannot decide — a degradable failure (budget, solver Unknown,
+// recovered panic) or the rf routing — fall back to independent
+// CheckImpl runs with the full degradation ladder, still sharing the
+// group's front cache; a non-degradable failure becomes every
+// undecided model's error.
+func (g *sweepGroup) run() map[memmodel.Model]*modelOutcome {
+	start := time.Now()
+	outs := make(map[memmodel.Model]*modelOutcome, len(g.models))
+	front := &frontCache{}
+	g.opts.front = front
+
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("core: sweep group %s/%s panicked: %w",
+					g.implName, g.testName, sat.RecoverAsError(p))
+			}
+		}()
+		return g.attempt(outs, start)
+	}()
+
+	// Every sweep-produced result reports the group's wall-clock time:
+	// the models were decided together, so per-model attribution of the
+	// shared phases would be arbitrary. The heap growth of the whole
+	// group lands on the leader with the other shared costs.
+	wall := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	for _, o := range outs {
+		if o.res != nil && o.res.Stats.SweepGroups == 1 {
+			o.res.Stats.TotalTime = wall
+		}
+	}
+	if o := outs[g.models[0]]; o != nil && o.res != nil && o.res.Stats.SweepGroups == 1 {
+		o.res.Stats.AllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
+	}
+
+	if err != nil {
+		fallback := errors.Is(err, errSweepFallback) || degradable(err, g.opts)
+		for _, m := range g.models {
+			if _, ok := outs[m]; ok {
+				continue
+			}
+			if !fallback {
+				outs[m] = &modelOutcome{err: err}
+				continue
+			}
+			o := g.opts
+			o.Model = m
+			res, cerr := safeCheck(g.implName, g.testName, o)
+			outs[m] = &modelOutcome{res: res, err: cerr}
+		}
+	}
+	if o := outs[g.models[0]]; o != nil && o.res != nil {
+		o.res.Stats.FrontCacheHits = front.hits
+	}
+	return outs
+}
+
+// attempt runs the shared pipeline once with the configured strategy,
+// mirroring checkAttempt's structure: check at the initial bounds,
+// probe bounds under the shared probe model, and re-check the still
+// undecided models at the converged bounds. Decided models are
+// recorded in outs as the rounds progress.
+func (g *sweepGroup) attempt(outs map[memmodel.Model]*modelOutcome, start time.Time) error {
+	opts := g.opts
+	if opts.MaxBoundRounds <= 0 {
+		opts.MaxBoundRounds = 12
+	}
+	var deadline time.Time
+	if opts.Deadline > 0 {
+		deadline = start.Add(opts.Deadline)
+	}
+	impl, err := harness.Get(g.implName)
+	if err != nil {
+		return err
+	}
+	test, err := harness.GetTest(impl, g.testName)
+	if err != nil {
+		return err
+	}
+	built, err := opts.buildHarness(impl, test)
+	if err != nil {
+		return err
+	}
+	bounds := map[string]int{}
+	for k, v := range opts.InitialBounds {
+		bounds[k] = v
+	}
+	unrolled, err := opts.unrollHarness(built, bounds)
+	if err != nil {
+		return err
+	}
+	info := analysisFor(unrolled, opts)
+
+	// One routing decision serves the whole group: routeRF inspects
+	// the backend selection and the unrolled program, never the model.
+	// When the polynomial path wins there is no SAT work to amortize.
+	if dec := routeRF(opts, unrolled); dec.useRF {
+		return errSweepFallback
+	}
+
+	pending := append([]memmodel.Model(nil), g.models...)
+	provisional, err := g.sweepRound(outs, pending, impl, test, built, unrolled, info,
+		bounds, opts, deadline, 1)
+	if err != nil {
+		return err
+	}
+	pending = pendingModels(pending, outs)
+	if len(pending) == 0 {
+		return nil
+	}
+
+	// Bound probing, shared: every non-Serial swept model probes under
+	// the same model (probeModel maps everything at or below SC to SC),
+	// so one probe sequence serves the whole group.
+	var probeTime time.Duration
+	grewAny := false
+	boundRounds := 1
+	for round := 0; ; round++ {
+		if round >= opts.MaxBoundRounds {
+			return fmt.Errorf("core: loop bounds did not converge after %d rounds", round)
+		}
+		probeStart := time.Now()
+		grew, err := probeBounds(unrolled, info, probeModel(pending[0]), bounds, opts, deadline)
+		probeTime += time.Since(probeStart)
+		if err != nil {
+			return err
+		}
+		if !grew {
+			break
+		}
+		grewAny = true
+		boundRounds = round + 2
+		unrolled, err = opts.unrollHarness(built, bounds)
+		if err != nil {
+			return err
+		}
+		info = analysisFor(unrolled, opts)
+	}
+	if grewAny {
+		provisional, err = g.sweepRound(outs, pending, impl, test, built, unrolled, info,
+			bounds, opts, deadline, boundRounds)
+		if err != nil {
+			return err
+		}
+		pending = pendingModels(pending, outs)
+	}
+	// Whatever is still undecided passed at the converged bounds; its
+	// provisional result is final (exactly checkAttempt's "initial
+	// bounds were already sufficient" path when no bound grew).
+	for _, m := range pending {
+		res := provisional[m]
+		res.Verdict = VerdictPass
+		res.Stats.ProbeTime = 0
+		outs[m] = &modelOutcome{res: res}
+	}
+	if o := outs[g.models[0]]; o != nil && o.res != nil {
+		o.res.Stats.ProbeTime += probeTime
+	} else if len(pending) > 0 {
+		outs[pending[0]].res.Stats.ProbeTime += probeTime
+	}
+	return nil
+}
+
+func pendingModels(models []memmodel.Model, outs map[memmodel.Model]*modelOutcome) []memmodel.Model {
+	var out []memmodel.Model
+	for _, m := range models {
+		if _, ok := outs[m]; !ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// replayUnder re-checks previously decoded counterexample traces of
+// stronger models under model m's axioms: model strength
+// (memmodel.StrongerThan) makes every stronger-model execution a
+// candidate weaker-model execution, and the independent validator is
+// the judge. The first trace that validates is returned as a shallow
+// copy relabeled to m; nil means m must be solved. Validation here is
+// the verdict source, so it runs regardless of Options.ValidateTraces.
+func replayUnder(m memmodel.Model, traces []*trace.Trace,
+	built *harness.Built, unrolled *harness.Unrolled) *trace.Trace {
+	for _, t := range traces {
+		cp := *t
+		cp.Model = m
+		if validate.Check(&cp, unrolled.Threads, built.Unit.Prog) == nil {
+			return &cp
+		}
+	}
+	return nil
+}
+
+// sweepRound mines, encodes, and runs both inclusion phases for the
+// pending models at the current bounds. Models that fail are recorded
+// in outs; models that pass at these bounds are returned provisionally
+// (the caller decides whether bounds must still grow). Shared costs —
+// mining, encoding, preprocessing, solver counters — are attributed to
+// the round's leader (the strongest pending model); per-model solve
+// time lands on each model's own result.
+func (g *sweepGroup) sweepRound(outs map[memmodel.Model]*modelOutcome,
+	pending []memmodel.Model, impl *harness.Impl, test *harness.Test,
+	built *harness.Built, unrolled *harness.Unrolled, info *ranges.Info,
+	bounds map[string]int, opts Options, deadline time.Time,
+	boundRounds int) (map[memmodel.Model]*Result, error) {
+
+	results := make(map[memmodel.Model]*Result, len(pending))
+	for i, m := range pending {
+		res := &Result{Impl: impl.Name, Test: test.Name, Model: m}
+		st := &res.Stats
+		st.Instrs, st.Loads, st.Stores = unrolled.Instrs, unrolled.Loads, unrolled.Stores
+		st.BoundRounds = boundRounds
+		st.Backend = "sat"
+		st.RouterDecision = "sat (model sweep)"
+		st.SweepGroups = 1
+		st.SweepModels = len(g.models)
+		if i > 0 {
+			st.EncodesReused = 1
+		}
+		results[m] = res
+	}
+	leader := pending[0]
+	leaderRes := results[leader]
+
+	var pstats spec.ParStats
+	defer func() {
+		st := &leaderRes.Stats
+		st.Cubes += pstats.Cubes
+		st.CubesRefuted += pstats.CubesRefuted
+		st.SharedExported += pstats.SharedExported
+		st.SharedImported += pstats.SharedImported
+		st.SharedUseful += pstats.SharedUseful
+		st.VivifiedClauses += pstats.VivifiedClauses
+		st.VivifiedLits += pstats.VivifiedLits
+		st.SubsumedLearnts += pstats.SubsumedLearnts
+		st.ChronoBacktracks += pstats.ChronoBacktracks
+	}()
+
+	// Specification: mined once for the whole group (the observation
+	// set is model-independent, §3.2).
+	mineStart := time.Now()
+	set, seqTrace, err := mineSpec(impl, test, built, unrolled, info, bounds,
+		opts, deadline, &pstats, leaderRes)
+	leaderRes.Stats.MineTime += time.Since(mineStart)
+	if err != nil {
+		return nil, err
+	}
+	if seqTrace != nil {
+		// A sequential bug is model-independent: every member fails
+		// with the same serial trace, validated once.
+		if err := validateCex(seqTrace, built, unrolled, opts); err != nil {
+			return nil, err
+		}
+		for _, m := range pending {
+			res := results[m]
+			res.SeqBug = true
+			res.Pass = false
+			res.Verdict = VerdictFail
+			res.Cex = seqTrace
+			outs[m] = &modelOutcome{res: res}
+		}
+		return map[memmodel.Model]*Result{}, nil
+	}
+	for i, m := range pending {
+		res := results[m]
+		res.Spec = set
+		res.Stats.ObsSetSize = set.Len()
+		if i > 0 {
+			// The spec's exclusion clauses are shared, not re-encoded:
+			// each non-leader model reuses all of them.
+			res.Stats.SeededObs = set.Len()
+		}
+	}
+
+	// Shared encoding: one circuit and one preprocessed CNF for every
+	// pending model, selector-guarded.
+	encodeStart := time.Now()
+	enc, err := encode.NewSweepWithConfig(pending, info, opts.encodeConfig())
+	if err != nil {
+		return nil, err
+	}
+	applyLimits(enc, opts, deadline)
+	if err := enc.Encode(unrolled.Threads); err != nil {
+		return nil, err
+	}
+	enc.AssertNoOverflow()
+	leaderRes.Stats.EncodeTime += time.Since(encodeStart)
+
+	strat := opts.solveStrategy(enc, &pstats, leaderRes)
+	ppStart := time.Now()
+	sc, err := spec.NewSweepCheck(enc, built.Entries)
+	leaderRes.Stats.RefuteTime += time.Since(ppStart)
+	if err != nil {
+		return nil, err
+	}
+
+	fail := func(m memmodel.Model, t *trace.Trace, earlyExit bool) {
+		res := results[m]
+		res.Pass = false
+		res.Verdict = VerdictFail
+		res.Cex = t
+		if earlyExit {
+			res.Stats.SweepEarlyExit = 1
+		}
+		outs[m] = &modelOutcome{res: res}
+	}
+
+	// Phase 1 for every pending model, strongest-first, before any
+	// exclusion clause exists (see spec.SweepCheck). An error trace of
+	// a stronger model that replays under a weaker model's axioms
+	// decides the weaker model without touching the solver.
+	var errTraces []*trace.Trace
+	decided := map[memmodel.Model]bool{}
+	for _, m := range pending {
+		if t := replayUnder(m, errTraces, built, unrolled); t != nil {
+			fail(m, t, true)
+			decided[m] = true
+			continue
+		}
+		solveStart := time.Now()
+		cex, err := sc.ErrorCheck(m, strat)
+		results[m].Stats.RefuteTime += time.Since(solveStart)
+		if err != nil {
+			return nil, err
+		}
+		if cex == nil {
+			continue
+		}
+		t := trace.Build(enc, built, unrolled, cex)
+		t.Model = m
+		if err := validateCex(t, built, unrolled, opts); err != nil {
+			return nil, err
+		}
+		errTraces = append(errTraces, t)
+		fail(m, t, false)
+		decided[m] = true
+	}
+
+	if len(decided) < len(pending) {
+		bi := time.Now()
+		if err := sc.BeginInclusion(set); err != nil {
+			return nil, err
+		}
+		leaderRes.Stats.RefuteTime += time.Since(bi)
+
+		// Phase 2, strongest-first, with the same monotonic early
+		// exit: a stronger model's out-of-spec execution that replays
+		// under a weaker model is that model's counterexample.
+		var cexTraces []*trace.Trace
+		for _, m := range pending {
+			if decided[m] {
+				continue
+			}
+			if t := replayUnder(m, cexTraces, built, unrolled); t != nil {
+				fail(m, t, true)
+				decided[m] = true
+				continue
+			}
+			solveStart := time.Now()
+			cex, err := sc.Inclusion(m, strat)
+			results[m].Stats.RefuteTime += time.Since(solveStart)
+			if err != nil {
+				return nil, err
+			}
+			if cex == nil {
+				results[m].Pass = true // provisional: bounds may grow
+				continue
+			}
+			t := trace.Build(enc, built, unrolled, cex)
+			t.Model = m
+			if err := validateCex(t, built, unrolled, opts); err != nil {
+				return nil, err
+			}
+			cexTraces = append(cexTraces, t)
+			fail(m, t, false)
+			decided[m] = true
+		}
+	}
+
+	// Solver and formula statistics of the shared encoding land on the
+	// leader; the selector instrumentation sizes land on every member.
+	st := enc.S.Stats()
+	ls := &leaderRes.Stats
+	ls.CNFVars = st.Vars
+	ls.CNFClauses = st.Clauses
+	ls.SolverStats = st
+	ls.Gates = enc.B.NumGates()
+	ls.PreCNFVars = st.PreVars
+	ls.PreCNFClauses = st.PreClauses
+	ls.VarsEliminated = st.VarsEliminated
+	ls.ClausesSubsumed = st.ClausesSubsumed
+	ls.ClausesStrengthened = st.ClausesStrengthened
+	ls.PreprocessTime = st.PreprocessTime
+	ls.VivifiedClauses += st.VivifiedClauses
+	ls.VivifiedLits += st.VivifiedLits
+	ls.SubsumedLearnts += st.SubsumedLearnts
+	ls.ChronoBacktracks += st.ChronoBacktracks
+	ls.TierCore = st.TierCore
+	ls.TierMid = st.TierMid
+	ls.TierLocal = st.TierLocal
+	ls.OrderVarsFixed = enc.OrderVarsFixed
+	ls.OrderVarsMerged = enc.OrderVarsMerged
+	if st.PreClauses == 0 {
+		ls.PreCNFVars = st.Vars
+		ls.PreCNFClauses = st.Clauses
+	}
+	for _, m := range pending {
+		results[m].Stats.SelectorVars = len(pending)
+		results[m].Stats.SelectorUnits = enc.SelectorUnits
+	}
+
+	provisional := make(map[memmodel.Model]*Result, len(pending))
+	for _, m := range pending {
+		if !decided[m] {
+			provisional[m] = results[m]
+		}
+	}
+	return provisional, nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"checkfence/internal/memmodel"
+)
+
+func fourModelJobs(impl, test string, opts Options) []Job {
+	models := []memmodel.Model{
+		memmodel.SequentialConsistency, memmodel.TSO,
+		memmodel.PSO, memmodel.Relaxed,
+	}
+	jobs := make([]Job, len(models))
+	for i, m := range models {
+		o := opts
+		o.Model = m
+		jobs[i] = Job{Impl: impl, Test: test, Opts: o}
+	}
+	return jobs
+}
+
+// TestSweepEarlyExit: when a stronger model's counterexample replays
+// under a weaker model's axioms, the weaker model must be decided
+// without a solve and report it. ms2-nofence/T0 fails with an
+// out-of-spec observation under both PSO and Relaxed, so the sweep
+// decides Relaxed by replaying PSO's trace.
+func TestSweepEarlyExit(t *testing.T) {
+	results := RunSuite(fourModelJobs("ms2-nofence", "T0", Options{}),
+		SuiteOptions{Parallelism: 1})
+	requireAllRan(t, results)
+	var early int
+	for i, r := range results {
+		early += r.Res.Stats.SweepEarlyExit
+		wantPass := i < 2 // SC and TSO hold, PSO and Relaxed fail
+		if r.Res.Pass != wantPass {
+			t.Errorf("%v: pass=%v, want %v", r.Job.Opts.Model, r.Res.Pass, wantPass)
+		}
+		if !r.Res.Pass && r.Res.Cex == nil {
+			t.Errorf("%v: failure without a counterexample", r.Job.Opts.Model)
+		}
+	}
+	if early == 0 {
+		t.Error("no member was decided by counterexample replay")
+	}
+	relaxed := results[3].Res
+	if relaxed.Stats.SweepEarlyExit != 1 {
+		t.Errorf("relaxed: SweepEarlyExit=%d, want 1", relaxed.Stats.SweepEarlyExit)
+	}
+	if relaxed.Cex == nil || relaxed.Cex.Model != memmodel.Relaxed {
+		t.Errorf("replayed counterexample not relabeled: %+v", relaxed.Cex)
+	}
+}
+
+// TestSweepFallbackIndependent: jobs that cannot sweep — a forced rf
+// backend, a Serial member, an explicit opt-out — run independently
+// and still produce correct results.
+func TestSweepFallbackIndependent(t *testing.T) {
+	jobs := fourModelJobs("ms2", "T0", Options{Sweep: SweepOff})
+	jobs = append(jobs, Job{Impl: "ms2", Test: "T0", Opts: Options{Model: memmodel.Serial}})
+	results := RunSuite(jobs, SuiteOptions{Parallelism: 2})
+	requireAllRan(t, results)
+	for i, r := range results {
+		if !r.Res.Pass {
+			t.Errorf("job %d must pass", i)
+		}
+		if r.Res.Stats.SweepGroups != 0 {
+			t.Errorf("job %d joined a group despite opting out", i)
+		}
+	}
+}
+
+// TestSweepDeadlineFallback: a group whose shared attempt exhausts its
+// budget falls back to independent checks with a fresh deadline window
+// each, so a tight group budget degrades, never wedges.
+func TestSweepDeadlineFallback(t *testing.T) {
+	jobs := fourModelJobs("msn", "T0", Options{Deadline: time.Nanosecond})
+	results := RunSuite(jobs, SuiteOptions{Parallelism: 1})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Res == nil {
+			t.Fatalf("job %d: nil result", i)
+		}
+		// Each member must resolve to a verdict (pass or unknown after
+		// the ladder) — never an error.
+		if r.Res.Verdict == VerdictFail {
+			t.Errorf("job %d: spurious failure under a starved budget", i)
+		}
+	}
+}
+
+// TestSweepFingerprintSeparates: jobs with differing non-model options
+// must not share a group.
+func TestSweepFingerprintSeparates(t *testing.T) {
+	jobs := []Job{
+		{Impl: "ms2", Test: "T0", Opts: Options{Model: memmodel.SequentialConsistency}},
+		{Impl: "ms2", Test: "T0", Opts: Options{Model: memmodel.Relaxed}},
+		{Impl: "ms2", Test: "T0", Opts: Options{Model: memmodel.TSO, Cube: 2}},
+	}
+	eff := make([]Options, len(jobs))
+	for i := range jobs {
+		eff[i] = jobs[i].Opts
+	}
+	units := planUnits(jobs, eff, true)
+	var groups, singles int
+	for _, u := range units {
+		if u.group != nil {
+			groups++
+			if len(u.group.models) != 2 {
+				t.Errorf("group has %d models, want 2", len(u.group.models))
+			}
+		} else {
+			singles++
+		}
+	}
+	if groups != 1 || singles != 1 {
+		t.Errorf("units: %d groups, %d singles; want 1 and 1", groups, singles)
+	}
+}
+
+// TestSweepDuplicateModels: two jobs with the identical model share
+// the group's single check and both receive results.
+func TestSweepDuplicateModels(t *testing.T) {
+	jobs := fourModelJobs("ms2", "T0", Options{})
+	jobs = append(jobs, jobs[0]) // duplicate the SC job
+	results := RunSuite(jobs, SuiteOptions{Parallelism: 1})
+	requireAllRan(t, results)
+	a, b := results[0].Res, results[len(results)-1].Res
+	if a == b {
+		t.Error("duplicate jobs share one *Result; want distinct copies")
+	}
+	if a.Pass != b.Pass || !a.Spec.Equal(b.Spec) {
+		t.Error("duplicate jobs diverge")
+	}
+}

@@ -138,6 +138,16 @@ type Encoder struct {
 	OrderVarsFixed  int
 	OrderVarsMerged int
 
+	// Model-sweep state (NewSweepWithConfig): the swept models in
+	// decreasing strength, one selector variable per model, and the
+	// count of selector-guarded program-order unit clauses emitted.
+	// Empty on single-model encoders. Model holds the weakest swept
+	// model — its axioms are the unguarded base every stronger model's
+	// guarded deltas build on.
+	sweep         []memmodel.Model
+	selectors     []bitvec.Node
+	SelectorUnits int
+
 	// abortErr caches the first non-nil Cfg.Abort result; once set,
 	// every remaining encode loop bails without re-polling.
 	abortErr error
@@ -178,6 +188,40 @@ func NewWithConfig(model memmodel.Model, info *ranges.Info, cfg Config) *Encoder
 	return e
 }
 
+// NewSweepWithConfig creates a model-sweep encoder: one formula that
+// serves every model in models, each selected by assuming its selector
+// literals (SelectorLits). The base axioms are the weakest model's —
+// sound for every stronger model, whose executions are a subset — and
+// each stronger model's additional unconditional program-order
+// requirements become unit clauses guarded by that model's selector
+// (assertSweepUnits). Serial is rejected: its seriality axioms and
+// operation merge classes reshape the formula itself, not just the
+// order constraints, so it cannot share an encoding with the hardware
+// models.
+func NewSweepWithConfig(models []memmodel.Model, info *ranges.Info, cfg Config) (*Encoder, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("encode: sweep needs at least one model")
+	}
+	seen := map[memmodel.Model]bool{}
+	sweep := make([]memmodel.Model, 0, len(models))
+	for _, m := range models {
+		if m == memmodel.Serial {
+			return nil, fmt.Errorf("encode: the Serial model cannot join a sweep")
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("encode: duplicate sweep model %s", m)
+		}
+		seen[m] = true
+		sweep = append(sweep, m)
+	}
+	e := NewWithConfig(memmodel.Weakest(sweep), info, cfg)
+	e.sweep = sweep
+	return e, nil
+}
+
+// SweepModels returns the swept models (nil on single-model encoders).
+func (e *Encoder) SweepModels() []memmodel.Model { return e.sweep }
+
 // aborted polls the abort hook, caching the first error so the heavy
 // encode loops can stop mid-phase with one cheap comparison.
 func (e *Encoder) aborted() bool {
@@ -216,6 +260,11 @@ func (e *Encoder) PreprocessCNF(roots ...sat.Lit) {
 		e.S.Freeze(l.Var())
 	}
 	for _, v := range e.OrderSatVars() {
+		e.S.Freeze(v)
+	}
+	// Sweep selector variables are assumed on every per-model solve and
+	// must survive elimination just like the order variables.
+	for _, v := range e.SelectorSatVars() {
 		e.S.Freeze(v)
 	}
 	e.S.Preprocess()
@@ -264,7 +313,7 @@ func (e *Encoder) Encode(threads []Thread) error {
 		}
 		e.Envs = append(e.Envs, env)
 	}
-	for _, phase := range []func(){e.buildOrder, e.assertOrderAxioms, e.assertValueAxioms} {
+	for _, phase := range []func(){e.buildOrder, e.assertOrderAxioms, e.assertSweepUnits, e.assertValueAxioms} {
 		if e.aborted() {
 			return e.abortErr
 		}
@@ -691,6 +740,134 @@ func (e *Encoder) assertContiguous(members []int, include func(*Access) bool) {
 			e.B.AssertOr(a, b.Not())
 		}
 	}
+}
+
+// assertSweepUnits emits the per-model deltas of a sweep encoding.
+//
+// The base formula carries the weakest swept model's axioms, which
+// every stronger model implies (a stronger model's memory orders are a
+// subset of the weaker's, and its axiom set a superset). What a
+// stronger model M adds over the weakest base W is exactly its larger
+// unconditional program-order relation (KeepsProgramOrder): for every
+// same-thread pair a <p b that M keeps ordered but the base left as a
+// variable, emit the unit clause (¬sel_M ∨ a <M b). Solving under the
+// assumptions sel_M ∧ ¬sel_M' for all M' ≠ M then yields precisely M's
+// theory: the guarded units force M's program order, and the base's
+// conditional fence/same-address clauses — emitted for W, the most
+// general form in the family — are satisfied or subsumed once those
+// orders are forced. M's conditional same-address requirements are a
+// subset of W's emissions (OrdersSameAddrStore shrinks as models
+// strengthen, and the pairs it drops are exactly the ones
+// KeepsProgramOrder picked up), and the fence axioms do not branch on
+// the model at all, so no guarded conditional clauses are needed.
+//
+// Store forwarding in the value axioms follows the base model. That is
+// sound for a non-forwarding swept model (only SequentialConsistency
+// qualifies) because its guarded units force every same-thread
+// earlier-store/later-load pair into memory order, making the
+// forwarding shortcut `before = True` coincide with the forced value
+// of a <M b under that model's selector.
+//
+// Units are deduplicated per (merge-class pair, model): merged pairs
+// share one variable, so one clause covers every member pair.
+func (e *Encoder) assertSweepUnits() {
+	if len(e.sweep) == 0 {
+		return
+	}
+	e.selectors = make([]bitvec.Node, len(e.sweep))
+	for i := range e.sweep {
+		e.selectors[i] = e.B.Var()
+	}
+	type classPair struct{ ra, rb, model int }
+	seen := map[classPair]bool{}
+	n := len(e.Accesses)
+	for mi, m := range e.sweep {
+		if m == e.Model {
+			continue // the base model's axioms are already unguarded
+		}
+		sel := e.selectors[mi]
+		for i := 0; i < n; i++ {
+			if e.aborted() {
+				return
+			}
+			a := e.Accesses[i]
+			if a.Thread == 0 {
+				continue // init pairs are base constants already
+			}
+			for j := i + 1; j < n; j++ {
+				b := e.Accesses[j]
+				if b.Thread != a.Thread {
+					continue
+				}
+				// Accesses are created in program order, so i < j means
+				// a <p b within the thread.
+				if !m.KeepsProgramOrder(a.IsLoad, b.IsLoad) {
+					continue
+				}
+				node := e.mLess(i, j)
+				if node == bitvec.True {
+					continue // already forced under the base model
+				}
+				if node == bitvec.False {
+					// The base rules only ever force program-order-earlier
+					// accesses first within a thread, so a reversed
+					// constant here would mean the base fixing is unsound
+					// for the stronger model.
+					panic("encode: sweep unit contradicts a base-model constant")
+				}
+				k := classPair{e.orderRep[i], e.orderRep[j], mi}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				e.B.AssertOr(sel.Not(), node)
+				e.SelectorUnits++
+			}
+		}
+	}
+}
+
+// SelectorLits returns the assumption literals selecting model m on a
+// sweep encoder: m's selector positive, every other selector negative.
+// The negative literals matter — leaving another model's selector free
+// would let the solver enable its guarded units and over-constrain the
+// query. Panics when m was not in the sweep (a driver bug, not an
+// input condition).
+func (e *Encoder) SelectorLits(m memmodel.Model) []sat.Lit {
+	if len(e.sweep) == 0 {
+		panic("encode: SelectorLits on a single-model encoder")
+	}
+	lits := make([]sat.Lit, len(e.sweep))
+	found := false
+	for i, sm := range e.sweep {
+		l := e.B.Lit(e.selectors[i])
+		if sm == m {
+			found = true
+		} else {
+			l = l.Not()
+		}
+		lits[i] = l
+	}
+	if !found {
+		panic(fmt.Sprintf("encode: model %s is not in the sweep", m))
+	}
+	return lits
+}
+
+// SelectorSatVars returns the SAT variables of the sweep selectors
+// (nil on single-model encoders, or before Encode). PreprocessCNF
+// freezes them, and the cube splitter avoids them: a cube fixing a
+// selector contradicts half the per-model assumption sets and solves
+// trivially instead of usefully.
+func (e *Encoder) SelectorSatVars() []int {
+	if len(e.selectors) == 0 {
+		return nil
+	}
+	vars := make([]int, 0, len(e.selectors))
+	for _, s := range e.selectors {
+		vars = append(vars, e.B.Lit(s).Var())
+	}
+	return vars
 }
 
 // assertValueAxioms emits the Init/Flows constraints that determine

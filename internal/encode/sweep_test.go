@@ -1,0 +1,237 @@
+package encode
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"checkfence/internal/lsl"
+	"checkfence/internal/memmodel"
+	"checkfence/internal/ranges"
+	"checkfence/internal/sat"
+)
+
+// sweepModels is the hardware-model family one encoding can serve.
+var sweepModels = []memmodel.Model{
+	memmodel.SequentialConsistency, memmodel.TSO, memmodel.PSO, memmodel.Relaxed,
+}
+
+// encodeSweep builds a sweep encoder over the given models with errors
+// excluded, mirroring encodeThreadsCfg.
+func encodeSweep(t *testing.T, models []memmodel.Model, cfg Config, bodies ...[]lsl.Stmt) *Encoder {
+	t.Helper()
+	info := ranges.Analyze(bodies)
+	e, err := NewSweepWithConfig(models, info, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threads := make([]Thread, len(bodies))
+	for i, b := range bodies {
+		threads[i] = Thread{Name: "t", Segments: [][]lsl.Stmt{b}, OpIDs: []int{i}}
+	}
+	if err := e.Encode(threads); err != nil {
+		t.Fatal(err)
+	}
+	e.B.Assert(e.ErrorNode().Not())
+	return e
+}
+
+// solveSweepWith solves the sweep encoder under model m's selectors
+// with the wanted register values pinned by assumption (never by
+// assertion — the encoder is shared across models).
+func solveSweepWith(t *testing.T, e *Encoder, m memmodel.Model,
+	want map[[2]interface{}]lsl.Value) sat.Status {
+	t.Helper()
+	assum := e.SelectorLits(m)
+	for k, v := range want {
+		ti, reg := k[0].(int), lsl.Reg(k[1].(string))
+		sv, ok := e.Envs[ti][reg]
+		if !ok {
+			t.Fatalf("register %s not in thread %d env", reg, ti)
+		}
+		assum = append(assum, e.B.Lit(e.EqVal(sv, e.ConstVal(v))))
+	}
+	return e.S.Solve(assum...)
+}
+
+// TestSweepConstruction covers the constructor's contract: Serial and
+// duplicates are rejected, the base model is the weakest member, and
+// SelectorLits panics for models outside the sweep.
+func TestSweepConstruction(t *testing.T) {
+	info := ranges.Disabled()
+	if _, err := NewSweepWithConfig(nil, info, Config{}); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := NewSweepWithConfig([]memmodel.Model{memmodel.Serial}, info, Config{}); err == nil {
+		t.Error("Serial sweep accepted")
+	}
+	if _, err := NewSweepWithConfig([]memmodel.Model{memmodel.TSO, memmodel.TSO}, info, Config{}); err == nil {
+		t.Error("duplicate sweep model accepted")
+	}
+	e, err := NewSweepWithConfig([]memmodel.Model{memmodel.TSO, memmodel.Relaxed, memmodel.PSO}, info, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Model != memmodel.Relaxed {
+		t.Errorf("base model = %v, want relaxed (the weakest)", e.Model)
+	}
+	if got := len(e.SweepModels()); got != 3 {
+		t.Errorf("SweepModels length = %d, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SelectorLits for a non-member model did not panic")
+		}
+	}()
+	es := encodeSweep(t, []memmodel.Model{memmodel.SequentialConsistency, memmodel.TSO},
+		Config{}, initXY())
+	es.SelectorLits(memmodel.Relaxed)
+}
+
+// TestSweepLitmusDifferential runs the store-buffering and
+// message-passing shapes through one sweep encoding and through
+// per-model encoders: every model's verdict on the weak observation
+// must agree, and the weak models must actually diverge from SC so the
+// selectors demonstrably change the theory being solved.
+func TestSweepLitmusDifferential(t *testing.T) {
+	mkWriter := func(fenced bool) []lsl.Stmt {
+		t1 := []lsl.Stmt{
+			mkConst("a.xa", lsl.Ptr(0)), mkConst("a.ya", lsl.Ptr(1)),
+			mkConst("a.one", lsl.Int(1)),
+			mkStore("a.xa", "a.one"),
+		}
+		if fenced {
+			t1 = append(t1, mkFence(lsl.FenceStoreStore))
+		}
+		return append(t1, mkStore("a.ya", "a.one"))
+	}
+	mkReader := func(fenced bool) []lsl.Stmt {
+		t2 := []lsl.Stmt{
+			mkConst("b.xa", lsl.Ptr(0)), mkConst("b.ya", lsl.Ptr(1)),
+			mkLoad("b.r1", "b.ya"),
+		}
+		if fenced {
+			t2 = append(t2, mkFence(lsl.FenceLoadLoad))
+		}
+		return append(t2, mkLoad("b.r2", "b.xa"))
+	}
+	for _, fenced := range []bool{false, true} {
+		// Message passing: r1 = 1 (saw the flag) but r2 = 0 (missed the
+		// data) — forbidden under SC/TSO, allowed under PSO/Relaxed
+		// unless fenced.
+		obs := map[[2]interface{}]lsl.Value{
+			{2, "b.r1"}: lsl.Int(1),
+			{2, "b.r2"}: lsl.Int(0),
+		}
+		sw := encodeSweep(t, sweepModels, Config{OrderReduce: true}, initXY(), mkWriter(fenced), mkReader(fenced))
+		if !fenced && sw.SelectorUnits == 0 {
+			// Fully fenced threads can legitimately emit none: the fence
+			// axioms force every candidate pair as a base-model constant.
+			t.Fatal("sweep emitted no selector-guarded units")
+		}
+		if got := len(sw.SelectorSatVars()); got != len(sweepModels) {
+			t.Fatalf("SelectorSatVars = %d, want %d", got, len(sweepModels))
+		}
+		got := map[memmodel.Model]sat.Status{}
+		for _, m := range sweepModels {
+			got[m] = solveSweepWith(t, sw, m, obs)
+		}
+		for _, m := range sweepModels {
+			single := encodeThreadsCfg(t, m, Config{OrderReduce: true}, initXY(), mkWriter(fenced), mkReader(fenced))
+			want := solveWith(t, single, obs)
+			if got[m] != want {
+				t.Errorf("fenced=%v %v: sweep=%v single=%v", fenced, m, got[m], want)
+			}
+		}
+		if !fenced && (got[memmodel.SequentialConsistency] != sat.Unsat || got[memmodel.PSO] != sat.Sat) {
+			t.Errorf("unfenced mp: sc=%v pso=%v, want unsat/sat", got[memmodel.SequentialConsistency], got[memmodel.PSO])
+		}
+		if fenced && got[memmodel.Relaxed] != sat.Unsat {
+			t.Errorf("fenced mp: relaxed=%v, want unsat", got[memmodel.Relaxed])
+		}
+	}
+}
+
+// TestSweepRandomDifferential cross-checks the sweep encoding against
+// per-model encoders on random straight-line programs, both ways: a
+// sweep model's observation must be achievable in the single-model
+// encoding, and a single-model observation must be achievable in the
+// sweep under that model's selectors.
+func TestSweepRandomDifferential(t *testing.T) {
+	fences := []lsl.FenceKind{
+		lsl.FenceLoadLoad, lsl.FenceLoadStore,
+		lsl.FenceStoreLoad, lsl.FenceStoreStore,
+	}
+	for seed := int64(0); seed < 14; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		genThread := func(p string) []lsl.Stmt {
+			body := []lsl.Stmt{
+				mkConst(p+".xa", lsl.Ptr(0)), mkConst(p+".ya", lsl.Ptr(1)),
+				mkConst(p+".one", lsl.Int(1)), mkConst(p+".two", lsl.Int(2)),
+			}
+			n := 3 + rng.Intn(3)
+			for i := 0; i < n; i++ {
+				addr := p + ".xa"
+				if rng.Intn(2) == 0 {
+					addr = p + ".ya"
+				}
+				switch rng.Intn(3) {
+				case 0:
+					src := p + ".one"
+					if rng.Intn(2) == 0 {
+						src = p + ".two"
+					}
+					body = append(body, mkStore(addr, src))
+				case 1:
+					body = append(body, mkLoad(fmt.Sprintf("%s.r%d", p, i), addr))
+				default:
+					body = append(body, mkFence(fences[rng.Intn(len(fences))]))
+				}
+			}
+			return body
+		}
+		tA, tB := genThread("a"), genThread("b")
+		cfg := Config{OrderReduce: seed%2 == 0}
+		sw := encodeSweep(t, sweepModels, cfg, initXY(), tA, tB)
+		for _, m := range sweepModels {
+			single := encodeThreadsCfg(t, m, cfg, initXY(), tA, tB)
+			stSweep := sw.S.Solve(sw.SelectorLits(m)...)
+			stSingle := single.S.Solve()
+			if stSweep != stSingle {
+				t.Fatalf("seed %d %v: sweep=%v single=%v", seed, m, stSweep, stSingle)
+			}
+			if stSweep != sat.Sat {
+				continue
+			}
+			// Sweep model's observation must be a single-model execution.
+			for ti, env := range sw.Envs {
+				for reg, sv := range env {
+					v := sw.EvalVal(sv)
+					osv, ok := single.Envs[ti][reg]
+					if !ok {
+						t.Fatalf("seed %d: single encoder lacks register %v", seed, reg)
+					}
+					single.B.Assert(single.EqVal(osv, single.ConstVal(v)))
+				}
+			}
+			if st := single.S.Solve(); st != sat.Sat {
+				t.Fatalf("seed %d %v: sweep observation rejected by single-model encoding: %v",
+					seed, m, st)
+			}
+			// And the single-model observation must fit the sweep under
+			// m's selectors (pinned by assumption, not assertion).
+			assum := sw.SelectorLits(m)
+			for ti, env := range single.Envs {
+				for reg, sv := range env {
+					v := single.EvalVal(sv)
+					ssv := sw.Envs[ti][reg]
+					assum = append(assum, sw.B.Lit(sw.EqVal(ssv, sw.ConstVal(v))))
+				}
+			}
+			if st := sw.S.Solve(assum...); st != sat.Sat {
+				t.Fatalf("seed %d %v: single-model observation rejected by sweep: %v",
+					seed, m, st)
+			}
+		}
+	}
+}

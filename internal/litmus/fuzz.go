@@ -17,6 +17,10 @@
 //     generated program, reproduce the interpreter's serial set, and
 //     match the SAT-mined observation set and inclusion verdict
 //     bit-identically on every model;
+//   - mining seeded with a stronger model's observation set (the
+//     sweep's monotonic warm start) must reproduce the unseeded set;
+//   - the selector-guarded sweep encoder, driven through the two-phase
+//     SweepCheck protocol, must reproduce every per-model verdict;
 //   - every counterexample trace must survive the full validate
 //     pipeline (axiom re-check plus interpreter replay).
 package litmus
@@ -268,6 +272,7 @@ func RunDifferential(data []byte) error {
 	// configurations, and every counterexample must validate.
 	models := memmodel.All()
 	fail := map[memmodel.Model]bool{}
+	mined := map[memmodel.Model]*spec.Set{}
 	for _, model := range models {
 		verdicts := make([]bool, 0, 4)
 		for _, cfg := range diffConfigs() {
@@ -316,6 +321,7 @@ func RunDifferential(data []byte) error {
 			return fmt.Errorf("divergence: rf observation set != SAT-mined set on %s\nprogram:\n%s\nrf:  %v\nsat: %v",
 				model, p.Desc(), rfSet.All(), satSet.All())
 		}
+		mined[model] = satSet
 		rfCex, _, err := rfProg.CheckInclusion(model, p.Entries, want, p.Names, rf.Budget{})
 		if err != nil {
 			return fmt.Errorf("rf inclusion %s: %v\nprogram:\n%s", model, err, p.Desc())
@@ -345,6 +351,84 @@ func RunDifferential(data []byte) error {
 			if strong.StrongerThan(weak) && fail[strong] && !fail[weak] {
 				return fmt.Errorf("divergence: counterexample on %s but none on weaker %s\nprogram:\n%s",
 					strong, weak, p.Desc())
+			}
+		}
+	}
+
+	// Stage 3: monotonic warm-started mining. memmodel.All() is
+	// strongest-first, so seeding each model's mine with the next
+	// stronger model's full set — exactly what a strongest-first sweep
+	// does — must reproduce the unseeded enumeration and report the
+	// seed as work skipped.
+	for i := 1; i < len(models); i++ {
+		weak, seed := models[i], mined[models[i-1]]
+		e := encode.New(weak, info)
+		if err := e.Encode(p.Threads); err != nil {
+			return fmt.Errorf("encode %s [seeded]: %v\nprogram:\n%s", weak, err, p.Desc())
+		}
+		seeded, stats, err := spec.MineWith(e, p.Entries, spec.Strategy{Seed: seed})
+		if err != nil {
+			return fmt.Errorf("seeded mine %s: %v\nprogram:\n%s", weak, err, p.Desc())
+		}
+		if !seeded.Equal(mined[weak]) {
+			return fmt.Errorf("divergence: %s mine seeded by %s != unseeded set\nprogram:\n%s\nseeded:   %v\nunseeded: %v",
+				weak, models[i-1], p.Desc(), seeded.All(), mined[weak].All())
+		}
+		if stats.Seeded != seed.Len() {
+			return fmt.Errorf("divergence: %s seeded mine reports Seeded=%d, want %d\nprogram:\n%s",
+				weak, stats.Seeded, seed.Len(), p.Desc())
+		}
+	}
+
+	// Stage 4: the sweep encoder. One selector-guarded encoding over
+	// every non-Serial model, driven through the two-phase SweepCheck
+	// protocol, must reproduce the per-model inclusion verdicts of the
+	// independent encoders, and its counterexamples must validate.
+	sweepModels := make([]memmodel.Model, 0, len(models)-1)
+	for _, m := range models {
+		if m != memmodel.Serial {
+			sweepModels = append(sweepModels, m)
+		}
+	}
+	se, err := encode.NewSweepWithConfig(sweepModels, info, encode.DefaultConfig())
+	if err != nil {
+		return fmt.Errorf("sweep encoder: %v\nprogram:\n%s", err, p.Desc())
+	}
+	if err := se.Encode(p.Threads); err != nil {
+		return fmt.Errorf("sweep encode: %v\nprogram:\n%s", err, p.Desc())
+	}
+	sc, err := spec.NewSweepCheck(se, p.Entries)
+	if err != nil {
+		return fmt.Errorf("sweep check: %v\nprogram:\n%s", err, p.Desc())
+	}
+	for _, m := range sweepModels {
+		cex, err := sc.ErrorCheck(m, spec.Strategy{})
+		if err != nil {
+			return fmt.Errorf("sweep error check %s: %v\nprogram:\n%s", m, err, p.Desc())
+		}
+		if cex != nil {
+			return fmt.Errorf("divergence: sweep error check on %s found an error in an error-free program\nprogram:\n%s",
+				m, p.Desc())
+		}
+	}
+	if err := sc.BeginInclusion(want); err != nil {
+		return fmt.Errorf("sweep begin inclusion: %v\nprogram:\n%s", err, p.Desc())
+	}
+	for _, m := range sweepModels {
+		cex, err := sc.Inclusion(m, spec.Strategy{})
+		if err != nil {
+			return fmt.Errorf("sweep inclusion %s: %v\nprogram:\n%s", m, err, p.Desc())
+		}
+		if (cex != nil) != fail[m] {
+			return fmt.Errorf("divergence: sweep verdict on %s (cex=%v) != independent verdict (cex=%v)\nprogram:\n%s",
+				m, cex != nil, fail[m], p.Desc())
+		}
+		if cex != nil {
+			tr := trace.Decode(se, cex, p.Entries, p.Names, p.ThreadNames)
+			tr.Model = m
+			if verr := validate.Check(tr, p.Threads, p.Prog); verr != nil {
+				return fmt.Errorf("divergence: sweep counterexample on %s failed validation: %v\nprogram:\n%s\nsuspect trace:\n%s",
+					m, verr, p.Desc(), tr)
 			}
 		}
 	}

@@ -106,6 +106,20 @@ func All() []Model {
 	return []Model{Serial, SequentialConsistency, TSO, PSO, Relaxed}
 }
 
+// Weakest returns the weakest model of a non-empty set: the one every
+// other member is StrongerThan. The strength order is total, so the
+// weakest member's executions include every other member's — the
+// model-sweep encoder builds its base axioms from it.
+func Weakest(models []Model) Model {
+	w := models[0]
+	for _, m := range models[1:] {
+		if w.StrongerThan(m) {
+			w = m
+		}
+	}
+	return w
+}
+
 // The per-model ordering predicates below are the single shared
 // definition of each model's axioms; the SAT encoder
 // (internal/encode), the trace validator (internal/validate), and the

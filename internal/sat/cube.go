@@ -26,6 +26,12 @@ type CubeSplitter struct {
 	// out genuinely different executions instead of one trivial and
 	// one hard branch.
 	Prefer []int
+	// Avoid excludes these variables from splitting entirely.
+	// CheckFence passes the model-selector variables of a sweep
+	// encoding: they occur in many clauses (so they would out-score
+	// real order variables) yet are fixed by the per-model assumptions,
+	// making half of every such split trivially empty.
+	Avoid []int
 }
 
 // Split scores every unassigned, non-eliminated variable by its
@@ -63,10 +69,14 @@ func (cs CubeSplitter) Split(s *Solver) [][]Lit {
 	}
 	count(s.clauses)
 	count(s.learnts)
+	avoided := make(map[int]bool, len(cs.Avoid))
+	for _, v := range cs.Avoid {
+		avoided[v] = true
+	}
 	score := make([]int64, n)
 	vars := make([]int, 0, n)
 	for v := 0; v < n; v++ {
-		if s.assigns[v] != lUndef || s.eliminated[v] || pos[v]+neg[v] == 0 {
+		if s.assigns[v] != lUndef || s.eliminated[v] || pos[v]+neg[v] == 0 || avoided[v] {
 			continue
 		}
 		score[v] = int64(pos[v]+1) * int64(neg[v]+1)

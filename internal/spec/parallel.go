@@ -80,6 +80,18 @@ type Strategy struct {
 	// in the result, so an interrupted mine continues instead of
 	// restarting.
 	Resume *Set
+	// Seed warm-starts the enumeration with observations already known
+	// to belong to the result. The canonical source is a model sweep
+	// run strongest-first: every execution a stronger model allows is
+	// also allowed by any weaker model (memmodel.StrongerThan), so the
+	// stronger model's full observation set is a sound seed for the
+	// weaker model's mine. Seeded observations are excluded up front
+	// and included in the result exactly like Resume's, skipping
+	// len(Seed) solver iterations; the count is reported in
+	// MineStats.Seeded. Unlike Resume, Seed does not represent work
+	// already billed to this enumeration, so it leaves the iteration
+	// budget untouched.
+	Seed *Set
 	// ResumeIterations is the iteration count already spent producing
 	// Resume; the continued run's count and the iteration limit are
 	// cumulative across it.
@@ -196,13 +208,14 @@ func solveOne(e *encode.Encoder, strat Strategy, assumptions ...sat.Lit) (sat.St
 	return st, nil
 }
 
-// solvePhase2 solves the final (unassumed) query of the inclusion
-// check: cube-and-conquer when configured, solveOne otherwise. On Sat
-// the model is readable through e.S. The error result mirrors
-// solveOne's.
-func solvePhase2(e *encode.Encoder, strat Strategy) (sat.Status, error) {
+// solvePhase2 solves the final query of the inclusion check —
+// unassumed on a single-model encoder, under the model-selector
+// assumptions on a sweep — cube-and-conquer when configured, solveOne
+// otherwise. On Sat the model is readable through e.S. The error
+// result mirrors solveOne's.
+func solvePhase2(e *encode.Encoder, strat Strategy, assumptions ...sat.Lit) (sat.Status, error) {
 	if strat.Cube <= 1 {
-		return solveOne(e, strat)
+		return solveOne(e, strat, assumptions...)
 	}
 	depth := strat.CubeDepth
 	if depth <= 0 {
@@ -211,8 +224,14 @@ func solvePhase2(e *encode.Encoder, strat Strategy) (sat.Status, error) {
 		for depth = 1; 1<<uint(depth) < 4*strat.Cube && depth < 16; depth++ {
 		}
 	}
-	cubes := sat.CubeSplitter{Depth: depth, Prefer: e.OrderSatVars()}.Split(e.S)
-	run := sat.SolveCubes(e.S, cubes, strat.Cube)
+	// Selector variables are fixed by the assumptions on a sweep, so
+	// splitting on them would waste half of every cube.
+	cubes := sat.CubeSplitter{
+		Depth:  depth,
+		Prefer: e.OrderSatVars(),
+		Avoid:  e.SelectorSatVars(),
+	}.Split(e.S)
+	run := sat.SolveCubes(e.S, cubes, strat.Cube, assumptions...)
 	strat.fold(run.Work)
 	if strat.Stats != nil {
 		strat.Stats.Cubes += run.Cubes
@@ -265,12 +284,16 @@ func MineWith(e *encode.Encoder, entries []Entry, strat Strategy) (*Set, MineSta
 
 	// Enumerate error-free serial observations.
 	e.S.AddClause(errLit.Not())
-	if strat.Resume != nil {
-		// Exclude everything the checkpoint already mined. Each
-		// exclusion blocks all models of its observation — a superset
-		// of the per-model blocking clauses the original run added —
-		// so checkpoint ∪ continued enumeration is the full set.
-		for _, o := range strat.Resume.All() {
+	// Exclude everything a checkpoint or a stronger-model seed already
+	// established. Each exclusion blocks all models of its observation
+	// — a superset of the per-model blocking clauses a direct
+	// enumeration would have added — so seed ∪ continued enumeration
+	// is the full set.
+	for _, pre := range []*Set{strat.Resume, strat.Seed} {
+		if pre == nil {
+			continue
+		}
+		for _, o := range pre.All() {
 			if err := assertNotObservation(e, svs, o); err != nil {
 				return nil, MineStats{}, err
 			}
@@ -283,21 +306,32 @@ func MineWith(e *encode.Encoder, entries []Entry, strat Strategy) (*Set, MineSta
 }
 
 // seedSet returns the set mining accumulates into, pre-populated with
-// the resumed checkpoint's observations.
+// the resumed checkpoint's and the monotonic seed's observations.
 func (st Strategy) seedSet() *Set {
 	set := NewSet()
-	if st.Resume != nil {
-		for _, o := range st.Resume.All() {
+	for _, pre := range []*Set{st.Resume, st.Seed} {
+		if pre == nil {
+			continue
+		}
+		for _, o := range pre.All() {
 			set.Add(o)
 		}
 	}
 	return set
 }
 
+// seededCount is the number of observations Strategy.Seed contributed.
+func (st Strategy) seededCount() int {
+	if st.Seed == nil {
+		return 0
+	}
+	return st.Seed.Len()
+}
+
 // mineSerial is the classical blocking-clause enumeration on e.S.
 func mineSerial(e *encode.Encoder, svs []encode.SymVal, lits []sat.Lit, strat Strategy) (*Set, MineStats, error) {
 	set := strat.seedSet()
-	stats := MineStats{Iterations: strat.ResumeIterations}
+	stats := MineStats{Iterations: strat.ResumeIterations, Seeded: strat.seededCount()}
 	limit := strat.maxIter()
 	every := strat.checkpointEvery()
 	for {
@@ -485,7 +519,7 @@ func minePartitioned(e *encode.Encoder, svs []encode.SymVal, lits []sat.Lit, str
 		}(clones[w])
 	}
 	wg.Wait()
-	stats := MineStats{Iterations: int(iters.Load())}
+	stats := MineStats{Iterations: int(iters.Load()), Seeded: strat.seededCount()}
 	if strat.Stats != nil {
 		strat.Stats.Cubes += len(cubes)
 		strat.Stats.CubesRefuted += int(refuted.Load())

@@ -1,0 +1,131 @@
+package spec
+
+// This file drives the inclusion check of §3.2 across a model sweep:
+// one selector-guarded encoding (encode.NewSweepWithConfig) solved
+// once per model under assumption literals, so the circuit, the CNF
+// translation, the preprocessing pass, and every clause the solver
+// learns are shared by the whole sweep instead of rebuilt per model.
+//
+// The phase structure differs from the single-model CheckInclusionWith
+// in one load-bearing way: ALL phase-1 (error) solves must complete
+// before ANY phase-2 exclusion clause is added. Phase 1 asks "is an
+// erroneous execution reachable" — an erroneous execution may well
+// produce an in-spec observation, so the exclusion clauses would
+// wrongly mask it. CheckInclusionWith gets the ordering for free by
+// interleaving; SweepCheck makes it an explicit two-stage protocol:
+// ErrorCheck per model, then one BeginInclusion, then Inclusion per
+// model.
+
+import (
+	"fmt"
+
+	"checkfence/internal/encode"
+	"checkfence/internal/memmodel"
+	"checkfence/internal/sat"
+)
+
+// SweepCheck runs the per-model phases of an inclusion check over a
+// sweep encoder. The protocol is: NewSweepCheck, ErrorCheck for every
+// model of interest, BeginInclusion once, Inclusion for every model
+// still undecided. Learned clauses accumulate in the shared solver
+// across all calls — everything learned refuting one model's query is
+// implied by the common formula and so stays sound for the next.
+type SweepCheck struct {
+	e      *encode.Encoder
+	svs    []encode.SymVal
+	errLit sat.Lit
+	began  bool
+}
+
+// NewSweepCheck materializes the error literal and observation bits of
+// a sweep encoder and preprocesses its CNF (selector variables are
+// frozen by the encoder). The encoder must come from
+// encode.NewSweepWithConfig with overflow excluded, exactly like a
+// CheckInclusionWith encoder.
+func NewSweepCheck(e *encode.Encoder, entries []Entry) (*SweepCheck, error) {
+	if len(e.SweepModels()) == 0 {
+		return nil, fmt.Errorf("spec: NewSweepCheck on a single-model encoder")
+	}
+	svs, err := obsVals(e, entries)
+	if err != nil {
+		return nil, err
+	}
+	errLit := e.B.Lit(e.ErrorNode())
+	roots := []sat.Lit{errLit}
+	for _, b := range obsBits(e, svs) {
+		roots = append(roots, e.B.Lit(b))
+	}
+	e.PreprocessCNF(roots...)
+	return &SweepCheck{e: e, svs: svs, errLit: errLit}, nil
+}
+
+// Encoder returns the underlying sweep encoder (for trace extraction
+// after a Sat verdict).
+func (c *SweepCheck) Encoder() *encode.Encoder { return c.e }
+
+// ErrorCheck runs phase 1 for one swept model: is an execution
+// reaching a runtime error possible under m's axioms? A non-nil
+// counterexample (IsErr=true) leaves the solver positioned at its
+// model for trace extraction. Panics if called after BeginInclusion —
+// the error literal is permanently false by then, so the answer would
+// be a silent, unsound Unsat.
+func (c *SweepCheck) ErrorCheck(m memmodel.Model, strat Strategy) (*Counterexample, error) {
+	if c.began {
+		panic("spec: SweepCheck.ErrorCheck after BeginInclusion")
+	}
+	assum := append(c.e.SelectorLits(m), c.errLit)
+	switch st, cause := solveOne(c.e, strat, assum...); st {
+	case sat.Sat:
+		obs := decodeObs(c.e, c.e.S, c.svs)
+		msg := ""
+		for _, ec := range c.e.Errors {
+			if c.e.B.Eval(ec.Cond) {
+				msg = ec.Msg
+				break
+			}
+		}
+		return &Counterexample{Obs: obs, IsErr: true, Err: msg}, nil
+	case sat.Unsat:
+		return nil, nil
+	default:
+		return nil, unknownErr("error check", st, cause)
+	}
+}
+
+// BeginInclusion transitions the shared solver to phase 2: the error
+// literal is asserted false and the specification's observations are
+// excluded, permanently, for every subsequent Inclusion call. The
+// exclusion clauses are model-independent (they talk only about the
+// observation bits), so adding them once is exactly what every
+// single-model check would have added individually.
+func (c *SweepCheck) BeginInclusion(set *Set) error {
+	if c.began {
+		return fmt.Errorf("spec: SweepCheck.BeginInclusion called twice")
+	}
+	c.began = true
+	c.e.S.AddClause(c.errLit.Not())
+	for _, o := range set.All() {
+		if err := assertNotObservation(c.e, c.svs, o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Inclusion runs phase 2 for one swept model: is an error-free
+// execution with an out-of-spec observation possible under m's axioms?
+// A nil counterexample means model m passes the inclusion check. On
+// Sat the solver is positioned at the counterexample model.
+func (c *SweepCheck) Inclusion(m memmodel.Model, strat Strategy) (*Counterexample, error) {
+	if !c.began {
+		panic("spec: SweepCheck.Inclusion before BeginInclusion")
+	}
+	switch st, cause := solvePhase2(c.e, strat, c.e.SelectorLits(m)...); st {
+	case sat.Unsat:
+		return nil, nil
+	case sat.Sat:
+		return &Counterexample{Obs: decodeObs(c.e, c.e.S, c.svs)}, nil
+	default:
+		return nil, unknownErr("inclusion check", st, cause)
+	}
+}
