@@ -203,6 +203,21 @@ type SpecCache = core.SpecCache
 // enables an on-disk mirror that persists sets across processes.
 func NewSpecCache(dir string) *SpecCache { return core.NewSpecCache(dir) }
 
+// CacheStats is a snapshot of a SpecCache's cumulative traffic (hits,
+// misses, checkpoint resumes, quarantined entries).
+type CacheStats = core.CacheStats
+
+// Gate admission-controls units of work across independent CheckSuite
+// calls: every unit (a single check or a whole model-sweep group)
+// acquires a slot before running. Several concurrent suites sharing
+// one Gate — the checkfenced daemon's batches — are bounded by one
+// global concurrency limit instead of multiplying their pool sizes.
+type Gate = core.Gate
+
+// NewGate returns a Gate admitting n concurrent units (n <= 0 is
+// treated as 1).
+func NewGate(n int) Gate { return core.NewGate(n) }
+
 // CheckSuite runs many checks on a bounded worker pool (SuiteOptions
 // .Parallelism, default GOMAXPROCS) and returns their results in job
 // order, independent of completion order. Observation sets are mined

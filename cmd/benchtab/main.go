@@ -14,6 +14,7 @@
 //	benchtab -fig solve        intra-check parallelism: serial vs portfolio vs cube (writes BENCH_solve.json)
 //	benchtab -fig backend      multi-backend routing: rf vs SAT, auto vs forced (writes BENCH_backend.json)
 //	benchtab -fig sweep        model-sweep grouping: shared encoding vs independent checks (writes BENCH_sweep.json)
+//	benchtab -fig daemon       checking as a service: HTTP batch vs direct suite (writes BENCH_daemon.json)
 //
 // Absolute times differ from the paper's 2007 testbed; the shapes
 // (growth trends, ratios, who wins) are the reproduction target. Use
@@ -41,6 +42,7 @@ func main() {
 		slvJSON = flag.String("solve-json", "BENCH_solve.json", "artifact path for -fig solve (\"\" = print only)")
 		bakJSON = flag.String("backend-json", "BENCH_backend.json", "artifact path for -fig backend (\"\" = print only)")
 		swpJSON = flag.String("sweep-json", "BENCH_sweep.json", "artifact path for -fig sweep (\"\" = print only)")
+		dmnJSON = flag.String("daemon-json", "BENCH_daemon.json", "artifact path for -fig daemon (\"\" = print only)")
 		width   = flag.Int("width", 4, "worker count for -fig solve (portfolio members / cube workers)")
 	)
 	flag.Parse()
@@ -74,6 +76,8 @@ func main() {
 		err = r.BackendReport(*bakJSON)
 	case *fig == "sweep":
 		err = r.SweepReport(*swpJSON)
+	case *fig == "daemon":
+		err = r.DaemonReport(*dmnJSON)
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -262,6 +262,9 @@ func report(w io.Writer, res *core.Result, showSpec, stats bool) int {
 		if s.SpecCacheHits+s.SpecCacheMisses > 0 {
 			fmt.Fprintf(w, "spec cache: %d hits, %d misses\n", s.SpecCacheHits, s.SpecCacheMisses)
 		}
+		if s.SpecCacheResumed > 0 {
+			fmt.Fprintf(w, "spec cache: %d mines resumed from checkpoint\n", s.SpecCacheResumed)
+		}
 		if s.SpecCacheCorrupt > 0 {
 			fmt.Fprintf(w, "spec cache: %d corrupt entries quarantined\n", s.SpecCacheCorrupt)
 		}

@@ -160,7 +160,8 @@ type Options struct {
 	// opts the job out. Direct Check/CheckImpl calls ignore the field:
 	// a sweep needs at least two models. A group shares one
 	// Deadline window across its models; a member that falls back to
-	// an independent check gets a fresh window.
+	// an independent check runs under whatever remains of that window,
+	// so the whole unit stays within the configured budget.
 	Sweep SweepMode
 
 	// front, when non-nil, memoizes harness.Build and per-bounds

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"checkfence/internal/faultinject"
@@ -42,6 +43,9 @@ type SpecCache struct {
 	dir     string
 	faults  faultinject.Faults
 	corrupt int
+	hits    int
+	misses  int
+	resumed int
 }
 
 type specEntry struct {
@@ -70,8 +74,36 @@ type CacheOutcome struct {
 
 // NewSpecCache returns an empty cache. dir, when non-empty, enables
 // the on-disk mirror (the directory is created on first store).
+// Opening a cache sweeps temp files orphaned by a crashed or killed
+// writer, so a long-lived daemon's cache directory does not accumulate
+// them.
 func NewSpecCache(dir string) *SpecCache {
-	return &SpecCache{entries: map[string]*specEntry{}, dir: dir}
+	c := &SpecCache{entries: map[string]*specEntry{}, dir: dir}
+	c.sweepStaleTemps()
+	return c
+}
+
+// sweepStaleTemps removes leftover atomic-write temp files from the
+// cache directory. Keys are hex digests and live entries use only the
+// .obs/.part/.bad suffixes, so a "-tmp" or ".tmp" substring can only
+// come from an interrupted writer. A concurrently writing sibling
+// process may lose its in-flight temp file to the sweep; its rename
+// then fails and the store is retried by a later mine — stores are
+// best-effort by contract.
+func (c *SpecCache) sweepStaleTemps() {
+	if c.dir == "" {
+		return
+	}
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if strings.Contains(name, "-tmp") || strings.Contains(name, ".tmp") {
+			os.Remove(filepath.Join(c.dir, name))
+		}
+	}
 }
 
 // SetFaults arms fault injection on the cache's disk reads (the
@@ -96,6 +128,37 @@ func (c *SpecCache) CorruptCount() int {
 	return c.corrupt
 }
 
+// CacheStats is a snapshot of a cache's cumulative traffic, across
+// every check and suite that shared it. The per-check Stats fields
+// report the same events scoped to one check; these totals back
+// long-lived consumers such as the checkfenced /metrics endpoint.
+type CacheStats struct {
+	// Hits and Misses count GetOrMine requests served from the cache
+	// (memory or disk) vs. mined fresh.
+	Hits   int
+	Misses int
+	// Resumed counts mines seeded from an on-disk checkpoint left by
+	// an earlier interrupted mine.
+	Resumed int
+	// Corrupt counts quarantined corrupt disk files.
+	Corrupt int
+	// Entries is the current number of in-memory entries.
+	Entries int
+}
+
+// Stats returns the cache's cumulative traffic counters.
+func (c *SpecCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:    c.hits,
+		Misses:  c.misses,
+		Resumed: c.resumed,
+		Corrupt: c.corrupt,
+		Entries: len(c.entries),
+	}
+}
+
 // GetOrMine returns the set for key, mining it with mine on a miss.
 // Concurrent callers with the same key block until the first
 // completes. Mining errors are never cached: the failing caller gets
@@ -105,6 +168,21 @@ func (c *SpecCache) CorruptCount() int {
 // again. A failed mine that produced a partial set leaves a disk
 // checkpoint; the next mine of the key resumes from it.
 func (c *SpecCache) GetOrMine(key string, mine MineFunc) (set *spec.Set, iterations int, out CacheOutcome, err error) {
+	set, iterations, out, err = c.getOrMine(key, mine)
+	c.mu.Lock()
+	if out.Hit {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	if out.Resumed {
+		c.resumed++
+	}
+	c.mu.Unlock()
+	return set, iterations, out, err
+}
+
+func (c *SpecCache) getOrMine(key string, mine MineFunc) (set *spec.Set, iterations int, out CacheOutcome, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
@@ -245,9 +323,56 @@ func (c *SpecCache) loadCheckpoint(key string, out *CacheOutcome) (*spec.Set, in
 	return set, iters, true
 }
 
+// writeAtomic durably writes the bytes produced by write to dir/name:
+// a unique temp file is filled, fsynced, and renamed over the target,
+// and the directory is fsynced after the rename. A crash at any point
+// leaves either the old entry or the new one — never a torn file, and
+// never a rename the filesystem could lose on power failure. The temp
+// file is removed on every error path so failed stores do not
+// accumulate in a long-lived cache directory.
+func writeAtomic(dir, name string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(dir, name+"-tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
 // StoreCheckpoint mirrors a partial observation set and its iteration
 // count to disk so an interrupted mine of the same key can resume.
-// Best-effort, like storeDisk; safe for concurrent use (tmp+rename).
+// Best-effort, like storeDisk; safe for concurrent use (fsynced
+// tmp+rename).
 func (c *SpecCache) StoreCheckpoint(key string, partial *spec.Set, iterations int) {
 	if c.dir == "" || partial == nil {
 		return
@@ -255,19 +380,10 @@ func (c *SpecCache) StoreCheckpoint(key string, partial *spec.Set, iterations in
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(c.dir, key+".part-tmp*")
-	if err != nil {
-		return
-	}
-	_, werr := partial.WriteCheckpoint(tmp, key, iterations)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return
-	}
-	if err := os.Rename(tmp.Name(), c.partPath(key)); err != nil {
-		os.Remove(tmp.Name())
-	}
+	writeAtomic(c.dir, key+".part", func(w io.Writer) error {
+		_, err := partial.WriteCheckpoint(w, key, iterations)
+		return err
+	})
 }
 
 func (c *SpecCache) removeCheckpoint(key string) {
@@ -286,19 +402,10 @@ func (c *SpecCache) storeDisk(key string, set *spec.Set) {
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
-	if err != nil {
-		return
-	}
-	_, werr := set.WriteKeyed(tmp, key)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return
-	}
-	if err := os.Rename(tmp.Name(), c.diskPath(key)); err != nil {
-		os.Remove(tmp.Name())
-	}
+	writeAtomic(c.dir, key+".obs", func(w io.Writer) error {
+		_, err := set.WriteKeyed(w, key)
+		return err
+	})
 }
 
 // specKey derives the cache key for one mining problem. It hashes the

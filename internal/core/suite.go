@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"checkfence/internal/faultinject"
+	"checkfence/internal/harness"
 	"checkfence/internal/sat"
 )
 
@@ -16,7 +17,35 @@ import (
 type Job struct {
 	Impl string
 	Test string
-	Opts Options
+	// ImplRef and TestRef, when non-nil, supply the resolved
+	// implementation and test structures directly — the path inline
+	// programs submitted over the checkfenced wire format take. Impl
+	// and Test then only label results; when the refs are nil the
+	// names resolve through the harness registry.
+	ImplRef *harness.Impl
+	TestRef *harness.Test
+	Opts    Options
+}
+
+// resolve produces the implementation and test structures the job
+// checks: the supplied references when present, the registry lookup
+// otherwise.
+func (j Job) resolve() (*harness.Impl, *harness.Test, error) {
+	impl := j.ImplRef
+	if impl == nil {
+		var err error
+		if impl, err = harness.Get(j.Impl); err != nil {
+			return nil, nil, err
+		}
+	}
+	test := j.TestRef
+	if test == nil {
+		var err error
+		if test, err = harness.GetTest(impl, j.Test); err != nil {
+			return nil, nil, err
+		}
+	}
+	return impl, test, nil
 }
 
 // SuiteResult pairs a job with its outcome. Exactly one of Res/Err is
@@ -59,7 +88,46 @@ type SuiteOptions struct {
 	// assumptions (see sweep.go). SweepOff checks every job
 	// independently. Individual jobs opt out with Options.Sweep.
 	Sweep SweepMode
+	// Gate, when non-nil, admission-controls the pool: every worker
+	// acquires a slot before starting a unit of work (a single check
+	// or a whole sweep group) and releases it afterwards. Several
+	// concurrent RunSuite calls sharing one Gate — the checkfenced
+	// daemon's batches — are thereby bounded by one global concurrency
+	// limit instead of multiplying their pool sizes.
+	Gate Gate
 }
+
+// Gate bounds concurrent work across independent RunSuite calls. An
+// implementation must be safe for concurrent use.
+type Gate interface {
+	// Acquire blocks until a slot is free or the context is done,
+	// returning ctx.Err() in the latter case.
+	Acquire(ctx context.Context) error
+	// Release frees a slot acquired by Acquire.
+	Release()
+}
+
+// NewGate returns a Gate admitting n concurrent units (n <= 0 is
+// treated as 1).
+func NewGate(n int) Gate {
+	if n <= 0 {
+		n = 1
+	}
+	return make(chanGate, n)
+}
+
+type chanGate chan struct{}
+
+func (g chanGate) Acquire(ctx context.Context) error {
+	select {
+	case g <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g chanGate) Release() { <-g }
 
 // RunSuite checks all jobs on a bounded worker pool and returns their
 // results with deterministic ordering: results[i] corresponds to
@@ -127,24 +195,33 @@ func RunSuite(jobs []Job, opts SuiteOptions) []SuiteResult {
 					return
 				}
 				unit := units[u]
-				if unit.group != nil {
-					runSweepGroup(unit.group, jobs, ctx, emit)
-					continue
-				}
-				i := unit.single
-				job := jobs[i]
-				r := SuiteResult{Job: job}
-				if err := ctx.Err(); err != nil {
-					r.Err = err
-				} else {
-					r.Res, r.Err = safeCheck(job.Impl, job.Test, eff[i])
-					if r.Err != nil && ctx.Err() != nil {
-						// An interrupted solve surfaces as a solver
-						// error; report the cancellation itself.
-						r.Err = ctx.Err()
+				if opts.Gate != nil {
+					if err := opts.Gate.Acquire(ctx); err != nil {
+						emitUnitErr(unit, jobs, err, emit)
+						continue
 					}
 				}
-				emit(i, r)
+				if unit.group != nil {
+					runSweepGroup(unit.group, jobs, ctx, emit)
+				} else {
+					i := unit.single
+					job := jobs[i]
+					r := SuiteResult{Job: job}
+					if err := ctx.Err(); err != nil {
+						r.Err = err
+					} else {
+						r.Res, r.Err = safeCheck(job, eff[i])
+						if r.Err != nil && ctx.Err() != nil {
+							// An interrupted solve surfaces as a solver
+							// error; report the cancellation itself.
+							r.Err = ctx.Err()
+						}
+					}
+					emit(i, r)
+				}
+				if opts.Gate != nil {
+					opts.Gate.Release()
+				}
 			}
 		}()
 	}
@@ -186,17 +263,36 @@ func runSweepGroup(g *sweepGroup, jobs []Job, ctx context.Context,
 	}
 }
 
+// emitUnitErr reports err for every job of a unit (used when the
+// suite's admission gate fails, i.e. the context was cancelled while
+// waiting for a slot).
+func emitUnitErr(unit suiteUnit, jobs []Job, err error, emit func(int, SuiteResult)) {
+	if unit.group != nil {
+		for _, idxs := range unit.group.jobs {
+			for _, i := range idxs {
+				emit(i, SuiteResult{Job: jobs[i], Err: err})
+			}
+		}
+		return
+	}
+	emit(unit.single, SuiteResult{Job: jobs[unit.single], Err: err})
+}
+
 // safeCheck isolates one check: a panic anywhere in its pipeline
 // (encoder, miner, a serial solve outside the workers' own recovery)
 // becomes that check's error — carrying the recovered value and stack
 // as a *faultinject.RecoveredPanic — instead of killing the suite.
-func safeCheck(implName, testName string, opts Options) (res *Result, err error) {
+func safeCheck(job Job, opts Options) (res *Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			res = nil
 			err = fmt.Errorf("core: check %s/%s panicked: %w",
-				implName, testName, sat.RecoverAsError(p))
+				job.Impl, job.Test, sat.RecoverAsError(p))
 		}
 	}()
-	return Check(implName, testName, opts)
+	impl, test, err := job.resolve()
+	if err != nil {
+		return nil, err
+	}
+	return CheckImpl(impl, test, opts)
 }

@@ -179,6 +179,11 @@ func sweepFingerprint(o Options) string {
 // (impl, test, options) differing only in model.
 type sweepGroup struct {
 	implName, testName string
+	// implRef/testRef carry the group's resolved structures when its
+	// jobs supplied them (inline programs); nil means the names
+	// resolve through the harness registry.
+	implRef *harness.Impl
+	testRef *harness.Test
 	// models holds the group's distinct models, strongest-first —
 	// the sweep order monotonic seeding and early-exit rely on.
 	models []memmodel.Model
@@ -215,7 +220,12 @@ func planUnits(jobs []Job, eff []Options, sweepOn bool) []suiteUnit {
 			if !sweepEligible(eff[i]) {
 				continue
 			}
-			key := job.Impl + "\x00" + job.Test + "\x00" + sweepFingerprint(eff[i])
+			// Resolved references group by pointer identity: two inline
+			// programs sweep together only when they are literally the
+			// same structure, which is conservative and always sound
+			// (registry-resolved jobs have nil refs and group by name).
+			key := fmt.Sprintf("%s\x00%s\x00%p\x00%p\x00%s",
+				job.Impl, job.Test, job.ImplRef, job.TestRef, sweepFingerprint(eff[i]))
 			p := protos[key]
 			if p == nil {
 				p = &proto{firstIdx: i}
@@ -260,6 +270,8 @@ func planUnits(jobs []Job, eff []Options, sweepOn bool) []suiteUnit {
 			group: &sweepGroup{
 				implName: jobs[p.firstIdx].Impl,
 				testName: jobs[p.firstIdx].Test,
+				implRef:  jobs[p.firstIdx].ImplRef,
+				testRef:  jobs[p.firstIdx].TestRef,
 				models:   models,
 				jobs:     byModel,
 				opts:     opts,
@@ -283,6 +295,19 @@ func planUnits(jobs []Job, eff []Options, sweepOn bool) []suiteUnit {
 type modelOutcome struct {
 	res *Result
 	err error
+}
+
+// memberJob renders the group as a Job so fallback members and the
+// shared attempt resolve the implementation and test exactly like an
+// independent check would.
+func (g *sweepGroup) memberJob() Job {
+	return Job{Impl: g.implName, Test: g.testName, ImplRef: g.implRef, TestRef: g.testRef}
+}
+
+// safeCheckMember runs one fallback member independently under the
+// group's front cache and panic isolation.
+func (g *sweepGroup) safeCheckMember(opts Options) (*Result, error) {
+	return safeCheck(g.memberJob(), opts)
 }
 
 // errSweepFallback routes a whole group to independent checks without
@@ -343,7 +368,22 @@ func (g *sweepGroup) run() map[memmodel.Model]*modelOutcome {
 			}
 			o := g.opts
 			o.Model = m
-			res, cerr := safeCheck(g.implName, g.testName, o)
+			// Fallback deadlines are carved from the group's remaining
+			// absolute budget: the shared attempt already consumed part
+			// of the user's window, and a fresh per-member window would
+			// let the unit exceed the configured deadline by up to a
+			// factor of the member count in wall clock. An exhausted
+			// window degrades to a minimal one so the member still
+			// resolves to a verdict (UNKNOWN with a report), never an
+			// error or a hang.
+			if o.Deadline > 0 {
+				remaining := o.Deadline - time.Since(start)
+				if remaining < time.Millisecond {
+					remaining = time.Millisecond
+				}
+				o.Deadline = remaining
+			}
+			res, cerr := g.safeCheckMember(o)
 			outs[m] = &modelOutcome{res: res, err: cerr}
 		}
 	}
@@ -367,11 +407,7 @@ func (g *sweepGroup) attempt(outs map[memmodel.Model]*modelOutcome, start time.T
 	if opts.Deadline > 0 {
 		deadline = start.Add(opts.Deadline)
 	}
-	impl, err := harness.Get(g.implName)
-	if err != nil {
-		return err
-	}
-	test, err := harness.GetTest(impl, g.testName)
+	impl, test, err := g.memberJob().resolve()
 	if err != nil {
 		return err
 	}
@@ -451,10 +487,15 @@ func (g *sweepGroup) attempt(outs map[memmodel.Model]*modelOutcome, start time.T
 		res.Stats.ProbeTime = 0
 		outs[m] = &modelOutcome{res: res}
 	}
+	// Shared probe time is a group cost like mining and encoding:
+	// attribute it once, to the group leader (the strongest model).
+	// Landing it on the first still-pending model instead would make
+	// the carrier depend on early-exit order and let suite-level
+	// aggregation double-count or drop it across groups; every model
+	// of the group is in outs by this point, so the leader always
+	// carries it.
 	if o := outs[g.models[0]]; o != nil && o.res != nil {
 		o.res.Stats.ProbeTime += probeTime
-	} else if len(pending) > 0 {
-		outs[pending[0]].res.Stats.ProbeTime += probeTime
 	}
 	return nil
 }

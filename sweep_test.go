@@ -161,6 +161,9 @@ func TestSweepStatsShape(t *testing.T) {
 			if st.EncodeTime != 0 {
 				t.Errorf("job %d: non-leader charged EncodeTime %v", i, st.EncodeTime)
 			}
+			if st.ProbeTime != 0 {
+				t.Errorf("job %d: non-leader charged ProbeTime %v (shared probe cost belongs to the leader only)", i, st.ProbeTime)
+			}
 		}
 	}
 }
