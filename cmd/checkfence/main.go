@@ -126,6 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ordReduce = fs.Bool("order-reduce", true, "enable the model-aware memory-order encoding reduction")
 		sweepFlag = fs.String("sweep", "auto", "model-sweep grouping across repeated -model values: auto (one shared encoding solved per model under assumptions) or off (independent checks)")
 		validate  = fs.Bool("validate", true, "independently re-check counterexamples (axiom re-verification + interpreter replay)")
+		remote    = fs.String("remote", "", "submit the checks to a checkfenced daemon at this base URL (resilient client: retries with backoff, honors Retry-After, falls back to polling on a broken stream)")
 	)
 	fs.Var(&models, "model", "memory model: sc, tso, pso, relaxed, serial (repeatable)")
 	fs.Usage = func() {
@@ -159,6 +160,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "checkfence:", err)
 		return exitError
+	}
+
+	if *remote != "" {
+		opts := core.Options{
+			Model:                models[0],
+			Backend:              be,
+			DisableRangeAnalysis: *noRanges,
+			Portfolio:            *portfolio,
+			ShareClauses:         *shareCls,
+			Cube:                 *cube,
+			MaxMineIterations:    *maxMine,
+			SimplifyLevel:        *simplify,
+			NoPreprocess:         *noPreproc,
+			NoInprocess:          !*inproc,
+			NoOrderReduce:        !*ordReduce,
+			ConflictBudget:       *conflicts,
+			MemBudgetMB:          *memMB,
+		}
+		if !*validate {
+			opts.ValidateTraces = core.ValidateOff
+		}
+		if *specSrc == "refset" {
+			opts.SpecSource = core.SpecRef
+		}
+		return runRemote(*remote, *implName, *testName, models, opts, *timeout, *stats, stdout, stderr)
 	}
 
 	suite := make([]core.Job, len(models))

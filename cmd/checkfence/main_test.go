@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+
+	"checkfence/internal/daemon"
 )
 
 // TestExitCodes pins the CLI's exit-code contract: 0 all pass, 1 a
@@ -101,5 +106,63 @@ func TestUnknownReportsRungs(t *testing.T) {
 	}
 	if !strings.Contains(out, "rung ") {
 		t.Errorf("report missing rung lines:\n%s", out)
+	}
+}
+
+// TestRemoteMatchesLocal: -remote against a live daemon must print the
+// same verdicts and exit code as a local run.
+func TestRemoteMatchesLocal(t *testing.T) {
+	srv := daemon.NewServer(daemon.Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		args []string
+		exit int
+	}{
+		{[]string{"-impl", "msn", "-test", "T0", "-model", "sc,tso"}, exitPass},
+		{[]string{"-impl", "msn-nofence", "-test", "T0", "-model", "relaxed"}, exitViolation},
+	} {
+		var lout, lerr, rout, rerr bytes.Buffer
+		local := run(tc.args, &lout, &lerr)
+		remote := run(append([]string{"-remote", ts.URL}, tc.args...), &rout, &rerr)
+		if local != tc.exit || remote != tc.exit {
+			t.Fatalf("%v: local exit %d, remote exit %d, want %d\nremote stderr: %s",
+				tc.args, local, remote, tc.exit, rerr.String())
+		}
+		for _, want := range []string{"PASS:", "FAIL:"} {
+			if strings.Contains(lout.String(), want) != strings.Contains(rout.String(), want) {
+				t.Errorf("%v: verdict lines differ\nlocal:\n%s\nremote:\n%s",
+					tc.args, lout.String(), rout.String())
+			}
+		}
+	}
+}
+
+// TestRemoteRetriesSaturatedDaemon: a 503 + Retry-After submission must
+// be retried, not surfaced as a failure.
+func TestRemoteRetriesSaturatedDaemon(t *testing.T) {
+	srv := daemon.NewServer(daemon.Config{})
+	var rejected atomic.Int64
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/check" && rejected.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "admission gate saturated", http.StatusServiceUnavailable)
+			return
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	var stdout, stderr bytes.Buffer
+	got := run([]string{"-remote", proxy.URL, "-impl", "ms2", "-test", "T0", "-model", "sc"}, &stdout, &stderr)
+	if got != exitPass {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", got, exitPass, stderr.String())
+	}
+	if rejected.Load() < 2 {
+		t.Fatalf("daemon saw %d submissions, want a retry after the 503", rejected.Load())
+	}
+	if !strings.Contains(stdout.String(), "PASS:") {
+		t.Errorf("missing PASS line:\n%s", stdout.String())
 	}
 }

@@ -1,0 +1,332 @@
+package main
+
+// Remote mode: -remote URL submits the checks to a running checkfenced
+// daemon instead of solving them in-process, and renders the streamed
+// NDJSON verdicts with the same exit-code contract as local runs.
+//
+// The client path is built to survive a flaky daemon or network:
+//
+//   - Submission retries with exponential backoff plus jitter on
+//     connection errors and 5xx, and honors Retry-After when the
+//     daemon sheds load (503 "admission gate saturated").
+//   - The verdict stream has no overall timeout (solves take as long
+//     as they take) but a response-header timeout, so a hung daemon
+//     fails fast instead of hanging the CLI.
+//   - If the stream breaks after the batch was admitted, the client
+//     falls back to polling GET /v1/jobs/{id} for the verdicts it has
+//     not yet seen (the daemon finishes admitted batches even when the
+//     submitting connection dies); polls ride fleet.RetryClient with
+//     per-request timeouts and the same backoff policy.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"checkfence/internal/core"
+	"checkfence/internal/daemon"
+	"checkfence/internal/fleet"
+	"checkfence/internal/job"
+	"checkfence/internal/memmodel"
+)
+
+// remoteRunner holds the wiring of one remote submission.
+type remoteRunner struct {
+	base   string // daemon base URL, no trailing slash
+	client *http.Client
+	poll   fleet.RetryClient
+	stdout io.Writer
+	stderr io.Writer
+	stats  bool
+}
+
+// runRemote submits one batch (impl/test across the given models) to
+// the daemon and reports each verdict, returning the process exit
+// code. opts is the per-model-independent option set; model selection
+// rides the batch entry's Models list.
+func runRemote(base string, implName, testName string, models []memmodel.Model,
+	opts core.Options, timeout time.Duration, stats bool, stdout, stderr io.Writer) int {
+
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.String()
+	}
+	req := daemon.BatchRequest{
+		Jobs: []daemon.BatchJob{{
+			Check:  job.FromOptions(implName, testName, opts),
+			Models: names,
+		}},
+		Timeout: job.Duration(timeout),
+	}
+
+	r := &remoteRunner{
+		base: strings.TrimRight(base, "/"),
+		client: &http.Client{
+			// No overall timeout: the response streams for as long as
+			// the solves run. A header timeout still bounds a daemon
+			// that accepts the connection and then hangs.
+			Transport: &http.Transport{ResponseHeaderTimeout: 30 * time.Second},
+		},
+		stdout: stdout,
+		stderr: stderr,
+		stats:  stats,
+	}
+	exit, err := r.run(context.Background(), &req)
+	if err != nil {
+		fmt.Fprintln(stderr, "checkfence:", err)
+		return exitError
+	}
+	return exit
+}
+
+// run submits the batch and consumes verdicts, falling back to the
+// poll path on a broken stream.
+func (r *remoteRunner) run(ctx context.Context, req *daemon.BatchRequest) (int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return exitError, err
+	}
+	resp, err := r.submit(ctx, body)
+	if err != nil {
+		return exitError, err
+	}
+	defer resp.Body.Close()
+
+	exit := exitPass
+	bump := func(code int) {
+		if severity(code) > severity(exit) {
+			exit = code
+		}
+	}
+
+	var ids []string
+	seen := map[string]bool{}
+	printed := false
+	emit := func(line *daemon.ResultLine) {
+		if seen[line.ID] {
+			return
+		}
+		seen[line.ID] = true
+		if printed {
+			fmt.Fprintln(r.stdout)
+		}
+		printed = true
+		bump(r.report(line))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	streamDone := false
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var head struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &head); err != nil {
+			continue
+		}
+		switch head.Type {
+		case "batch":
+			var b daemon.BatchLine
+			if err := json.Unmarshal(raw, &b); err == nil {
+				ids = b.Jobs
+			}
+		case "result":
+			var line daemon.ResultLine
+			if err := json.Unmarshal(raw, &line); err == nil {
+				emit(&line)
+			}
+		case "done":
+			streamDone = true
+		}
+	}
+	if err := sc.Err(); err != nil && !streamDone {
+		fmt.Fprintf(r.stderr, "checkfence: verdict stream broken (%v), polling for remaining jobs\n", err)
+	}
+	if streamDone && len(seen) >= len(ids) {
+		return exit, nil
+	}
+	if len(ids) == 0 {
+		// The stream died before the batch header: nothing admitted
+		// that we know of, so there is nothing to poll for.
+		return exitError, fmt.Errorf("verdict stream ended before the batch was acknowledged")
+	}
+	// The batch was admitted; collect the verdicts we missed by
+	// polling. The daemon hints Retry-After: 1 while a job runs.
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		line, err := r.pollJob(ctx, id)
+		if err != nil {
+			fmt.Fprintf(r.stderr, "checkfence: polling job %s: %v\n", id, err)
+			bump(exitError)
+			continue
+		}
+		emit(line)
+	}
+	return exit, nil
+}
+
+// submit posts the batch, retrying with backoff on transient failures
+// and honoring the daemon's Retry-After when it sheds load. Returns
+// the open streaming response.
+func (r *remoteRunner) submit(ctx context.Context, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt <= 4; attempt++ {
+		if attempt > 0 {
+			d := backoffDelay(attempt)
+			if hint := retryAfterOf(lastErr); hint > d {
+				d = hint
+			}
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			r.base+"/v1/check", strings.NewReader(string(body)))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := r.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode <= 299 {
+			return resp, nil
+		}
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		serr := &fleet.StatusError{Code: resp.StatusCode, Body: strings.TrimSpace(string(b))}
+		if resp.StatusCode != http.StatusTooManyRequests &&
+			resp.StatusCode != http.StatusServiceUnavailable && resp.StatusCode < 500 {
+			return nil, serr
+		}
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if n, perr := strconv.Atoi(s); perr == nil && n > 0 {
+				lastErr = &retryAfterError{err: serr, after: time.Duration(n) * time.Second}
+				continue
+			}
+		}
+		lastErr = serr
+	}
+	return nil, fmt.Errorf("submitting batch: %w", lastErr)
+}
+
+// retryAfterError wraps a transient submit failure with the server's
+// Retry-After hint.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+func retryAfterOf(err error) time.Duration {
+	if ra, ok := err.(*retryAfterError); ok {
+		return ra.after
+	}
+	return 0
+}
+
+// backoffDelay is the submit backoff for re-attempt n (1-based):
+// exponential from 200ms, capped at 5s, with up to 50% jitter.
+func backoffDelay(n int) time.Duration {
+	d := 200 * time.Millisecond << uint(n-1)
+	if d > 5*time.Second || d <= 0 {
+		d = 5 * time.Second
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// pollJob polls GET /v1/jobs/{id} until the job is done. Transport
+// failures within one poll ride fleet.RetryClient's backoff; between
+// polls the client sleeps the daemon's hinted second.
+func (r *remoteRunner) pollJob(ctx context.Context, id string) (*daemon.ResultLine, error) {
+	url := r.base + "/v1/jobs/" + id
+	for {
+		var st daemon.JobStatus
+		if err := r.poll.GetJSON(ctx, url, &st); err != nil {
+			return nil, err
+		}
+		if st.State == "done" && st.Result != nil {
+			return st.Result, nil
+		}
+		select {
+		case <-time.After(time.Second):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// report renders one remote verdict with the local exit-code contract.
+func (r *remoteRunner) report(line *daemon.ResultLine) int {
+	w := r.stdout
+	if line.Error != "" {
+		fmt.Fprintln(r.stderr, "checkfence:", line.Error)
+		return exitError
+	}
+	if r.stats && line.Stats != nil {
+		s := line.Stats
+		if s.RouterDecision != "" {
+			fmt.Fprintf(w, "backend: %s (router: %s)\n", s.Backend, s.RouterDecision)
+		} else if s.Backend != "" {
+			fmt.Fprintf(w, "backend: %s\n", s.Backend)
+		}
+		if s.CNFVars+s.CNFClauses > 0 {
+			fmt.Fprintf(w, "cnf: %d vars, %d clauses\n", s.CNFVars, s.CNFClauses)
+		}
+		fmt.Fprintf(w, "observation set: %d\n", s.ObsSetSize)
+		if s.CacheHits+s.CacheMisses > 0 {
+			fmt.Fprintf(w, "spec cache: %d hits, %d misses\n", s.CacheHits, s.CacheMisses)
+		}
+		if s.TotalTime != "" {
+			fmt.Fprintf(w, "times: total=%s\n", s.TotalTime)
+		}
+	}
+	printRungs := func() {
+		if line.Budget == nil {
+			return
+		}
+		for _, rung := range line.Budget.Rungs {
+			fmt.Fprintf(w, "  rung %s exhausted\n", rung)
+		}
+	}
+	switch line.Verdict {
+	case "unknown":
+		fmt.Fprintf(w, "UNKNOWN: %s / %s on %s (budgets exhausted)\n", line.Impl, line.Test, line.Model)
+		printRungs()
+		return exitUnknown
+	case "pass":
+		fmt.Fprintf(w, "PASS: %s / %s on %s\n", line.Impl, line.Test, line.Model)
+		printRungs()
+		return exitPass
+	}
+	if line.SeqBug {
+		fmt.Fprintf(w, "FAIL: %s / %s has a sequential bug (independent of the memory model)\n",
+			line.Impl, line.Test)
+	} else {
+		fmt.Fprintf(w, "FAIL: %s / %s on %s\n", line.Impl, line.Test, line.Model)
+	}
+	printRungs()
+	if line.Cex != "" {
+		fmt.Fprintln(w, line.Cex)
+	}
+	return exitViolation
+}

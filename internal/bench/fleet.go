@@ -1,0 +1,204 @@
+package bench
+
+// This file measures the distributed fan-out path: one check split
+// into cube tasks and executed by fleet workers over the real lease
+// protocol (HTTP poll/heartbeat/result), at fleet widths 1 and 3,
+// against the serial in-process solve. Every row first asserts the
+// distributed verdict — and, for PASS, the byte-exact observation
+// set — equals the serial one; a fleet that answers differently is a
+// correctness bug, not a scaling figure. The result is the
+// BENCH_fleet.json artifact.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"checkfence/internal/core"
+	"checkfence/internal/fleet"
+	"checkfence/internal/job"
+)
+
+// fleetPairs are the (implementation, test, model) rows; -quick keeps
+// the cheap half.
+var fleetPairs = []struct{ impl, test, model string }{
+	{"ms2", "T0", "sc"},
+	{"msn", "T0", "relaxed"},
+	{"msn", "Tpc2", "relaxed"},
+	{"lazylist", "Sac", "relaxed"},
+	{"snark", "Da", "relaxed"},
+}
+
+var quickFleetPairs = map[string]bool{
+	"ms2/T0": true, "msn/T0": true,
+}
+
+// FleetRow is one measurement: a check solved serially and through
+// the fleet at widths 1 and 3.
+type FleetRow struct {
+	Impl    string `json:"impl"`
+	Test    string `json:"test"`
+	Model   string `json:"model"`
+	Verdict string `json:"verdict"`
+	Cubes   int    `json:"cubes"`
+	// SerialSec is the undivided in-process solve; Fleet1Sec and
+	// Fleet3Sec the distributed solve with 1 and 3 HTTP workers (best
+	// of reps each).
+	SerialSec float64 `json:"serial_sec"`
+	Fleet1Sec float64 `json:"fleet1_sec"`
+	Fleet3Sec float64 `json:"fleet3_sec"`
+	// Speedup3 is Fleet1Sec / Fleet3Sec — the width-3 scaling of the
+	// distributed path against itself (the honest figure: both sides
+	// pay the same protocol overhead).
+	Speedup3 float64 `json:"speedup_3"`
+}
+
+// FleetArtifact is the BENCH_fleet.json schema.
+type FleetArtifact struct {
+	GeneratedAt string     `json:"generated_at"`
+	CPUs        int        `json:"cpus"`
+	Rows        []FleetRow `json:"rows"`
+}
+
+// runFleetOnce solves the check through a fresh coordinator with n
+// HTTP workers, returning the outcome, the cube count, and the wall
+// time.
+func runFleetOnce(ck job.Check, n int) (fleet.Outcome, int, float64, error) {
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		CubeDepth:      2,
+		Lease:          5 * time.Second,
+		PollRetryAfter: 5 * time.Millisecond,
+	})
+	if err != nil {
+		return fleet.Outcome{}, 0, 0, err
+	}
+	defer coord.Close()
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		w, err := fleet.NewWorker(fleet.WorkerConfig{
+			ID:           fmt.Sprintf("bench-w%d", i),
+			URL:          ts.URL,
+			PollInterval: 5 * time.Millisecond,
+		})
+		if err != nil {
+			return fleet.Outcome{}, 0, 0, err
+		}
+		go func() {
+			w.Run(ctx)
+			done <- struct{}{}
+		}()
+	}
+
+	start := time.Now()
+	out, err := coord.CheckDistributed(ctx, ck)
+	wall := time.Since(start).Seconds()
+	cancel()
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	if err != nil {
+		return fleet.Outcome{}, 0, 0, err
+	}
+	m := coord.Metrics()
+	return out, int(m.TasksCompleted), wall, nil
+}
+
+// FleetReport measures the distributed fan-out against the serial
+// solve, prints the comparison, and writes the artifact to jsonPath
+// ("" = print only).
+func (r *Runner) FleetReport(jsonPath string) error {
+	art := FleetArtifact{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		CPUs:        runtime.NumCPU(),
+	}
+
+	r.printf("Distributed fan-out: serial vs fleet of 1 and 3 HTTP workers\n")
+	r.printf("%-10s %-7s %-8s | %9s %9s %9s | %6s | %s\n",
+		"impl", "test", "model", "serial[s]", "fleet1[s]", "fleet3[s]", "x3", "verdict")
+	for _, pair := range fleetPairs {
+		if r.Quick && !quickFleetPairs[pair.impl+"/"+pair.test] {
+			continue
+		}
+		ck := job.Check{
+			Program: job.Program{Name: pair.impl},
+			Test:    pair.test,
+			Model:   pair.model,
+		}
+		cj, err := ck.CoreJob()
+		if err != nil {
+			return err
+		}
+
+		const reps = 3
+		var row FleetRow
+		row.Impl, row.Test, row.Model = pair.impl, pair.test, pair.model
+		for rep := 0; rep < reps; rep++ {
+			start := time.Now()
+			res := core.RunSuite([]core.Job{cj}, core.SuiteOptions{Parallelism: 1})
+			serialSec := time.Since(start).Seconds()
+			if res[0].Err != nil {
+				return fmt.Errorf("bench: serial %s/%s: %w", pair.impl, pair.test, res[0].Err)
+			}
+			oracle := fleet.OutcomeFromResult(res[0].Res, nil)
+
+			for _, n := range []int{1, 3} {
+				out, cubes, wall, err := runFleetOnce(ck, n)
+				if err != nil {
+					return fmt.Errorf("bench: fleet(%d) %s/%s: %w", n, pair.impl, pair.test, err)
+				}
+				// Agreement before timing: a fleet that answers
+				// differently from the serial solve is a bug.
+				if out.Verdict != oracle.Verdict || out.SeqBug != oracle.SeqBug {
+					return fmt.Errorf("bench: fleet(%d) disagrees with serial on %s/%s/%s: %s vs %s",
+						n, pair.impl, pair.test, pair.model, out.Verdict, oracle.Verdict)
+				}
+				if oracle.Verdict == "pass" && out.Spec != oracle.Spec {
+					return fmt.Errorf("bench: fleet(%d) observation set diverges from serial on %s/%s/%s",
+						n, pair.impl, pair.test, pair.model)
+				}
+				if n == 1 {
+					if rep == 0 || wall < row.Fleet1Sec {
+						row.Fleet1Sec = wall
+					}
+				} else if rep == 0 || wall < row.Fleet3Sec {
+					row.Fleet3Sec = wall
+				}
+				row.Cubes = cubes
+			}
+			if rep == 0 || serialSec < row.SerialSec {
+				row.SerialSec = serialSec
+			}
+			if rep == 0 {
+				row.Verdict = oracle.Verdict
+			}
+		}
+		if row.Fleet3Sec > 0 {
+			row.Speedup3 = row.Fleet1Sec / row.Fleet3Sec
+		}
+		art.Rows = append(art.Rows, row)
+		r.printf("%-10s %-7s %-8s | %9.3f %9.3f %9.3f | %5.2fx | %s\n",
+			row.Impl, row.Test, row.Model, row.SerialSec, row.Fleet1Sec, row.Fleet3Sec,
+			row.Speedup3, row.Verdict)
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(&art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		r.printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 
 	"checkfence/internal/core"
 	"checkfence/internal/faultinject"
+	"checkfence/internal/fleet"
 	"checkfence/internal/job"
 )
 
@@ -44,6 +45,15 @@ type Config struct {
 	// Faults arms deterministic fault injection on every batch (chaos
 	// tests only).
 	Faults faultinject.Faults
+	// MaxInflight caps admitted-but-unfinished jobs across all batches;
+	// a batch that would exceed it is refused with 503 and a
+	// Retry-After hint instead of queueing unboundedly (0 = unlimited).
+	MaxInflight int
+	// Fleet, when non-nil, switches the daemon into coordinator mode:
+	// checks are fanned out to fleet workers (CheckDistributed) instead
+	// of solved in-process, the coordinator's lease API is mounted
+	// under /fleet/v1/, and its fault-tolerance counters join /metrics.
+	Fleet *fleet.Coordinator
 }
 
 func (c Config) maxBatchJobs() int {
@@ -190,6 +200,9 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/check", s.handleCheck)
 	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.Fleet != nil {
+		s.mux.Handle("/fleet/v1/", cfg.Fleet.Handler())
+	}
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
@@ -230,9 +243,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// expand validates a batch and renders it as core jobs plus wire IDs.
-func (s *Server) expand(req *BatchRequest, batchID string) ([]core.Job, []string, error) {
+// expand validates a batch and renders it as core jobs plus the
+// expanded wire descriptions (the fleet path dispatches those) and
+// wire IDs.
+func (s *Server) expand(req *BatchRequest, batchID string) ([]core.Job, []job.Check, []string, error) {
 	var jobs []core.Job
+	var checks []job.Check
 	var ids []string
 	for bi := range req.Jobs {
 		entry := &req.Jobs[bi]
@@ -257,19 +273,20 @@ func (s *Server) expand(req *BatchRequest, batchID string) ([]core.Job, []string
 			}
 			cj, err := c.CoreJob()
 			if err != nil {
-				return nil, nil, fmt.Errorf("jobs[%d] model %q: %w", bi, m, err)
+				return nil, nil, nil, fmt.Errorf("jobs[%d] model %q: %w", bi, m, err)
 			}
 			jobs = append(jobs, cj)
+			checks = append(checks, c)
 			ids = append(ids, fmt.Sprintf("%s-%d", batchID, len(ids)))
 		}
 	}
 	if len(jobs) == 0 {
-		return nil, nil, fmt.Errorf("empty batch")
+		return nil, nil, nil, fmt.Errorf("empty batch")
 	}
 	if len(jobs) > s.cfg.maxBatchJobs() {
-		return nil, nil, fmt.Errorf("batch of %d jobs exceeds limit %d", len(jobs), s.cfg.maxBatchJobs())
+		return nil, nil, nil, fmt.Errorf("batch of %d jobs exceeds limit %d", len(jobs), s.cfg.maxBatchJobs())
 	}
-	return jobs, ids, nil
+	return jobs, checks, ids, nil
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
@@ -293,7 +310,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	batchID := fmt.Sprintf("b%d", s.nextID)
 	s.mu.Unlock()
 
-	jobs, ids, err := s.expand(&req, batchID)
+	jobs, checks, ids, err := s.expand(&req, batchID)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -309,6 +326,14 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.mu.Unlock()
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if max := s.cfg.MaxInflight; max > 0 && s.inflight+int64(len(jobs)) > int64(max) {
+		// Admission saturated: shed load with a backoff hint instead of
+		// queueing unboundedly. The retry client honors Retry-After.
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "admission gate saturated", http.StatusServiceUnavailable)
 		return
 	}
 	s.wg.Add(1)
@@ -333,14 +358,65 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	var pass, fail, unknown, errs int
-	core.RunSuite(jobs, core.SuiteOptions{
-		Parallelism: s.cfg.Parallelism,
-		Context:     s.ctx,
-		SpecCache:   s.cache,
-		Gate:        s.gate,
-		Faults:      s.cfg.Faults,
-		OnResult: func(i int, r core.SuiteResult) {
-			line := renderResult(ids[i], i, jobs[i], r)
+	if s.cfg.Fleet != nil {
+		pass, fail, unknown, errs = s.runFleet(checks, ids, jobs, writeLine)
+	} else {
+		core.RunSuite(jobs, core.SuiteOptions{
+			Parallelism: s.cfg.Parallelism,
+			Context:     s.ctx,
+			SpecCache:   s.cache,
+			Gate:        s.gate,
+			Faults:      s.cfg.Faults,
+			OnResult: func(i int, r core.SuiteResult) {
+				line := renderResult(ids[i], i, jobs[i], r)
+				switch {
+				case line.Error != "":
+					errs++
+				case line.Verdict == "fail":
+					fail++
+				case line.Verdict == "unknown":
+					unknown++
+				default:
+					pass++
+				}
+				s.recordResult(line, r)
+				writeLine(line)
+			},
+		})
+	}
+	writeLine(DoneLine{
+		Type: "done", Pass: pass, Fail: fail, Unknown: unknown,
+		Errors: errs, Elapsed: time.Since(start).String(),
+	})
+}
+
+// runFleet dispatches each expanded check through the fleet
+// coordinator, streaming verdict lines as fan-outs complete. The
+// admission gate bounds concurrently dispatched fan-outs like it
+// bounds local check units.
+func (s *Server) runFleet(checks []job.Check, ids []string, jobs []core.Job,
+	writeLine func(any)) (pass, fail, unknown, errs int) {
+
+	var mu sync.Mutex // serializes counters, records, and the stream
+	var wg sync.WaitGroup
+	for i := range checks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var line *ResultLine
+			if err := s.gate.Acquire(s.ctx); err != nil {
+				line = &ResultLine{
+					Type: "result", ID: ids[i], Index: i,
+					Impl: jobs[i].Impl, Test: jobs[i].Test,
+					Model: jobs[i].Opts.Model.String(), Error: err.Error(),
+				}
+			} else {
+				out, err := s.cfg.Fleet.CheckDistributed(s.ctx, checks[i])
+				s.gate.Release()
+				line = renderOutcome(ids[i], i, jobs[i], out, err)
+			}
+			mu.Lock()
+			defer mu.Unlock()
 			switch {
 			case line.Error != "":
 				errs++
@@ -351,14 +427,68 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 			default:
 				pass++
 			}
-			s.recordResult(line, r)
+			s.recordFleetResult(line)
 			writeLine(line)
-		},
-	})
-	writeLine(DoneLine{
-		Type: "done", Pass: pass, Fail: fail, Unknown: unknown,
-		Errors: errs, Elapsed: time.Since(start).String(),
-	})
+		}(i)
+	}
+	wg.Wait()
+	return
+}
+
+// recordFleetResult stores a fleet-path verdict for the poll endpoint
+// and the verdict counters (no core.Result to fold stats from — the
+// coordinator's own Metrics cover the distributed side).
+func (s *Server) recordFleetResult(line *ResultLine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight--
+	if rec, ok := s.records[line.ID]; ok {
+		rec.State = "done"
+		rec.Result = line
+	}
+	if line.Error != "" {
+		s.errors++
+		return
+	}
+	s.verdicts[line.Verdict]++
+	if line.Budget != nil && len(line.Budget.Rungs) > 0 {
+		s.budgets++
+	}
+}
+
+// renderOutcome converts a fleet outcome to the wire line.
+func renderOutcome(id string, index int, j core.Job, out fleet.Outcome, err error) *ResultLine {
+	line := &ResultLine{
+		Type: "result", ID: id, Index: index,
+		Impl: j.Impl, Test: j.Test, Model: j.Opts.Model.String(),
+	}
+	if err != nil {
+		line.Error = err.Error()
+		return line
+	}
+	if out.Err != "" {
+		line.Error = out.Err
+		return line
+	}
+	line.Verdict = out.Verdict
+	line.Pass = out.Pass
+	line.SeqBug = out.SeqBug
+	line.Cex = out.Cex
+	if len(out.Budget) > 0 || out.Degraded != "" {
+		b := &BudgetLine{Rungs: append([]string(nil), out.Budget...)}
+		if out.Degraded != "" {
+			// Fleet-level degradation rides the same budget trail, so
+			// the cause of a slower-than-expected verdict is visible.
+			b.Rungs = append(b.Rungs, "fleet "+out.Degraded)
+		}
+		line.Budget = b
+	}
+	line.Stats = &StatsLine{
+		Backend:    out.Backend,
+		ObsSetSize: out.ObsSetSize,
+		TotalTime:  time.Duration(out.TotalTime).String(),
+	}
+	return line
 }
 
 // recordResult stores a finished job for the poll path and folds its
@@ -449,6 +579,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown job "+id, http.StatusNotFound)
 		return
 	}
+	if cp.State == "running" {
+		// Backoff hint for poll loops: solver work rarely finishes in
+		// under a second, so an immediate re-poll is wasted.
+		w.Header().Set("Retry-After", "1")
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(cp)
 }
@@ -502,5 +637,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("checkfenced_spec_cache_resumed_total", "Mines resumed from a checkpoint.", int64(cs.Resumed))
 	counter("checkfenced_spec_cache_corrupt_total", "Quarantined corrupt cache files.", int64(cs.Corrupt))
 	gauge("checkfenced_spec_cache_entries", "In-memory spec cache entries.", int64(cs.Entries))
+	if s.cfg.Fleet != nil {
+		fm := s.cfg.Fleet.Metrics()
+		counter("checkfenced_fleet_tasks_dispatched_total", "Fleet leases granted (including re-dispatch).", fm.TasksDispatched)
+		counter("checkfenced_fleet_tasks_completed_total", "Fleet task outcomes accepted (first per task).", fm.TasksCompleted)
+		counter("checkfenced_fleet_lease_expirations_total", "Leases lost to missing heartbeats.", fm.LeaseExpirations)
+		counter("checkfenced_fleet_requeues_total", "Tasks requeued after a lost lease or worker error.", fm.Requeues)
+		counter("checkfenced_fleet_quarantines_total", "Poison circuit-breaker trips (cube solved locally serial).", fm.Quarantines)
+		counter("checkfenced_fleet_speculations_total", "Straggler tasks speculatively re-dispatched.", fm.Speculations)
+		counter("checkfenced_fleet_dup_results_total", "Duplicate results dropped by fingerprint dedup.", fm.DupResults)
+		counter("checkfenced_fleet_late_results_total", "Results rejected after lease reassignment.", fm.LateResults)
+		counter("checkfenced_fleet_local_fallbacks_total", "Tasks solved locally after retry exhaustion.", fm.LocalFallbacks)
+		counter("checkfenced_fleet_spec_mismatches_total", "PASS aggregations with divergent observation sets.", fm.SpecMismatches)
+		counter("checkfenced_fleet_workers_drained_total", "Polls refused for unhealthy workers.", fm.WorkersDrained)
+		counter("checkfenced_fleet_journal_replayed_total", "Task outcomes restored from the journal.", fm.JournalReplayed)
+	}
 	io.WriteString(w, b.String())
 }

@@ -1,0 +1,211 @@
+package fleet
+
+// RetryClient is the HTTP client policy shared by fleet workers and
+// the checkfence remote CLI: per-request timeouts so a partitioned
+// peer cannot hang the caller, retry with exponential backoff plus
+// jitter on transient failures (connection errors, 5xx, 429), and
+// honoring of Retry-After hints so a saturated server shapes its own
+// load instead of being hammered.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+
+	"time"
+)
+
+// RetryClient posts JSON with bounded retries. The zero value is
+// usable (default policy, http.DefaultClient).
+type RetryClient struct {
+	// HTTP is the underlying client (nil = http.DefaultClient).
+	HTTP *http.Client
+	// Retries is the number of re-attempts after the first try
+	// (0 = 4; negative disables retries).
+	Retries int
+	// BaseDelay seeds the exponential backoff (0 = 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff step (0 = 5s).
+	MaxDelay time.Duration
+	// Timeout bounds each individual request attempt (0 = 30s).
+	Timeout time.Duration
+}
+
+func (c *RetryClient) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *RetryClient) retries() int {
+	if c.Retries == 0 {
+		return 4
+	}
+	if c.Retries < 0 {
+		return 0
+	}
+	return c.Retries
+}
+
+func (c *RetryClient) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.Timeout
+}
+
+// backoff returns the sleep before re-attempt n (1-based): an
+// exponential of BaseDelay capped at MaxDelay, with up to 50% added
+// jitter so a fleet of retrying clients decorrelates.
+func (c *RetryClient) backoff(n int) time.Duration {
+	base, max := c.BaseDelay, c.MaxDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base << uint(n-1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	// The global rand source is concurrency-safe; per-client state
+	// would make RetryClient uncopyable for no benefit.
+	jitter := time.Duration(rand.Int63n(int64(d)/2 + 1))
+	return d + jitter
+}
+
+// StatusError is a non-2xx terminal response: the status and (briefly)
+// the body, so callers can branch on codes like 410 Gone.
+type StatusError struct {
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("http %d: %s", e.Code, e.Body)
+}
+
+// retryableStatus reports whether a status merits another attempt:
+// throttling and server-side failures do, everything else (including
+// 410 Gone, the lease-lost signal) is terminal.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// retryAfter extracts a Retry-After hint in seconds (0 when absent or
+// unparsable; HTTP-date forms are ignored — the backoff covers them).
+func retryAfter(resp *http.Response) time.Duration {
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return time.Duration(n) * time.Second
+}
+
+// PostJSON posts in as JSON to url and decodes the 2xx response into
+// out (skipped when out is nil). Transient failures are retried with
+// backoff until the budget or ctx runs out; a server-provided
+// Retry-After extends the backoff step. Terminal non-2xx responses
+// return a *StatusError.
+func (c *RetryClient) PostJSON(ctx context.Context, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, url, body, out)
+}
+
+// GetJSON fetches url and decodes the 2xx response into out, with the
+// same retry/backoff/Retry-After policy as PostJSON. This is the poll
+// path of the checkfence remote client (GET /v1/jobs/{id}).
+func (c *RetryClient) GetJSON(ctx context.Context, url string, out any) error {
+	return c.do(ctx, http.MethodGet, url, nil, out)
+}
+
+func (c *RetryClient) do(ctx context.Context, method, url string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+			}
+			return err
+		}
+		wait, err := c.attempt(ctx, method, url, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if wait < 0 || attempt >= c.retries() {
+			return err
+		}
+		backoff := c.backoff(attempt + 1)
+		if wait > backoff {
+			backoff = wait
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return fmt.Errorf("%w (last attempt: %v)", ctx.Err(), lastErr)
+		}
+	}
+}
+
+// attempt runs one request. The returned duration is a server
+// Retry-After hint (>= 0 when the error is retryable, < 0 terminal).
+func (c *RetryClient) attempt(ctx context.Context, method, url string, body []byte, out any) (time.Duration, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(rctx, method, url, rd)
+	if err != nil {
+		return -1, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, err // network-level: retryable
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		serr := &StatusError{Code: resp.StatusCode, Body: trimBody(b)}
+		if retryableStatus(resp.StatusCode) {
+			return retryAfter(resp), serr
+		}
+		return -1, serr
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return -1, nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return -1, fmt.Errorf("fleet: decoding %s response: %w", url, err)
+	}
+	return -1, nil
+}
+
+// trimBody trims a response body for error messages.
+func trimBody(b []byte) string {
+	s := string(bytes.TrimSpace(b))
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}

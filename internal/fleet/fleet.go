@@ -1,0 +1,181 @@
+// Package fleet is the fault-tolerant distributed execution layer of
+// checkfenced: a coordinator that splits hard checks into cube tasks
+// (cross-process cube-and-conquer over memory-order variables, see
+// core.CubeAssumptions) and hands them to pull-based workers under
+// time-bounded leases, and the worker loop that executes them.
+//
+// The design center is fault tolerance, not speed: every failure class
+// of a distributed deployment — worker crash, hang, network partition
+// on the heartbeat or reply path, duplicate delivery, coordinator
+// crash — degrades to slower-but-correct, never to a wrong or lost
+// verdict:
+//
+//   - Dispatch is at-least-once: a cube whose lease expires (crashed,
+//     hung, or partitioned worker) is requeued with exponential
+//     backoff plus jitter. Aggregation is exactly-once: results are
+//     deduplicated on the task identity (parent check fingerprint +
+//     cube index), so redelivery, duplicate transport delivery, and
+//     speculative re-dispatch cannot double-count a cube.
+//   - A bounded retry budget ends with the coordinator solving the
+//     cube locally — a verdict is never abandoned.
+//   - A cube that costs N distinct workers their lease trips a
+//     poison circuit breaker: it is quarantined and solved locally
+//     with a stripped serial strategy, so one pathological formula
+//     cannot grind the fleet down.
+//   - Stragglers are speculatively re-dispatched; the first result
+//     wins and the loser is dropped by the same dedup.
+//   - Every worker has a sliding-window health score; a flaky worker
+//     is drained (polls return no work) until it cools down.
+//   - The coordinator journals plans and accepted results; a restart
+//     replays the journal and re-runs only the missing cubes.
+//
+// Soundness of the aggregation (why the distributed verdict equals
+// the serial one) is argued in DESIGN.md; the short form: cubes are
+// jointly exhaustive sign combinations of order-variable ordinals, the
+// pipeline front (mining, bound probing) is cube-independent, so
+// any-FAIL / all-PASS over the cubes reconstructs the undivided
+// verdict, and a PASS additionally asserts every cube mined an
+// identical observation set.
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"checkfence/internal/core"
+	"checkfence/internal/job"
+	"checkfence/internal/spec"
+)
+
+// Task is one leased unit of work: a complete check description (a
+// cube of a fan-out, or a whole check when the parent did not split).
+type Task struct {
+	// ID is the dedup identity: "<parent fingerprint>/<cube index>".
+	ID string `json:"id"`
+	// Check is the self-contained description the worker executes.
+	Check job.Check `json:"check"`
+	// LeaseMS is the granted lease in milliseconds: the worker must
+	// heartbeat before it elapses or the task is requeued.
+	LeaseMS int64 `json:"lease_ms"`
+}
+
+// PollRequest is the body of POST /fleet/v1/poll.
+type PollRequest struct {
+	Worker string `json:"worker"`
+}
+
+// PollResponse answers a poll: a task, or none plus a backoff hint.
+type PollResponse struct {
+	Task *Task `json:"task,omitempty"`
+	// RetryAfterMS hints when to poll again when Task is nil.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// HeartbeatRequest is the body of POST /fleet/v1/heartbeat. A 410
+// response means the lease is gone (expired and reassigned): the
+// worker should abandon the task without reporting.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+	TaskID string `json:"task_id"`
+}
+
+// ResultRequest is the body of POST /fleet/v1/result.
+type ResultRequest struct {
+	Worker  string  `json:"worker"`
+	TaskID  string  `json:"task_id"`
+	Outcome Outcome `json:"outcome"`
+}
+
+// Outcome is the serializable subset of core.Result a worker reports:
+// everything aggregation and the daemon's wire rendering need. The
+// observation set rides as its deterministic text serialization
+// (spec.Set.WriteTo), so PASS aggregation can compare sets
+// byte-for-byte across workers.
+type Outcome struct {
+	Verdict string `json:"verdict"` // "pass" | "fail" | "unknown"
+	Pass    bool   `json:"pass"`
+	SeqBug  bool   `json:"seq_bug,omitempty"`
+	// Cex is the rendered counterexample trace (FAIL only).
+	Cex string `json:"cex,omitempty"`
+	// Spec is the mined observation set, serialized.
+	Spec string `json:"spec,omitempty"`
+	// Err is set when the check failed to run (an internal error, not
+	// a verdict); the coordinator treats it as a task failure.
+	Err string `json:"error,omitempty"`
+
+	BoundRounds int          `json:"bound_rounds,omitempty"`
+	ObsSetSize  int          `json:"obs_set_size,omitempty"`
+	AssumedLits int          `json:"assumed_lits,omitempty"`
+	Backend     string       `json:"backend,omitempty"`
+	TotalTime   job.Duration `json:"total_time,omitempty"`
+	// Budget summarizes resource-governance degradation on the worker
+	// (ladder rungs exhausted before the verdict), one line per rung.
+	Budget []string `json:"budget,omitempty"`
+	// Degraded names the fleet-level degradation that produced this
+	// outcome, when any ("local-fallback", "quarantine"). Set by the
+	// coordinator, never by workers.
+	Degraded string `json:"degraded,omitempty"`
+}
+
+// OutcomeFromResult renders a core result (or run error) as the wire
+// outcome.
+func OutcomeFromResult(res *core.Result, err error) Outcome {
+	if err != nil {
+		return Outcome{Err: err.Error()}
+	}
+	o := Outcome{
+		Verdict:     res.Verdict.String(),
+		Pass:        res.Pass,
+		SeqBug:      res.SeqBug,
+		BoundRounds: res.Stats.BoundRounds,
+		ObsSetSize:  res.Stats.ObsSetSize,
+		AssumedLits: res.Stats.AssumedLits,
+		Backend:     res.Stats.Backend,
+		TotalTime:   job.Duration(res.Stats.TotalTime),
+	}
+	if res.Cex != nil {
+		o.Cex = res.Cex.String()
+	}
+	if res.Spec != nil {
+		var b bytes.Buffer
+		if _, werr := res.Spec.WriteTo(&b); werr == nil {
+			o.Spec = b.String()
+		}
+	}
+	if res.Budget != nil {
+		for _, r := range res.Budget.Rungs {
+			desc := r.Name
+			if r.Budget != "" {
+				desc += " (" + r.Budget + ")"
+			}
+			o.Budget = append(o.Budget, desc)
+		}
+	}
+	return o
+}
+
+// SpecSet parses the outcome's serialized observation set (nil when
+// absent or unparsable).
+func (o *Outcome) SpecSet() *spec.Set {
+	if o.Spec == "" {
+		return nil
+	}
+	s, err := spec.ReadSet(strings.NewReader(o.Spec))
+	if err != nil {
+		return nil
+	}
+	return s
+}
+
+// TaskID renders the dedup identity of cube index i of the parent
+// check with the given fingerprint.
+func TaskID(parentFP string, i int) string {
+	return fmt.Sprintf("%s/%d", parentFP, i)
+}
+
+// leaseDuration converts the wire lease field.
+func (t *Task) leaseDuration() time.Duration {
+	return time.Duration(t.LeaseMS) * time.Millisecond
+}

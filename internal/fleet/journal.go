@@ -1,0 +1,136 @@
+package fleet
+
+// Coordinator crash recovery. The journal is an append-only JSON-lines
+// file: a "plan" record freezes a parent's fan-out (the exact cube
+// descriptions, so a restarted coordinator re-dispatches the same
+// cubes rather than re-planning — re-encoding could split differently
+// and would invalidate the recorded outcomes), and one "done" record
+// per accepted task outcome. Replay for a parent fingerprint returns
+// the frozen plan and the outcomes already on disk; only the missing
+// cubes run again. Records for unknown fingerprints and trailing
+// partial lines (a crash mid-write) are skipped — recovery degrades to
+// re-running a cube, never to adopting a corrupt outcome.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"checkfence/internal/job"
+)
+
+// journalRecord is one JSON line.
+type journalRecord struct {
+	Event   string      `json:"event"` // "plan" | "done"
+	Parent  string      `json:"parent"`
+	Checks  []job.Check `json:"checks,omitempty"` // plan: the frozen fan-out
+	Task    int         `json:"task,omitempty"`   // done: cube index
+	From    string      `json:"from,omitempty"`   // done: producing worker
+	Outcome *Outcome    `json:"outcome,omitempty"`
+}
+
+type journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	enc  *json.Encoder
+}
+
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: opening journal: %w", err)
+	}
+	return &journal{path: path, f: f, enc: json.NewEncoder(f)}, nil
+}
+
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// WritePlan freezes a parent's fan-out.
+func (j *journal) WritePlan(parent string, checks []job.Check) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.enc.Encode(journalRecord{Event: "plan", Parent: parent, Checks: checks}); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// WriteOutcome records one accepted task outcome. Called with the
+// coordinator's aggregation already deduplicated, so each (parent,
+// task) appears at most once per plan.
+func (j *journal) WriteOutcome(t *task) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := t.outcome
+	if err := j.enc.Encode(journalRecord{
+		Event: "done", Parent: t.check.CubeOf, Task: t.check.CubeIndex,
+		From: t.from, Outcome: &out,
+	}); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Replay scans the journal for the parent's frozen plan and recorded
+// outcomes. A nil plan means the parent was never planned (fresh
+// start). Outcomes recorded before the (latest) plan record of the
+// parent are honored — the plan is content-addressed by the parent
+// fingerprint, so any recorded outcome for it stays valid.
+func (j *journal) Replay(parent string) ([]job.Check, map[int]Outcome, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	f, err := os.Open(j.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, fmt.Errorf("fleet: reading journal: %w", err)
+	}
+	defer f.Close()
+	var plan []job.Check
+	outs := map[int]Outcome{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // partial trailing write from a crash: skip
+		}
+		if rec.Parent != parent {
+			continue
+		}
+		switch rec.Event {
+		case "plan":
+			plan = rec.Checks
+		case "done":
+			if rec.Outcome != nil {
+				outs[rec.Task] = *rec.Outcome
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("fleet: scanning journal: %w", err)
+	}
+	if plan == nil {
+		return nil, nil, nil
+	}
+	// Drop outcomes outside the plan (a corrupted index): the cube
+	// will simply re-run.
+	for i := range outs {
+		if i < 0 || i >= len(plan) {
+			delete(outs, i)
+		}
+	}
+	return plan, outs, nil
+}

@@ -34,6 +34,8 @@ func TestRoundTrip(t *testing.T) {
 		ConflictBudget:    1 << 20,
 		MemBudgetMB:       256,
 		Assume:            []int{3, -7},
+		CubeOf:            "deadbeef",
+		CubeIndex:         2,
 	}
 	data, err := json.Marshal(&c)
 	if err != nil {
@@ -171,13 +173,59 @@ func TestValidateErrors(t *testing.T) {
 	}
 }
 
-func TestAssumeReserved(t *testing.T) {
-	c := Check{Program: Program{Name: "msn"}, Test: "T0", Assume: []int{1}}
+func TestAssumeConsumed(t *testing.T) {
+	c := Check{Program: Program{Name: "msn"}, Test: "T0", Assume: []int{3, -7}}
 	if err := c.Validate(); err != nil {
 		t.Fatalf("Validate should accept assumptions (wire round-trip): %v", err)
 	}
-	if _, err := c.Options(); err == nil {
-		t.Error("Options should reject assumptions until fan-out execution lands")
+	opts, err := c.Options()
+	if err != nil {
+		t.Fatalf("Options should consume assumptions: %v", err)
+	}
+	if len(opts.Assume) != 2 || opts.Assume[0] != 3 || opts.Assume[1] != -7 {
+		t.Errorf("Options.Assume = %v, want [3 -7]", opts.Assume)
+	}
+	// The mapping must copy, not alias: a coordinator reuses one
+	// description template across cubes.
+	opts.Assume[0] = 99
+	if c.Assume[0] != 3 {
+		t.Error("Options aliased the description's Assume slice")
+	}
+	back := FromOptions("msn", "T0", opts)
+	if len(back.Assume) != 2 || back.Assume[0] != 99 || back.Assume[1] != -7 {
+		t.Errorf("FromOptions lost assumptions: %v", back.Assume)
+	}
+}
+
+func TestCubeFieldsRoundTrip(t *testing.T) {
+	parent := Check{Program: Program{Name: "msn"}, Test: "T0", Model: "relaxed"}
+	cube := parent
+	cube.Assume = []int{1, -2}
+	cube.CubeOf = parent.Fingerprint()
+	cube.CubeIndex = 1
+
+	data, err := json.Marshal(&cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Check
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CubeOf != cube.CubeOf || back.CubeIndex != 1 {
+		t.Errorf("cube lineage lost: of=%q idx=%d", back.CubeOf, back.CubeIndex)
+	}
+	if back.Fingerprint() != cube.Fingerprint() {
+		t.Error("fingerprint changed across round trip")
+	}
+	if cube.Fingerprint() == parent.Fingerprint() {
+		t.Error("a cube must not collide with its parent in content-addressed caches")
+	}
+	sibling := cube
+	sibling.Assume = []int{-1, -2}
+	sibling.CubeIndex = 2
+	if sibling.Fingerprint() == cube.Fingerprint() {
+		t.Error("sibling cubes must have distinct fingerprints")
 	}
 }
 

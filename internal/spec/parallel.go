@@ -107,6 +107,13 @@ type Strategy struct {
 	// Faults, when non-nil, installs fault-injection hooks on the
 	// mining path (see internal/faultinject).
 	Faults faultinject.Faults
+	// Assume restricts both phases of the inclusion check to the
+	// executions satisfying these literals — one cube of a
+	// cross-process cube-and-conquer fan-out. The literals must be
+	// over variables that survive preprocessing (CheckFence passes
+	// memory-order variables, which PreprocessCNF freezes). Mining
+	// ignores the field: the specification is cube-independent.
+	Assume []sat.Lit
 }
 
 // ParStats counts the parallel work of a check.
@@ -553,7 +560,10 @@ func CheckInclusionWith(e *encode.Encoder, entries []Entry, set *Set, strat Stra
 	e.PreprocessCNF(roots...)
 
 	// Phase 1: any execution with a runtime error is a counterexample.
-	switch st, cause := solveOne(e, strat, errLit); st {
+	// A cube restriction (Strategy.Assume) applies here too: the cubes
+	// of a fan-out are jointly exhaustive, so an erroneous execution
+	// exists iff some cube contains one.
+	switch st, cause := solveOne(e, strat, append([]sat.Lit{errLit}, strat.Assume...)...); st {
 	case sat.Sat:
 		obs := decodeObs(e, e.S, svs)
 		msg := ""
@@ -576,7 +586,7 @@ func CheckInclusionWith(e *encode.Encoder, entries []Entry, set *Set, strat Stra
 			return nil, err
 		}
 	}
-	switch st, cause := solvePhase2(e, strat); st {
+	switch st, cause := solvePhase2(e, strat, strat.Assume...); st {
 	case sat.Unsat:
 		return nil, nil
 	case sat.Sat:
